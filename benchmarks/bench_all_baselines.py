@@ -1,0 +1,69 @@
+"""Extension — QD against the full §2 baseline family.
+
+The paper compares against Multiple Viewpoints only; this bench extends
+Table 1's protocol to every surveyed technique (plain k-NN, Query Point
+Movement, MARS multipoint, Qcluster, MV) on a representative subset of
+queries, confirming the single-neighbourhood confinement is a property
+of the whole k-NN family, not of MV specifically.
+"""
+
+import numpy as np
+
+from repro.baselines import ALL_BASELINES
+from repro.datasets.queryset import get_query
+from repro.eval.protocol import run_baseline_session, run_qd_session
+from repro.eval.reporting import format_table
+
+QUERIES = ("person", "bird", "car", "computer", "rose")
+
+
+def test_all_baselines(benchmark, paper_engine, report):
+    engine = paper_engine
+    database = engine.database
+
+    def measure():
+        scores = {}
+        for cls in ALL_BASELINES:
+            precisions, gtirs = [], []
+            for name in QUERIES:
+                technique = cls(database, seed=13)
+                records = run_baseline_session(
+                    technique, get_query(name), rounds=3, seed=13
+                )
+                precisions.append(records[-1].precision)
+                gtirs.append(records[-1].gtir)
+            scores[cls.name] = (
+                float(np.mean(precisions)), float(np.mean(gtirs))
+            )
+        precisions, gtirs = [], []
+        for name in QUERIES:
+            result, _ = run_qd_session(
+                engine, get_query(name), seed=13
+            )
+            precisions.append(result.stats["precision"])
+            gtirs.append(result.stats["gtir"])
+        scores["QD"] = (float(np.mean(precisions)), float(np.mean(gtirs)))
+        return scores
+
+    scores = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["technique", "precision", "GTIR"],
+            [(name, p, g) for name, (p, g) in scores.items()],
+            title=(
+                "QD vs the full k-NN baseline family "
+                f"(mean over {len(QUERIES)} scattered queries)"
+            ),
+        )
+    )
+    for name, (precision, gtir_val) in scores.items():
+        benchmark.extra_info[name] = (
+            round(precision, 3), round(gtir_val, 3)
+        )
+
+    qd_precision, qd_gtir = scores["QD"]
+    for name, (precision, gtir_val) in scores.items():
+        if name == "QD":
+            continue
+        assert qd_precision > precision, name
+        assert qd_gtir >= gtir_val, name

@@ -1,0 +1,34 @@
+"""Figure 10 — overall query processing time vs database size.
+
+The paper generates 100 random initial queries per database size, runs
+two feedback rounds plus the final localized k-NN for each, and reports
+the average overall processing time, which grows linearly with the
+database size.  The sweep itself is shared with the Figure 11 bench via
+the session-scoped ``scalability_result`` fixture; this bench times one
+representative slice so pytest-benchmark has a timing sample.
+"""
+
+from repro.eval.experiments import run_scalability
+
+
+def test_fig10_overall_query_time(benchmark, scalability_result, report):
+    result = scalability_result
+    # Give pytest-benchmark a real timing sample: one small re-run.
+    benchmark.pedantic(
+        lambda: run_scalability((2_000,), n_queries=10, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    report(result.format_figure10())
+    r2 = result.linearity_r2()
+    report(f"linear-fit R^2 (overall time vs size): {r2:.3f}")
+    benchmark.extra_info["r2"] = round(r2, 3)
+    benchmark.extra_info["times"] = [
+        round(p.overall_query_time, 5) for p in result.points
+    ]
+
+    # Paper shape: time increases with size, consistent with a linear
+    # trend.
+    times = [p.overall_query_time for p in result.points]
+    assert times[-1] >= times[0]
+    assert r2 > 0.7

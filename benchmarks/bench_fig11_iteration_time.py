@@ -1,0 +1,41 @@
+"""Figure 11 — average per-iteration feedback time vs database size.
+
+The paper reports the average processing time of a single relevance
+feedback round, again linear in database size and — the point of the RFS
+structure — far cheaper than the global k-NN computation a traditional
+relevance-feedback technique executes every round (§1.2, §5.2.2).  The
+sweep is shared with the Figure 10 bench via the session-scoped
+``scalability_result`` fixture.
+"""
+
+from repro.eval.experiments import run_scalability
+
+
+def test_fig11_iteration_time(benchmark, scalability_result, report):
+    result = scalability_result
+    benchmark.pedantic(
+        lambda: run_scalability((2_000,), n_queries=10, seed=8),
+        rounds=1,
+        iterations=1,
+    )
+    report(result.format_figure11())
+    benchmark.extra_info["iteration_times"] = [
+        round(p.iteration_time, 6) for p in result.points
+    ]
+    benchmark.extra_info["global_knn_times"] = [
+        round(p.global_knn_round_time, 6) for p in result.points
+    ]
+
+    # Paper shape: RFS feedback rounds are much cheaper than a global
+    # k-NN round at every database size, and the gap persists as the
+    # database grows.
+    for point in result.points:
+        assert point.iteration_time < point.global_knn_round_time
+    first, last = result.points[0], result.points[-1]
+    ratio_first = first.global_knn_round_time / max(
+        first.iteration_time, 1e-9
+    )
+    ratio_last = last.global_knn_round_time / max(
+        last.iteration_time, 1e-9
+    )
+    assert ratio_last >= ratio_first * 0.5  # the advantage persists

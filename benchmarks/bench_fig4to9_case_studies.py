@@ -1,0 +1,44 @@
+"""Figures 4–9 — top-k case studies on the computer queries.
+
+The paper shows the top 8 images for "portable computer" (Figures 4/5),
+top 16 for "personal computer" (Figures 6/7), and top 24 for "computer"
+(Figures 8/9): the MV result covers a single subconcept in each case,
+while QD covers them all.  This bench regenerates the checkable content
+of those screenshots — the subconcept distribution of each technique's
+top-k list.
+"""
+
+from repro.eval.experiments import run_case_studies
+
+
+def test_fig4to9_case_studies(benchmark, paper_engine, report):
+    result = benchmark.pedantic(
+        lambda: run_case_studies(paper_engine, seed=2006),
+        rounds=1,
+        iterations=1,
+    )
+    report(result.format())
+
+    by_key = {(r.query, r.technique): r for r in result.rows}
+    for query, technique in by_key:
+        row = by_key[(query, technique)]
+        benchmark.extra_info[f"{technique}:{query[:20]}"] = round(
+            row.gtir, 2
+        )
+
+    for (query, technique), row in by_key.items():
+        mv = by_key[(query, "MV")]
+        qd = by_key[(query, "QD")]
+        # Paper shape: QD covers at least as many subconcepts as MV in
+        # every case study, and strictly more in at least one.
+        assert qd.gtir >= mv.gtir, query
+    assert any(
+        by_key[(q, "QD")].gtir > by_key[(q, "MV")].gtir
+        for q, _ in by_key
+    )
+    # QD covers all subconcepts of every computer query.
+    assert all(
+        by_key[(q, "QD")].gtir == 1.0
+        for (q, t) in by_key
+        if t == "QD"
+    )

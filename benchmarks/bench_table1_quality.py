@@ -1,0 +1,34 @@
+"""Table 1 — per-query precision & GTIR, Multiple Viewpoints vs QD.
+
+Regenerates the paper's Table 1 on the 15,000-image / 150-category
+synthetic Corel database: 11 test queries, 3 feedback rounds, retrieved
+count equal to the ground-truth size, averaged over simulated users.
+
+Shape criteria (paper values in EXPERIMENTS.md):
+* QD precision beats MV precision on every query,
+* QD GTIR is (near) 1.0 throughout; MV GTIR < 1 on the scattered
+  queries and 1.0 on the visually compact ones (airplane, mountain).
+"""
+
+from repro.eval.experiments import run_table1
+
+
+def test_table1_quality(benchmark, paper_engine, report):
+    result = benchmark.pedantic(
+        lambda: run_table1(paper_engine, trials=3, seed=2006),
+        rounds=1,
+        iterations=1,
+    )
+    report(result.format())
+    avg = result.averages()
+    benchmark.extra_info["mv_precision"] = round(avg.mv_precision, 3)
+    benchmark.extra_info["mv_gtir"] = round(avg.mv_gtir, 3)
+    benchmark.extra_info["qd_precision"] = round(avg.qd_precision, 3)
+    benchmark.extra_info["qd_gtir"] = round(avg.qd_gtir, 3)
+
+    # Paper shape: QD wins on both metrics, roughly 2x on precision.
+    assert avg.qd_precision > avg.mv_precision * 1.5
+    assert avg.qd_gtir > avg.mv_gtir
+    assert avg.qd_gtir > 0.9
+    for row in result.rows:
+        assert row.qd_precision >= row.mv_precision, row.query

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare Query Decomposition against all five baseline techniques.
+
+Runs the scattered-subconcept query "computer" (server / desktop /
+laptop) through plain k-NN, Query Point Movement, MARS multipoint,
+Qcluster, and Multiple Viewpoints, then through QD, reporting precision
+and GTIR for each — the paper's §5.2.1 comparison extended to the full
+baseline family of its §2 survey.
+
+Run:  python examples/compare_baselines.py
+"""
+
+from repro import (
+    DatasetConfig,
+    QueryDecompositionEngine,
+    build_rendered_database,
+    get_query,
+)
+from repro.baselines import ALL_BASELINES
+from repro.eval import gtir, precision_at
+from repro.eval.protocol import run_baseline_session, run_qd_session
+
+
+def main() -> None:
+    print("Building a 6,000-image / 100-category database ...")
+    database = build_rendered_database(
+        DatasetConfig(total_images=6000, n_categories=100, seed=19)
+    )
+    engine = QueryDecompositionEngine.build(database, seed=19)
+    query = get_query("computer")
+    k = database.ground_truth_size(sorted(query.relevant_categories()))
+    print(f"Query: {query.description}   (k = ground truth size = {k})\n")
+
+    print(f"{'technique':12s} {'precision':>9s} {'GTIR':>6s}")
+    print("-" * 30)
+    for technique_cls in ALL_BASELINES:
+        technique = technique_cls(database, seed=5)
+        records = run_baseline_session(
+            technique, query, k=k, rounds=3, seed=5
+        )
+        final = records[-1]
+        print(
+            f"{technique.name:12s} {final.precision:9.2f} "
+            f"{final.gtir:6.2f}"
+        )
+
+    result, _ = run_qd_session(engine, query, k=k, seed=5)
+    ids = result.flatten(k)
+    print(
+        f"{'QD':12s} {precision_at(ids, database, query):9.2f} "
+        f"{gtir(ids, database, query):6.2f}"
+    )
+    print(
+        "\nThe k-NN-family baselines refine one neighbourhood and miss "
+        "the scattered subconcepts (GTIR < 1); Query Decomposition "
+        "retrieves from every relevant cluster."
+    )
+
+
+if __name__ == "__main__":
+    main()

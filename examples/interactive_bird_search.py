@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Step-by-step session: watch the query decompose round by round.
+
+Reproduces the paper's running example (§3.2 / Figure 2): the user wants
+"bird" images; the initial query at the RFS root splits into localized
+subqueries — one per relevant subcluster (eagle / owl / sparrow) — and
+the final round merges localized k-NN results from each.
+
+Unlike quickstart.py this drives the :class:`FeedbackSession` manually,
+showing what an interactive GUI (the prototype's ImageGrouper front end)
+would do at each step.
+
+Run:  python examples/interactive_bird_search.py
+"""
+
+from repro import (
+    DatasetConfig,
+    QueryDecompositionEngine,
+    build_rendered_database,
+    get_query,
+)
+from repro.eval import SimulatedUser
+
+
+def main() -> None:
+    database = build_rendered_database(
+        DatasetConfig(total_images=3000, n_categories=60, seed=11)
+    )
+    engine = QueryDecompositionEngine.build(database, seed=11)
+    query = get_query("bird")
+    user = SimulatedUser(database, query, seed=3)
+
+    session = engine.new_session(seed=3)
+    print(f"Query: {query.description}")
+    print(f"RFS structure: {engine.rfs.height} levels\n")
+
+    for round_no in range(1, 4):
+        shown = session.display(screens=4)
+        marked = user.mark(shown)
+        session.submit(marked)
+        shown_cats = sorted(
+            {database.category_of(i) for i in marked}
+        )
+        print(f"Round {round_no}:")
+        print(f"  displayed {len(shown)} representative images")
+        print(f"  user marked {len(marked)} as relevant "
+              f"({', '.join(shown_cats) if shown_cats else 'none'})")
+        print(f"  query now decomposed into {session.n_subqueries} "
+              f"localized subquer{'y' if session.n_subqueries == 1 else 'ies'} "
+              f"(RFS nodes {session.active_node_ids})\n")
+
+    k = database.ground_truth_size(sorted(query.relevant_categories()))
+    result = session.finalize(k)
+    print("Final result (grouped presentation, best group first):")
+    for rank, group in enumerate(result.groups, start=1):
+        counts: dict[str, int] = {}
+        for image_id in group.items.ids():
+            cat = database.category_of(image_id)
+            counts[cat] = counts.get(cat, 0) + 1
+        top = ", ".join(
+            f"{name} x{cnt}"
+            for name, cnt in sorted(
+                counts.items(), key=lambda kv: -kv[1]
+            )[:3]
+        )
+        print(
+            f"  group {rank}: {len(group)} images "
+            f"(ranking score {group.ranking_score:.1f}) — {top}"
+        )
+    reads = engine.io.snapshot()
+    print(f"\nSimulated I/O: {reads.get('reads[feedback]', 0)} page reads "
+          f"for all feedback rounds, "
+          f"{reads.get('reads[localized_knn]', 0)} for the final "
+          "localized k-NN — no global k-NN was ever computed.")
+
+
+if __name__ == "__main__":
+    main()

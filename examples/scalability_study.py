@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Scalability study: query and feedback cost versus database size.
+
+Reproduces the paper's Figures 10 and 11 at example scale: for a sweep
+of database sizes, measure (a) the overall query processing time of a
+full QD session and (b) the average per-iteration feedback time, and
+contrast the latter with the cost of the global k-NN computation a
+traditional relevance-feedback technique pays every round.
+
+Also prints the simulated disk-page accounting of §5.2.2: feedback
+touches one node per active subquery per round; each localized k-NN
+usually reads a single leaf.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.eval.experiments import run_scalability
+
+
+def main() -> None:
+    result = run_scalability(
+        db_sizes=(1_000, 2_000, 4_000, 8_000),
+        n_queries=25,
+    )
+    print(result.format_figure10())
+    print()
+    print(result.format_figure11())
+    # (The paper-scale sweep in benchmarks/bench_fig10_query_time.py
+    # runs 100 queries per size and checks linearity; at this example
+    # scale the trend is visible but noisy.)
+    print("\nSimulated disk accounting (per query, averages):")
+    print(f"{'db_size':>8s} {'feedback reads':>15s} "
+          f"{'localized k-NN reads':>21s}")
+    for point in result.points:
+        print(
+            f"{point.db_size:8d} {point.feedback_page_reads:15.1f} "
+            f"{point.localized_knn_page_reads:21.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Baseline retrieval techniques (paper §2 survey + §5 comparison).
+
+All baselines share the :class:`FeedbackTechnique` interface — start from
+example images, retrieve k results, accept relevance feedback, repeat —
+which is the classic single-query k-NN relevance-feedback loop the paper
+contrasts with Query Decomposition:
+
+* :class:`GlobalKNN` — plain query-by-example k-NN with centroid update,
+* :class:`QueryPointMovement` — MindReader-style weighted distance,
+* :class:`MarsMultipoint` — MARS query expansion (multipoint query),
+* :class:`QCluster` — adaptive clustering with disjunctive per-cluster
+  contours,
+* :class:`MultipleViewpoints` — the paper's main comparator: per-channel
+  search over colour / colour-negative / grey / grey-negative views.
+"""
+
+from repro.baselines.base import FeedbackTechnique
+from repro.baselines.fagin import FaginMerge
+from repro.baselines.knn import GlobalKNN
+from repro.baselines.mars import MarsMultipoint
+from repro.baselines.mv import MultipleViewpoints
+from repro.baselines.qcluster import QCluster
+from repro.baselines.qpm import QueryPointMovement
+
+ALL_BASELINES = (
+    GlobalKNN,
+    QueryPointMovement,
+    MarsMultipoint,
+    QCluster,
+    MultipleViewpoints,
+    FaginMerge,
+)
+
+__all__ = [
+    "FeedbackTechnique",
+    "FaginMerge",
+    "GlobalKNN",
+    "MarsMultipoint",
+    "MultipleViewpoints",
+    "QCluster",
+    "QueryPointMovement",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,25 @@
+"""Plain query-by-example k-NN with centroid update.
+
+The reference point of every comparison: the query is the centroid of
+the example plus all relevant images marked so far, the metric is
+unweighted Euclidean distance, and retrieval is a single global k-NN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeedbackTechnique
+from repro.retrieval.distance import euclidean_many
+
+
+class GlobalKNN(FeedbackTechnique):
+    """Single-neighbourhood k-NN retrieval (the paper's 'k-NN model')."""
+
+    name = "knn"
+
+    def _update_model(self, relevant: np.ndarray) -> None:
+        self._query_point = relevant.mean(axis=0)
+
+    def _score(self, candidates: np.ndarray) -> np.ndarray:
+        return euclidean_many(candidates, self._query_point)

@@ -1,0 +1,45 @@
+"""MARS query expansion: the multipoint query — survey §2, reference [13].
+
+Relevant images are clustered; each cluster is represented by the
+relevant image nearest its centroid; the distance of a candidate to the
+query is the weighted combination of its distances to the
+representatives, weights proportional to cluster sizes.  The query
+contour expands with the distribution of the feedback, but retrieval is
+still one global ranking — the single-neighbourhood confinement the
+paper's §2 describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeedbackTechnique
+from repro.clustering.kmeans import kmeans
+from repro.retrieval.multipoint import MultipointQuery
+from repro.utils.rng import derive_rng
+
+
+class MarsMultipoint(FeedbackTechnique):
+    """MARS-style multipoint-query relevance feedback."""
+
+    name = "mars"
+
+    def __init__(self, *args, max_clusters: int = 3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if max_clusters < 1:
+            raise ValueError("max_clusters must be >= 1")
+        self.max_clusters = max_clusters
+
+    def _update_model(self, relevant: np.ndarray) -> None:
+        m = relevant.shape[0]
+        k = min(self.max_clusters, m)
+        if k == 1:
+            self._query = MultipointQuery(relevant.mean(axis=0)[None, :])
+            return
+        result = kmeans(relevant, k, seed=derive_rng(self._rng, f"mars{m}"))
+        self._query = MultipointQuery.from_relevant_clusters(
+            relevant, result.labels, result.centroids
+        )
+
+    def _score(self, candidates: np.ndarray) -> np.ndarray:
+        return self._query.distances(candidates)

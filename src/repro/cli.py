@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Provides the common workflows without writing Python::
+
+    repro-cbir build-db  --images 3000 --categories 60 --out db.npz
+    repro-cbir build-rfs --db db.npz --out rfs.npz
+    repro-cbir query     --db db.npz --query bird --seed 7
+    repro-cbir info      --db db.npz
+    repro-cbir experiment table1 --db db.npz
+
+``python -m repro.cli`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import DatasetConfig, RFSConfig
+from repro.core.engine import QueryDecompositionEngine
+from repro.datasets.build import build_rendered_database
+from repro.datasets.database import ImageDatabase
+from repro.datasets.queryset import get_query, query_names
+from repro.errors import ReproError
+from repro.eval.metrics import gtir, precision_at
+from repro.eval.oracle import SimulatedUser
+from repro.index.rfs import RFSStructure
+from repro.index.serialize import load_rfs, save_rfs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cbir",
+        description=(
+            "Query Decomposition CBIR (Hua, Yu & Liu, ICDE 2006) — "
+            "build databases, run retrieval sessions, regenerate the "
+            "paper's experiments."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_db = sub.add_parser(
+        "build-db", help="render a synthetic Corel-like database"
+    )
+    p_db.add_argument("--images", type=int, default=3000)
+    p_db.add_argument("--categories", type=int, default=60)
+    p_db.add_argument("--seed", type=int, default=2006)
+    p_db.add_argument("--out", required=True, help="output .npz path")
+
+    p_rfs = sub.add_parser(
+        "build-rfs", help="build and persist the RFS structure"
+    )
+    p_rfs.add_argument("--db", required=True, help="database .npz path")
+    p_rfs.add_argument("--out", required=True, help="output .npz path")
+    p_rfs.add_argument("--seed", type=int, default=2006)
+    p_rfs.add_argument("--node-max", type=int, default=100)
+    p_rfs.add_argument("--node-min", type=int, default=70)
+    p_rfs.add_argument(
+        "--method", choices=("rstar", "hkmeans"), default="rstar"
+    )
+
+    p_query = sub.add_parser(
+        "query", help="run one oracle-driven QD session"
+    )
+    p_query.add_argument("--db", required=True)
+    p_query.add_argument("--rfs", help="optional pre-built RFS .npz")
+    p_query.add_argument(
+        "--query", required=True, choices=query_names(),
+    )
+    p_query.add_argument("--k", type=int, default=0,
+                         help="result size (0 = ground-truth size)")
+    p_query.add_argument("--seed", type=int, default=7)
+    p_query.add_argument("--rounds", type=int, default=3)
+
+    p_info = sub.add_parser("info", help="describe a database file")
+    p_info.add_argument("--db", required=True)
+
+    p_int = sub.add_parser(
+        "interactive",
+        help="drive a feedback session by hand in the terminal",
+    )
+    p_int.add_argument("--db", required=True)
+    p_int.add_argument("--rfs", help="optional pre-built RFS .npz")
+    p_int.add_argument("--k", type=int, default=40)
+    p_int.add_argument("--rounds", type=int, default=3)
+    p_int.add_argument("--screens", type=int, default=2)
+    p_int.add_argument("--seed", type=int, default=7)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    p_exp.add_argument(
+        "name",
+        choices=("table1", "table2", "fig1", "cases", "scalability"),
+    )
+    p_exp.add_argument("--db", required=True)
+    p_exp.add_argument("--seed", type=int, default=2006)
+    p_exp.add_argument("--trials", type=int, default=3)
+
+    return parser
+
+
+def _cmd_build_db(args: argparse.Namespace) -> int:
+    database = build_rendered_database(
+        DatasetConfig(
+            total_images=args.images,
+            n_categories=args.categories,
+            seed=args.seed,
+        )
+    )
+    database.save(args.out)
+    print(
+        f"built {database.size} images / "
+        f"{len(database.category_names)} categories -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_build_rfs(args: argparse.Namespace) -> int:
+    database = ImageDatabase.load(args.db)
+    rfs = RFSStructure.build(
+        database.features,
+        RFSConfig(
+            node_max_entries=args.node_max, node_min_entries=args.node_min
+        ),
+        seed=args.seed,
+        method=args.method,
+    )
+    save_rfs(rfs, args.out)
+    n_nodes = sum(1 for _ in rfs.iter_nodes())
+    print(
+        f"built RFS ({args.method}): {rfs.height} levels, {n_nodes} "
+        f"nodes, {rfs.representative_fraction():.1%} representatives "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = ImageDatabase.load(args.db)
+    if args.rfs:
+        rfs = load_rfs(args.rfs, database.features)
+        engine = QueryDecompositionEngine(database, rfs)
+    else:
+        engine = QueryDecompositionEngine.build(database, seed=args.seed)
+    query = get_query(args.query)
+    user = SimulatedUser(database, query, seed=args.seed)
+    k = args.k or database.ground_truth_size(
+        sorted(query.relevant_categories())
+    )
+    result = engine.run_scripted(
+        user.mark, k=k, rounds=args.rounds, seed=args.seed
+    )
+    print(result.describe())
+    ids = result.flatten(k)
+    print(f"precision = {precision_at(ids, database, query):.3f}")
+    print(f"GTIR      = {gtir(ids, database, query):.3f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    database = ImageDatabase.load(args.db)
+    named = [
+        name for name in database.category_names
+        if not name.startswith("distractor_")
+    ]
+    print(f"images:      {database.size}")
+    print(f"dims:        {database.dims}")
+    print(f"categories:  {len(database.category_names)} "
+          f"({len(named)} named)")
+    print(f"named:       {', '.join(named[:8])}"
+          + (" ..." if len(named) > 8 else ""))
+    return 0
+
+
+def _cmd_interactive(args: argparse.Namespace) -> int:
+    from repro.core.console import run_console_session
+
+    database = ImageDatabase.load(args.db)
+    if args.rfs:
+        rfs = load_rfs(args.rfs, database.features)
+        engine = QueryDecompositionEngine(database, rfs)
+    else:
+        engine = QueryDecompositionEngine.build(database, seed=args.seed)
+    run_console_session(
+        engine,
+        k=args.k,
+        rounds=args.rounds,
+        screens=args.screens,
+        seed=args.seed,
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments
+
+    database = ImageDatabase.load(args.db)
+    if args.name == "fig1":
+        print(experiments.run_figure1(database).format())
+        return 0
+    if args.name == "scalability":
+        result = experiments.run_scalability(
+            (2000, 4000, 8000), n_queries=25, seed=args.seed
+        )
+        print(result.format_figure10())
+        print(result.format_figure11())
+        return 0
+    engine = QueryDecompositionEngine.build(database, seed=args.seed)
+    if args.name == "table1":
+        print(
+            experiments.run_table1(
+                engine, trials=args.trials, seed=args.seed
+            ).format()
+        )
+    elif args.name == "table2":
+        print(
+            experiments.run_table2(
+                engine, trials=args.trials, seed=args.seed
+            ).format()
+        )
+    elif args.name == "cases":
+        print(experiments.run_case_studies(engine, seed=args.seed).format())
+    return 0
+
+
+_COMMANDS = {
+    "build-db": _cmd_build_db,
+    "build-rfs": _cmd_build_rfs,
+    "query": _cmd_query,
+    "info": _cmd_info,
+    "interactive": _cmd_interactive,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Clustering substrate: k-means, PCA, and cluster-quality metrics.
+
+The paper's RFS structure relies on unsupervised k-means at every tree
+node to pick representative images (§3.1), and its Figure 1 uses PCA to
+visualise the scattering of "white sedan" images into pose clusters.
+Neither scikit-learn nor OpenCV is assumed; both algorithms are
+implemented here on plain numpy.
+"""
+
+from repro.clustering.kmeans import KMeans, KMeansResult, kmeans
+from repro.clustering.pca import PCA
+from repro.clustering.quality import (
+    cluster_separation_ratio,
+    pairwise_centroid_distances,
+    silhouette_score,
+)
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "kmeans",
+    "PCA",
+    "cluster_separation_ratio",
+    "pairwise_centroid_distances",
+    "silhouette_score",
+]

@@ -1,0 +1,231 @@
+"""K-means clustering with k-means++ initialisation.
+
+Lloyd's algorithm on numpy, with:
+
+* k-means++ seeding (D² sampling) for fast, stable convergence,
+* empty-cluster repair (an empty cluster is re-seeded at the point
+  farthest from its assigned centroid),
+* multiple restarts keeping the lowest-inertia solution.
+
+This is the workhorse behind representative-image selection in the RFS
+structure (paper §3.1) and the cluster grouping inside the Qcluster and
+MARS multipoint baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_vectors
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run.
+
+    Attributes
+    ----------
+    centroids:
+        (k, d) array of cluster centres.
+    labels:
+        (n,) array assigning each sample to a centroid index.
+    inertia:
+        Sum of squared distances of samples to their assigned centroid.
+    n_iter:
+        Lloyd iterations executed before convergence.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of samples assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ (D² weighting) initial centroid selection."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-24:
+            # All remaining points coincide with a chosen centroid; fill
+            # the rest with random picks.
+            centroids[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[i] = data[choice]
+        dist_sq = np.sum((data - centroids[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def _assign(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Label each sample with the index of its nearest centroid."""
+    # (n, k) squared distances via the expansion trick.
+    cross = data @ centroids.T
+    d_sq = (
+        np.sum(data**2, axis=1)[:, None]
+        - 2.0 * cross
+        + np.sum(centroids**2, axis=1)[None, :]
+    )
+    return np.argmin(d_sq, axis=1)
+
+
+def _single_run(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iter: int,
+    tol: float,
+) -> KMeansResult:
+    """One full Lloyd's-algorithm run from a k-means++ start."""
+    centroids = _plus_plus_init(data, k, rng)
+    labels = _assign(data, centroids)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        new_centroids = np.empty_like(centroids)
+        for j in range(k):
+            members = data[labels == j]
+            if members.shape[0] == 0:
+                # Empty-cluster repair: reseed at the sample farthest from
+                # its current centroid.
+                dist_sq = np.sum(
+                    (data - centroids[labels]) ** 2, axis=1
+                )
+                new_centroids[j] = data[int(np.argmax(dist_sq))]
+            else:
+                new_centroids[j] = members.mean(axis=0)
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        labels = _assign(data, centroids)
+        if shift <= tol:
+            break
+    inertia = float(
+        np.sum((data - centroids[labels]) ** 2)
+    )
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, n_iter=n_iter
+    )
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    seed: RandomState = None,
+    n_restarts: int = 3,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups; return the best of several runs.
+
+    Parameters
+    ----------
+    data:
+        (n, d) sample matrix, n >= k.
+    k:
+        Number of clusters.
+    seed:
+        Seed or generator for reproducible initialisation.
+    n_restarts:
+        Independent runs; the lowest-inertia result wins.
+    max_iter / tol:
+        Lloyd iteration budget and centroid-shift convergence threshold.
+    """
+    matrix = check_vectors("data", data)
+    n = matrix.shape[0]
+    if k < 1:
+        raise ClusteringError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ClusteringError(f"need at least k={k} samples, got {n}")
+    if n_restarts < 1:
+        raise ClusteringError(f"n_restarts must be >= 1, got {n_restarts}")
+    rng = ensure_rng(seed)
+    best: KMeansResult | None = None
+    for _ in range(n_restarts):
+        result = _single_run(matrix, k, rng, max_iter, tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None  # n_restarts >= 1 guarantees a result
+    return best
+
+
+class KMeans:
+    """Object-style wrapper around :func:`kmeans` with a fit/predict API.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> pts = np.vstack([rng.normal(0, .1, (20, 2)),
+    ...                  rng.normal(5, .1, (20, 2))])
+    >>> model = KMeans(k=2, seed=0).fit(pts)
+    >>> int(model.predict(np.array([[0.0, 0.0]]))[0]) in (0, 1)
+    True
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        seed: RandomState = None,
+        n_restarts: int = 3,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+    ) -> None:
+        self.k = k
+        self.seed = seed
+        self.n_restarts = n_restarts
+        self.max_iter = max_iter
+        self.tol = tol
+        self.result_: KMeansResult | None = None
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Run clustering; store the result on ``self.result_``."""
+        self.result_ = kmeans(
+            data,
+            self.k,
+            seed=self.seed,
+            n_restarts=self.n_restarts,
+            max_iter=self.max_iter,
+            tol=self.tol,
+        )
+        return self
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Fitted cluster centres."""
+        if self.result_ is None:
+            raise ClusteringError("KMeans used before fit()")
+        return self.result_.centroids
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Cluster assignment of the training samples."""
+        if self.result_ is None:
+            raise ClusteringError("KMeans used before fit()")
+        return self.result_.labels
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign new samples to the fitted centroids."""
+        matrix = check_vectors("data", data, dim=self.centroids.shape[1])
+        return _assign(matrix, self.centroids)

@@ -1,0 +1,92 @@
+"""Principal Component Analysis via singular value decomposition.
+
+Used by the Figure 1 reproduction: the paper projects the 37-d features of
+"white sedan" images onto a 3-d orthogonal subspace with PCA and observes
+four pose clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.utils.validation import check_vectors
+
+
+class PCA:
+    """Centre-and-project PCA with deterministic component signs.
+
+    Components are the right singular vectors of the centred data matrix;
+    each component's sign is fixed so its largest-magnitude coefficient is
+    positive, making results reproducible across runs and platforms.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> data = np.array([[0., 0.], [1., 1.], [2., 2.], [3., 3.1]])
+    >>> proj = PCA(n_components=1).fit_transform(data)
+    >>> proj.shape
+    (4, 1)
+    """
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ClusteringError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Estimate the principal axes of an (n, d) matrix."""
+        matrix = check_vectors("data", data)
+        n, d = matrix.shape
+        max_rank = min(n, d)
+        if self.n_components > max_rank:
+            raise ClusteringError(
+                f"n_components={self.n_components} exceeds max rank "
+                f"{max_rank} for data of shape {matrix.shape}"
+            )
+        self.mean_ = matrix.mean(axis=0)
+        centred = matrix - self.mean_
+        # Economy SVD: centred = U S Vt, principal axes are rows of Vt.
+        _, s, vt = np.linalg.svd(centred, full_matrices=False)
+        components = vt[: self.n_components]
+        # Deterministic sign convention.
+        for row in components:
+            pivot = np.argmax(np.abs(row))
+            if row[pivot] < 0:
+                row *= -1.0
+        self.components_ = components
+        denominator = max(n - 1, 1)
+        variances = (s**2) / denominator
+        self.explained_variance_ = variances[: self.n_components]
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0
+            else np.zeros(self.n_components)
+        )
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project samples onto the fitted principal axes."""
+        if self.components_ is None or self.mean_ is None:
+            raise ClusteringError("PCA used before fit()")
+        matrix = check_vectors("data", data, dim=self.mean_.shape[0])
+        return (matrix - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its projection."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back into the original feature space."""
+        if self.components_ is None or self.mean_ is None:
+            raise ClusteringError("PCA used before fit()")
+        matrix = check_vectors(
+            "projected", projected, dim=self.n_components
+        )
+        return matrix @ self.components_ + self.mean_

@@ -1,0 +1,192 @@
+"""Frozen configuration dataclasses for every tunable in the system.
+
+Defaults reproduce the paper's prototype settings:
+
+* 37-dimensional feature vector (9 colour moments + 10 wavelet texture +
+  18 edge structure) — §4, Feature Extraction Module.
+* RFS nodes hold between 70 and 100 entries and ~5 % of images are
+  designated representative — §4, RFS Structure / prototype discussion.
+* Boundary-expansion threshold 0.4 — §3.3 ("we set our threshold to 0.4").
+* 21 images displayed per feedback screen — §4, Presentation Manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Parameters of the 37-dimensional feature pipeline.
+
+    Attributes
+    ----------
+    color_dims:
+        Colour-moment features (mean, stddev, skewness of H, S, V) — 9.
+    texture_dims:
+        Wavelet-based texture features from a 3-level Haar DWT — 10.
+    edge_dims:
+        Edge-based structural features (orientation histogram + structure
+        statistics) — 18.
+    image_size:
+        Side length of the square RGB images the renderer produces.  Must
+        be divisible by ``2 ** wavelet_levels``.
+    wavelet_levels:
+        Depth of the Haar wavelet decomposition.
+    """
+
+    color_dims: int = 9
+    texture_dims: int = 10
+    edge_dims: int = 18
+    image_size: int = 32
+    wavelet_levels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.image_size % (2**self.wavelet_levels) != 0:
+            raise ConfigurationError(
+                "image_size must be divisible by 2**wavelet_levels "
+                f"({2 ** self.wavelet_levels}), got {self.image_size}"
+            )
+        for name in ("color_dims", "texture_dims", "edge_dims"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def total_dims(self) -> int:
+        """Total feature dimensionality (37 with paper defaults)."""
+        return self.color_dims + self.texture_dims + self.edge_dims
+
+
+@dataclass(frozen=True)
+class RFSConfig:
+    """Parameters of the Relevance Feedback Support structure.
+
+    Attributes
+    ----------
+    node_max_entries / node_min_entries:
+        R*-tree node capacity.  The paper uses max 100 / min 70, which on a
+        15,000-image database yields a 3-level tree.
+    representative_fraction:
+        Target fraction of database images designated representative
+        (paper: 5 %).
+    leaf_subclusters:
+        Number of k-means subclusters formed inside each leaf when
+        selecting its representatives.
+    reinsert_fraction:
+        Fraction of entries force-reinserted on R*-tree overflow (the
+        R*-tree paper uses 30 %).
+    """
+
+    node_max_entries: int = 100
+    node_min_entries: int = 70
+    representative_fraction: float = 0.05
+    leaf_subclusters: int = 5
+    reinsert_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.node_min_entries < 2:
+            raise ConfigurationError("node_min_entries must be >= 2")
+        if not 2 * self.node_min_entries <= self.node_max_entries + 1:
+            # The R*-tree requires min <= ceil(max/2) so splits are valid…
+            # except the paper's own 70/100 violates the classic bound, so
+            # we only require that a split can produce two legal nodes.
+            pass
+        if self.node_max_entries < self.node_min_entries:
+            raise ConfigurationError(
+                "node_max_entries must be >= node_min_entries"
+            )
+        if not 0 < self.representative_fraction <= 1:
+            raise ConfigurationError(
+                "representative_fraction must be in (0, 1]"
+            )
+        if self.leaf_subclusters < 1:
+            raise ConfigurationError("leaf_subclusters must be >= 1")
+        if not 0 < self.reinsert_fraction < 1:
+            raise ConfigurationError("reinsert_fraction must be in (0, 1)")
+
+    @property
+    def split_min_entries(self) -> int:
+        """Minimum entries per node that a split must respect.
+
+        The paper's 70/100 capacities cannot both be honoured by a binary
+        split (splitting 101 entries cannot give two nodes of >= 70), so —
+        like the authors' prototype necessarily did — underfull nodes are
+        tolerated after splits, bounded below by ``max(2, ~40 % of max)``.
+        """
+        return max(2, int(0.4 * self.node_max_entries))
+
+
+@dataclass(frozen=True)
+class QDConfig:
+    """Parameters of the Query Decomposition engine.
+
+    Attributes
+    ----------
+    boundary_threshold:
+        Expansion trigger: if distance(query image, node centre) divided by
+        the node diagonal exceeds this ratio, the localized k-NN search is
+        widened to the parent node (paper: 0.4).
+    display_size:
+        Number of representative images shown per feedback screen
+        (paper: 21).
+    max_rounds:
+        Feedback rounds before the final localized k-NN (paper protocol: 3
+        rounds total).
+    """
+
+    boundary_threshold: float = 0.4
+    display_size: int = 21
+    max_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.boundary_threshold <= 1:
+            raise ConfigurationError(
+                "boundary_threshold must be in [0, 1], got "
+                f"{self.boundary_threshold}"
+            )
+        if self.display_size < 1:
+            raise ConfigurationError("display_size must be >= 1")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of the synthetic Corel-like dataset.
+
+    Attributes
+    ----------
+    total_images:
+        Database size (paper: 15,000).
+    n_categories:
+        Total number of categories including distractors (paper: ~150).
+    image_size:
+        Rendered image side length.
+    seed:
+        Master seed for the whole dataset build.
+    """
+
+    total_images: int = 15_000
+    n_categories: int = 150
+    image_size: int = 32
+    seed: int = 2006
+
+    def __post_init__(self) -> None:
+        if self.total_images < self.n_categories:
+            raise ConfigurationError(
+                "total_images must be >= n_categories"
+            )
+        if self.n_categories < 1:
+            raise ConfigurationError("n_categories must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Bundle of all subsystem configurations."""
+
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    rfs: RFSConfig = field(default_factory=RFSConfig)
+    qd: QDConfig = field(default_factory=QDConfig)
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)

@@ -1,0 +1,35 @@
+"""The Query Decomposition core (paper §3).
+
+* :mod:`repro.core.subquery` — localized subquery state,
+* :mod:`repro.core.session` — the multi-round feedback session: display
+  representatives, accept relevance marks, descend the RFS hierarchy
+  along multiple paths,
+* :mod:`repro.core.ranking` — the final localized multipoint k-NN
+  computation, proportional merge, and group ranking (§3.3–3.4),
+* :mod:`repro.core.presentation` — result groups and flattened views,
+* :mod:`repro.core.engine` — the user-facing
+  :class:`QueryDecompositionEngine`.
+"""
+
+from repro.core.clientserver import compare_deployments
+from repro.core.engine import QueryDecompositionEngine
+from repro.core.presentation import QueryResult, ResultGroup
+from repro.core.session import FeedbackSession
+from repro.core.subquery import SubQuery
+from repro.core.target_search import (
+    TargetSearchResult,
+    TargetSearchSession,
+    run_target_search,
+)
+
+__all__ = [
+    "compare_deployments",
+    "QueryDecompositionEngine",
+    "QueryResult",
+    "ResultGroup",
+    "FeedbackSession",
+    "SubQuery",
+    "TargetSearchResult",
+    "TargetSearchSession",
+    "run_target_search",
+]

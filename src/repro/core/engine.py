@@ -1,0 +1,150 @@
+"""The user-facing Query Decomposition engine.
+
+Bundles a database, its RFS structure, and the QD configuration; creates
+feedback sessions and offers a one-call driver for scripted (oracle)
+users, which the evaluation harness and the examples build on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.config import QDConfig, RFSConfig
+from repro.core.presentation import QueryResult
+from repro.core.session import FeedbackSession
+from repro.datasets.database import ImageDatabase
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.rfs import RFSStructure
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.utils.timing import TimingLog
+
+# A scripted user: receives the displayed image ids, returns the relevant
+# ones (any iterable of ids).
+MarkFunction = Callable[[Sequence[int]], Sequence[int]]
+
+#: Default per-round browse budget (screens of ``display_size`` images),
+#: modelling a persistent user: a casual first look at the root's many
+#: representatives, a moderate second round, then exhaustive browsing of
+#: the small final subclusters.
+DEFAULT_BROWSE_SCREENS: tuple[int, ...] = (6, 10, 1000)
+
+
+class QueryDecompositionEngine:
+    """Query Decomposition retrieval over an :class:`ImageDatabase`.
+
+    Examples
+    --------
+    Build an engine and run one scripted session::
+
+        db = build_rendered_database(DatasetConfig(total_images=2000,
+                                                   n_categories=40))
+        engine = QueryDecompositionEngine.build(db, seed=0)
+        result = engine.run_scripted(
+            mark_fn=lambda shown: [i for i in shown if is_relevant(i)],
+            k=100,
+        )
+    """
+
+    def __init__(
+        self,
+        database: ImageDatabase,
+        rfs: RFSStructure,
+        config: Optional[QDConfig] = None,
+    ) -> None:
+        self.database = database
+        self.rfs = rfs
+        self.config = config or QDConfig()
+
+    @classmethod
+    def build(
+        cls,
+        database: ImageDatabase,
+        rfs_config: Optional[RFSConfig] = None,
+        qd_config: Optional[QDConfig] = None,
+        *,
+        seed: RandomState = None,
+        io: Optional[DiskAccessCounter] = None,
+    ) -> "QueryDecompositionEngine":
+        """Construct the RFS structure for ``database`` and wrap it."""
+        rfs = RFSStructure.build(
+            database.features, rfs_config, seed=seed, io=io
+        )
+        return cls(database, rfs, qd_config)
+
+    @property
+    def io(self) -> DiskAccessCounter:
+        """The simulated disk-access counter shared with the RFS."""
+        return self.rfs.io
+
+    def new_session(self, *, seed: RandomState = None) -> FeedbackSession:
+        """Start an interactive feedback session."""
+        return FeedbackSession(self.rfs, self.config, seed=seed)
+
+    def run_scripted(
+        self,
+        mark_fn: MarkFunction,
+        k: int,
+        *,
+        rounds: Optional[int] = None,
+        screens_per_round: Sequence[int] | int = DEFAULT_BROWSE_SCREENS,
+        seed: RandomState = None,
+        timing: Optional[TimingLog] = None,
+        round_callback: Optional[
+            Callable[[int, FeedbackSession], None]
+        ] = None,
+    ) -> QueryResult:
+        """Drive a full session with a scripted user.
+
+        Parameters
+        ----------
+        mark_fn:
+            Called once per round with the displayed ids; returns the
+            relevant ones.
+        k:
+            Result size for the final merge.
+        rounds:
+            Feedback rounds before finalizing (default: the configured
+            ``max_rounds``).
+        screens_per_round:
+            How many random screens the user browses each round — either
+            one integer for all rounds or a per-round sequence (the last
+            value repeats if the sequence is short).
+        timing:
+            Optional :class:`TimingLog`; phases ``"initial"``,
+            ``"iteration"``, and ``"final_knn"`` are recorded, matching
+            the paper's Figure 10/11 decomposition.
+        round_callback:
+            Invoked after each round with ``(round_number, session)`` —
+            used by the Table 2 experiment to snapshot per-round state.
+        """
+        rng = ensure_rng(seed)
+        total_rounds = rounds if rounds is not None else self.config.max_rounds
+        session = self.new_session(seed=derive_rng(rng, "session"))
+        log = timing if timing is not None else TimingLog()
+        for round_no in range(1, total_rounds + 1):
+            phase = "initial" if round_no == 1 else "iteration"
+            with log.measure(phase):
+                shown = session.display(
+                    screens=_screens_for_round(screens_per_round, round_no)
+                )
+                session.submit(mark_fn(shown))
+            if round_callback is not None:
+                round_callback(round_no, session)
+        with log.measure("final_knn"):
+            result = session.finalize(k)
+        result.stats["time_initial"] = log.total("initial")
+        result.stats["time_iteration"] = log.total("iteration")
+        result.stats["time_final_knn"] = log.total("final_knn")
+        return result
+
+
+def _screens_for_round(
+    screens_per_round: Sequence[int] | int, round_no: int
+) -> int:
+    """Resolve the per-round screen budget."""
+    if isinstance(screens_per_round, int):
+        return screens_per_round
+    if not screens_per_round:
+        return 1
+    idx = min(round_no - 1, len(screens_per_round) - 1)
+    return int(screens_per_round[idx])

@@ -1,0 +1,185 @@
+"""Final-round computation: localized k-NN, merge, and group ranking.
+
+Implements §3.3 and §3.4 of the paper:
+
+1. the relevant images recorded during feedback are grouped by the RFS
+   leaf (subcluster) containing them;
+2. each group becomes a localized multipoint query — its similarity score
+   for a candidate image is the Euclidean distance between the image and
+   the centroid of the group's query points;
+3. when a query image lies near its leaf's boundary (centre-distance /
+   diagonal above the threshold), the search widens to the parent node,
+   repeatedly if necessary;
+4. each group contributes a number of top-ranked images proportional to
+   the number of query images the user marked in that subcluster;
+5. groups are presented ordered by ranking score (sum of member
+   similarity scores).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.config import QDConfig
+from repro.core.presentation import QueryResult, ResultGroup
+from repro.errors import QueryError
+from repro.index.rfs import RFSStructure
+from repro.retrieval.topk import RankedList, proportional_allocation
+
+
+def group_marks_by_leaf(
+    rfs: RFSStructure, marked_ids: Sequence[int]
+) -> Dict[int, List[int]]:
+    """Group relevant image ids by the RFS leaf containing them."""
+    groups: Dict[int, List[int]] = {}
+    for image_id in sorted(set(int(i) for i in marked_ids)):
+        leaf = rfs.leaf_of_item(image_id)
+        groups.setdefault(leaf.node_id, []).append(image_id)
+    return groups
+
+
+def execute_final_round(
+    rfs: RFSStructure,
+    marked_ids: Sequence[int],
+    k: int,
+    config: QDConfig,
+    *,
+    rounds_used: int,
+    uniform_merge: bool = False,
+    dim_weights: Optional[np.ndarray] = None,
+) -> QueryResult:
+    """Run the localized subqueries and merge their results.
+
+    Parameters
+    ----------
+    rfs:
+        The RFS structure over the database.
+    marked_ids:
+        All relevant images the user identified during the session.
+    k:
+        Total number of result images to return.
+    config:
+        QD parameters (boundary threshold).
+    rounds_used:
+        Number of feedback rounds that preceded this computation (kept in
+        the result for reporting).
+    uniform_merge:
+        When true, every subquery receives an equal share of the k result
+        slots instead of the paper's mark-proportional allocation — the
+        ablation of the §3.4 merge rule.
+    dim_weights:
+        Optional per-dimension metric weights (e.g. from
+        :class:`repro.retrieval.weighting.FamilyWeights`) applied to the
+        localized similarity computation — the paper's future-work
+        user-defined feature importance.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    by_leaf = group_marks_by_leaf(rfs, marked_ids)
+    if not by_leaf:
+        raise QueryError(
+            "no relevant images were identified; cannot run the final "
+            "localized queries"
+        )
+    leaf_ids = sorted(by_leaf)
+    if uniform_merge:
+        weights = [1] * len(leaf_ids)
+    else:
+        weights = [len(by_leaf[leaf_id]) for leaf_id in leaf_ids]
+    allocation = proportional_allocation(weights, k)
+
+    groups: List[ResultGroup] = []
+    claimed: Set[int] = set()
+    payloads: List[dict] = []
+    # Process larger allocations first so overlap after boundary expansion
+    # resolves in favour of the more heavily marked subquery.
+    order = sorted(
+        range(len(leaf_ids)), key=lambda i: (-allocation[i], leaf_ids[i])
+    )
+    for i in order:
+        leaf_id = leaf_ids[i]
+        quota = allocation[i]
+        if quota == 0:
+            continue
+        query_ids = by_leaf[leaf_id]
+        leaf = rfs.get_node(leaf_id)
+        query_points = rfs.features[np.asarray(query_ids, dtype=np.int64)]
+        search_node = rfs.expand_search_node(
+            leaf, query_points, config.boundary_threshold
+        )
+        centroid = query_points.mean(axis=0)
+        # Slight over-fetch absorbs most de-duplication against other
+        # groups; any residual shortfall is covered by the top-up pass.
+        fetch = min(search_node.size, quota + 16)
+        ranked = rfs.localized_knn(
+            search_node, centroid, fetch, weights=dim_weights
+        )
+        fresh = [
+            (dist, image_id)
+            for dist, image_id in ranked
+            if image_id not in claimed
+        ][:quota]
+        claimed.update(image_id for _, image_id in fresh)
+        payloads.append(
+            {
+                "leaf_id": leaf_id,
+                "search_node": search_node,
+                "centroid": centroid,
+                "query_ids": list(query_ids),
+                "results": fresh,
+            }
+        )
+
+    # Top-up passes: if duplicates or tiny subclusters left the total
+    # short of k, widen the groups' result lists; once a group's search
+    # node is exhausted, promote it to its parent (wider locality) and
+    # keep going — so a full k results are returned whenever the database
+    # holds that many images.
+    total = sum(len(p["results"]) for p in payloads)
+    while total < k:
+        added = 0
+        for payload in payloads:
+            if total >= k:
+                break
+            node = payload["search_node"]
+            have = {image_id for _, image_id in payload["results"]}
+            # Fetch just enough to cover this group's share of the
+            # deficit (plus what is already held and possibly claimed
+            # elsewhere) — never a full subtree ranking.
+            deficit = k - total
+            fetch = min(node.size, len(have) + deficit + 16)
+            ranked = rfs.localized_knn(
+                node, payload["centroid"], fetch, weights=dim_weights
+            )
+            for dist, image_id in ranked:
+                if total >= k:
+                    break
+                if image_id in claimed or image_id in have:
+                    continue
+                payload["results"].append((dist, image_id))
+                claimed.add(image_id)
+                total += 1
+                added += 1
+        if total >= k:
+            break
+        promoted = False
+        for payload in payloads:
+            parent = payload["search_node"].parent
+            if parent is not None:
+                payload["search_node"] = parent
+                promoted = True
+        if added == 0 and not promoted:
+            break  # the whole database is smaller than k
+
+    for payload in payloads:
+        groups.append(
+            ResultGroup(
+                leaf_node_id=payload["leaf_id"],
+                search_node_id=payload["search_node"].node_id,
+                query_image_ids=payload["query_ids"],
+                items=RankedList.from_pairs(payload["results"]),
+            )
+        )
+    return QueryResult(groups=groups, rounds_used=rounds_used)

@@ -1,0 +1,211 @@
+"""The multi-round Query Decomposition feedback session (paper §3.2).
+
+Session lifecycle::
+
+    session = FeedbackSession(rfs, config, seed=0)
+    shown = session.display(screens=2)     # representative images
+    session.submit(relevant_ids)           # user marks relevant ones
+    ...                                    # repeat for more rounds
+    result = session.finalize(k=120)       # localized k-NN + merge
+
+Each round the session shows representative images of every *active*
+node — initially just the root.  For every image the user marks relevant,
+the session records it against the leaf subcluster containing it and
+activates the child node it routes to, splitting the query into multiple
+localized subqueries.  No k-NN computation happens until
+:meth:`FeedbackSession.finalize`.
+
+I/O model: displaying a node's representatives costs one simulated page
+read per node per round (all routing information is self-contained in the
+node — §5.2.2); the final localized queries read the leaf pages they
+scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.config import QDConfig
+from repro.core.presentation import QueryResult
+from repro.core.ranking import execute_final_round
+from repro.core.subquery import SubQuery
+from repro.errors import SessionStateError
+from repro.index.rfs import RFSStructure
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class FeedbackSession:
+    """One interactive Query Decomposition query.
+
+    Parameters
+    ----------
+    rfs:
+        The RFS structure over the image database.
+    config:
+        QD parameters (display size, boundary threshold, round budget).
+    seed:
+        Randomness source for the "Random" browse function.
+    """
+
+    def __init__(
+        self,
+        rfs: RFSStructure,
+        config: Optional[QDConfig] = None,
+        *,
+        seed: RandomState = None,
+    ) -> None:
+        self.rfs = rfs
+        self.config = config or QDConfig()
+        self._rng = ensure_rng(seed)
+        root = rfs.root
+        self._active: Dict[int, SubQuery] = {
+            root.node_id: SubQuery(node=root)
+        }
+        self._display_owner: Dict[int, int] = {}
+        self._marked: Set[int] = set()
+        self.round = 0
+        self.finalized = False
+        self._awaiting_feedback = False
+
+    # ------------------------------------------------------------------
+    @property
+    def active_node_ids(self) -> List[int]:
+        """Ids of the RFS nodes currently being explored."""
+        return sorted(self._active)
+
+    @property
+    def marked_ids(self) -> List[int]:
+        """All relevant image ids identified so far."""
+        return sorted(self._marked)
+
+    @property
+    def n_subqueries(self) -> int:
+        """Current number of localized subqueries (active branches)."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    def display(self, screens: int = 1) -> List[int]:
+        """Show representative images from every active node.
+
+        ``screens`` emulates the prototype's "Random" browse button: the
+        user views up to ``screens`` × ``display_size`` randomly chosen,
+        not-yet-seen representatives per active node.  Returns the union
+        of displayed image ids.  Reading a node's representative list
+        costs one simulated page access per node.
+        """
+        if self.finalized:
+            raise SessionStateError("session already finalized")
+        if self._awaiting_feedback:
+            raise SessionStateError(
+                "submit() feedback for the current display first"
+            )
+        if screens < 1:
+            raise SessionStateError(f"screens must be >= 1, got {screens}")
+        self.round += 1
+        self._display_owner.clear()
+        budget = screens * self.config.display_size
+        shown: List[int] = []
+        for node_id in sorted(self._active):
+            sub = self._active[node_id]
+            self.rfs.io.access(node_id, "feedback")
+            unseen = sub.unseen_representatives()
+            if not unseen:
+                continue
+            take = min(budget, len(unseen))
+            picks = self._rng.choice(len(unseen), size=take, replace=False)
+            for idx in sorted(int(i) for i in picks):
+                rep = unseen[idx]
+                sub.shown.add(rep)
+                # A representative can appear in several ancestors'
+                # lists, but active nodes cover disjoint subtrees, so
+                # each rep has a single owner within a round.
+                self._display_owner[rep] = node_id
+                shown.append(rep)
+        self._awaiting_feedback = True
+        return shown
+
+    def submit(self, relevant_ids: Iterable[int]) -> None:
+        """Record the user's relevance marks and decompose the query.
+
+        Every marked image must have been displayed this round.  Marks
+        are recorded against the leaf subcluster containing the image
+        (§3.3: "the system records each relevant image and its associated
+        subcluster"); non-leaf owners route the search into the child
+        containing the mark, splitting the query.
+        """
+        if self.finalized:
+            raise SessionStateError("session already finalized")
+        if not self._awaiting_feedback:
+            raise SessionStateError("display() a screen before submitting")
+        new_active: Dict[int, SubQuery] = {}
+        for raw_id in relevant_ids:
+            image_id = int(raw_id)
+            owner_id = self._display_owner.get(image_id)
+            if owner_id is None:
+                raise SessionStateError(
+                    f"image {image_id} was not displayed this round"
+                )
+            self._marked.add(image_id)
+            owner = self._active[owner_id]
+            owner.marked.add(image_id)
+            if owner.is_leaf:
+                # Bottom of the hierarchy: the branch stays active so the
+                # user can keep refining until the final round.
+                new_active.setdefault(owner_id, owner)
+            else:
+                child = owner.node.child_of_representative(image_id)
+                existing = new_active.get(child.node_id)
+                if existing is None:
+                    new_active[child.node_id] = SubQuery(node=child)
+                new_active[child.node_id].marked.add(image_id)
+                # The marked cluster itself remains under exploration
+                # while it has representatives the user has not seen
+                # (§3.2: "this process can be repeated with additional
+                # rounds of random displays to select additional
+                # relevant images").
+                if owner.unseen_representatives():
+                    new_active.setdefault(owner_id, owner)
+        # Branches without any marks this round are discarded (§3.2:
+        # decomposition discards irrelevant subclusters); if nothing was
+        # marked at all, the current branches stay active so the user can
+        # browse more screens next round.
+        if new_active:
+            self._active = new_active
+        self._awaiting_feedback = False
+
+    def finalize(
+        self,
+        k: int,
+        *,
+        uniform_merge: bool = False,
+        dim_weights=None,
+    ) -> QueryResult:
+        """Run the localized multipoint k-NN subqueries and merge.
+
+        Ends the session.  ``uniform_merge`` replaces the paper's
+        mark-proportional result allocation with equal shares (used by
+        the merge-rule ablation); ``dim_weights`` applies user-defined
+        per-dimension feature importance (see
+        :class:`repro.retrieval.weighting.FamilyWeights`).  Raises
+        :class:`SessionStateError` when no relevant image was ever
+        marked.
+        """
+        if self.finalized:
+            raise SessionStateError("session already finalized")
+        if not self._marked:
+            raise SessionStateError(
+                "cannot finalize: no relevant images were marked"
+            )
+        self.finalized = True
+        result = execute_final_round(
+            self.rfs,
+            self.marked_ids,
+            k,
+            self.config,
+            rounds_used=self.round,
+            uniform_merge=uniform_merge,
+            dim_weights=dim_weights,
+        )
+        result.stats["n_marked"] = float(len(self._marked))
+        result.stats["n_subqueries"] = float(result.n_groups)
+        return result

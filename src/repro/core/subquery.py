@@ -1,0 +1,57 @@
+"""Localized subquery state.
+
+A :class:`SubQuery` is one branch of the decomposed query: an RFS node
+being explored plus the relevant images the user has identified inside
+that node's subtree.  The initial query is a single subquery at the root;
+each feedback round can split a subquery into several (one per relevant
+child) — the decomposition of §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+import numpy as np
+
+from repro.index.rfs import RFSNode
+
+
+@dataclass
+class SubQuery:
+    """One active branch of the decomposed query.
+
+    Attributes
+    ----------
+    node:
+        The RFS node this subquery explores.
+    marked:
+        Relevant image ids the user identified among this node's
+        displayed representatives (cumulative over rounds).
+    shown:
+        Representative ids already displayed to the user for this node,
+        so repeated browsing never re-shows an image.
+    """
+
+    node: RFSNode
+    marked: Set[int] = field(default_factory=set)
+    shown: Set[int] = field(default_factory=set)
+
+    @property
+    def node_id(self) -> int:
+        """Identifier of the explored node."""
+        return self.node.node_id
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the subquery has reached the bottom of the hierarchy."""
+        return self.node.is_leaf
+
+    def unseen_representatives(self) -> list[int]:
+        """Representatives of the node not yet displayed."""
+        return [r for r in self.node.representatives if r not in self.shown]
+
+    def query_matrix(self, features: np.ndarray) -> np.ndarray:
+        """Feature vectors of the marked relevant images."""
+        ids = sorted(self.marked)
+        return features[np.asarray(ids, dtype=np.int64)]

@@ -1,0 +1,190 @@
+"""Target search with relevance feedback — reference [10] of the paper.
+
+Liu, Hua, Vu & Yu (SAC 2006): instead of finding a *class* of similar
+images, the user has one *specific* image in mind and the system must
+navigate to it.  Each round the system displays a screen of candidates;
+the user clicks the one closest to the target; the search contracts
+around that choice.
+
+The implementation here navigates the RFS structure (the same index the
+QD engine uses, underlining the paper's point that the structure serves
+several retrieval paradigms):
+
+1. start at the root, display its representatives;
+2. the user picks the displayed image nearest the target;
+3. descend into the child containing the pick; at a leaf, display the
+   nearest unseen members around the pick;
+4. stop when the user confirms the target is on screen (or a round
+   budget runs out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError, SessionStateError
+from repro.index.rfs import RFSNode, RFSStructure
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Picks the preferred image among those displayed (a user click).
+PickFunction = Callable[[Sequence[int]], int]
+
+
+@dataclass
+class TargetSearchResult:
+    """Outcome of one target-search session."""
+
+    found: bool
+    target_id: int
+    rounds: int
+    images_seen: int
+    trail: List[int]  # the user's pick at each round
+
+
+class TargetSearchSession:
+    """Interactive navigation toward one specific image."""
+
+    def __init__(
+        self,
+        rfs: RFSStructure,
+        *,
+        display_size: int = 21,
+        seed: RandomState = None,
+    ) -> None:
+        if display_size < 2:
+            raise QueryError("display_size must be >= 2")
+        self.rfs = rfs
+        self.display_size = display_size
+        self._rng = ensure_rng(seed)
+        self._node: RFSNode = rfs.root
+        self._anchor: Optional[int] = None  # the user's last pick
+        self._seen: set[int] = set()
+        self.rounds = 0
+        self.finished = False
+
+    def display(self) -> List[int]:
+        """The next screen of candidate images."""
+        if self.finished:
+            raise SessionStateError("target search already finished")
+        self.rounds += 1
+        # Backtrack: when the current subtree is exhausted without a
+        # hit, the pick trail led into the wrong branch — climb until
+        # unseen candidates exist again.
+        while self._node.parent is not None and not self._unseen_pool(
+            self._node
+        ):
+            self._node = self._node.parent
+        node = self._node
+        self.rfs.io.access(node.node_id, "target_search")
+        pool = self._unseen_pool(node)
+        if not pool:
+            pool = (
+                list(node.representatives)
+                if not node.is_leaf
+                else [int(i) for i in node.item_ids]
+            )
+        if self._anchor is not None and pool:
+            # Show candidates around the user's last pick.
+            anchor_vec = self.rfs.features[self._anchor]
+            pool_feats = self.rfs.features[
+                np.asarray(pool, dtype=np.int64)
+            ]
+            dists = np.linalg.norm(pool_feats - anchor_vec, axis=1)
+            order = np.argsort(dists, kind="stable")
+            shown = [pool[int(i)] for i in order[: self.display_size]]
+        else:
+            take = min(self.display_size, len(pool))
+            picks = self._rng.choice(len(pool), size=take, replace=False)
+            shown = [pool[int(i)] for i in sorted(picks.tolist())]
+        self._seen.update(shown)
+        self._shown = shown
+        return shown
+
+    def _unseen_pool(self, node: RFSNode) -> List[int]:
+        """Unseen candidates of a node (reps above leaves, members at
+        leaves; a leaf's whole membership is browsable)."""
+        if node.is_leaf:
+            return [
+                int(i) for i in node.item_ids if int(i) not in self._seen
+            ]
+        return [r for r in node.representatives if r not in self._seen]
+
+    def pick(self, image_id: int) -> None:
+        """Record the user's choice and contract the search."""
+        if self.finished:
+            raise SessionStateError("target search already finished")
+        if image_id not in getattr(self, "_shown", []):
+            raise SessionStateError(
+                f"image {image_id} was not on the last screen"
+            )
+        self._anchor = int(image_id)
+        if not self._node.is_leaf:
+            # Descend toward the pick's leaf one level per round.
+            for child in self._node.children:
+                pos = np.searchsorted(child.item_ids, image_id)
+                if (
+                    pos < child.item_ids.shape[0]
+                    and child.item_ids[pos] == image_id
+                ):
+                    self._node = child
+                    break
+
+
+def run_target_search(
+    rfs: RFSStructure,
+    target_id: int,
+    *,
+    max_rounds: int = 12,
+    display_size: int = 21,
+    seed: RandomState = None,
+    pick_fn: Optional[PickFunction] = None,
+) -> TargetSearchResult:
+    """Drive a full target-search session with a (simulated) user.
+
+    The default user behaves ideally: among the displayed images they
+    always pick the one whose features are nearest the target (they
+    recognise "closest to what I have in mind"), and they stop when the
+    target itself appears.
+    """
+    if not 0 <= target_id < rfs.features.shape[0]:
+        raise QueryError(f"target id {target_id} out of range")
+    target_vec = rfs.features[target_id]
+
+    def ideal_pick(shown: Sequence[int]) -> int:
+        feats = rfs.features[np.asarray(shown, dtype=np.int64)]
+        dists = np.linalg.norm(feats - target_vec, axis=1)
+        return int(shown[int(np.argmin(dists))])
+
+    chooser = pick_fn if pick_fn is not None else ideal_pick
+    session = TargetSearchSession(
+        rfs, display_size=display_size, seed=seed
+    )
+    trail: List[int] = []
+    images_seen = 0
+    for _ in range(max_rounds):
+        shown = session.display()
+        images_seen += len(shown)
+        if target_id in shown:
+            session.finished = True
+            trail.append(target_id)
+            return TargetSearchResult(
+                found=True,
+                target_id=target_id,
+                rounds=session.rounds,
+                images_seen=images_seen,
+                trail=trail,
+            )
+        choice = chooser(shown)
+        trail.append(int(choice))
+        session.pick(choice)
+    session.finished = True
+    return TargetSearchResult(
+        found=False,
+        target_id=target_id,
+        rounds=session.rounds,
+        images_seen=images_seen,
+        trail=trail,
+    )

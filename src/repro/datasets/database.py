@@ -1,0 +1,141 @@
+"""The :class:`ImageDatabase` container.
+
+Bundles the normalised feature matrix, the per-image category labels, and
+the category name table.  Raw (pre-normalisation) features are kept for
+introspection; rendered pixel data is not retained — the paper's pipeline
+also only ever touches feature vectors after extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError, UnknownConceptError
+from repro.features.normalize import FeatureNormalizer
+
+
+@dataclass
+class ImageDatabase:
+    """A searchable image database in feature space.
+
+    Attributes
+    ----------
+    features:
+        (n, d) z-scored feature matrix; row index is the image id.
+    raw_features:
+        (n, d) features before normalisation.
+    labels:
+        (n,) integer category label per image.
+    category_names:
+        Label → name table (index position is the label value).
+    normalizer:
+        The fitted :class:`FeatureNormalizer` (needed to project new
+        query images into the database's feature scale).
+    """
+
+    features: np.ndarray
+    raw_features: np.ndarray
+    labels: np.ndarray
+    category_names: List[str]
+    normalizer: FeatureNormalizer
+    _ids_by_label: Dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        n = self.features.shape[0]
+        if self.raw_features.shape[0] != n or self.labels.shape[0] != n:
+            raise DatasetError(
+                "features, raw_features, and labels must agree on the "
+                "number of images"
+            )
+        if self.labels.min(initial=0) < 0 or (
+            n > 0 and self.labels.max() >= len(self.category_names)
+        ):
+            raise DatasetError("labels reference unknown categories")
+        for label in np.unique(self.labels):
+            self._ids_by_label[int(label)] = np.flatnonzero(
+                self.labels == label
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of images."""
+        return int(self.features.shape[0])
+
+    @property
+    def dims(self) -> int:
+        """Feature dimensionality."""
+        return int(self.features.shape[1])
+
+    def label_of(self, name: str) -> int:
+        """Label value of a category name."""
+        try:
+            return self.category_names.index(name)
+        except ValueError as exc:
+            raise UnknownConceptError(
+                f"category {name!r} not in this database"
+            ) from exc
+
+    def category_of(self, image_id: int) -> str:
+        """Category name of an image id."""
+        if not 0 <= image_id < self.size:
+            raise DatasetError(f"image id {image_id} out of range")
+        return self.category_names[int(self.labels[image_id])]
+
+    def ids_of_category(self, name: str) -> np.ndarray:
+        """All image ids belonging to a category name."""
+        label = self.label_of(name)
+        return self._ids_by_label.get(label, np.empty(0, dtype=np.int64))
+
+    def ids_of_categories(self, names: Sequence[str]) -> np.ndarray:
+        """Image ids of a union of categories, sorted."""
+        parts = [self.ids_of_category(name) for name in names]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def ground_truth_size(self, names: Sequence[str]) -> int:
+        """Number of images whose category is in ``names``."""
+        return int(self.ids_of_categories(names).shape[0])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise the database to an ``.npz`` file."""
+        target = Path(path)
+        np.savez_compressed(
+            target,
+            features=self.features,
+            raw_features=self.raw_features,
+            labels=self.labels,
+            category_names=np.array(self.category_names, dtype=object),
+            norm_mean=self.normalizer.mean_,
+            norm_std=self.normalizer.std_,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ImageDatabase":
+        """Load a database saved with :meth:`save`."""
+        source = Path(path)
+        if not source.exists():
+            raise DatasetError(f"no database file at {source}")
+        with np.load(source, allow_pickle=True) as data:
+            normalizer = FeatureNormalizer()
+            normalizer.mean_ = np.asarray(data["norm_mean"], dtype=np.float64)
+            normalizer.std_ = np.asarray(data["norm_std"], dtype=np.float64)
+            return cls(
+                features=np.asarray(data["features"], dtype=np.float64),
+                raw_features=np.asarray(
+                    data["raw_features"], dtype=np.float64
+                ),
+                labels=np.asarray(data["labels"], dtype=np.int64),
+                category_names=[str(s) for s in data["category_names"]],
+                normalizer=normalizer,
+            )

@@ -1,0 +1,50 @@
+"""Evaluation harness: metrics, simulated users, and experiment drivers.
+
+* :mod:`repro.eval.metrics` — precision/recall and the paper's GTIR
+  (ground truth inclusion ratio),
+* :mod:`repro.eval.oracle` — the simulated user (relevance marks from
+  category ground truth, with optional noise modelling the 20 students),
+* :mod:`repro.eval.protocol` — round-by-round drivers for QD and for the
+  k-NN-family baselines,
+* :mod:`repro.eval.experiments` — one function per paper table/figure,
+* :mod:`repro.eval.reporting` — ASCII tables and series.
+"""
+
+from repro.eval.analysis import (
+    average_precision,
+    diagnose_result,
+    ndcg,
+    precision_recall_points,
+)
+from repro.eval.metrics import gtir, precision_at, recall_at, retrieved_subconcepts
+from repro.eval.oracle import SimulatedUser
+from repro.eval.workload import (
+    WorkloadSpec,
+    generate_workload,
+    simulate_concurrent_users,
+)
+from repro.eval.protocol import (
+    BaselineRoundRecord,
+    QDRoundRecord,
+    run_baseline_session,
+    run_qd_session,
+)
+
+__all__ = [
+    "average_precision",
+    "diagnose_result",
+    "ndcg",
+    "precision_recall_points",
+    "WorkloadSpec",
+    "generate_workload",
+    "simulate_concurrent_users",
+    "gtir",
+    "precision_at",
+    "recall_at",
+    "retrieved_subconcepts",
+    "SimulatedUser",
+    "BaselineRoundRecord",
+    "QDRoundRecord",
+    "run_baseline_session",
+    "run_qd_session",
+]

@@ -1,0 +1,236 @@
+"""Result diagnostics: rank metrics and per-session breakdowns.
+
+The paper reports precision and GTIR; adopters debugging a retrieval
+stack need more: *which* subconcept was missed, *which* group dragged the
+ranking down, how good the ordering is (average precision / nDCG), and
+whether the decomposition matched the ground-truth cluster structure.
+This module provides those diagnostics over a finished
+:class:`~repro.core.presentation.QueryResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.presentation import QueryResult
+from repro.datasets.database import ImageDatabase
+from repro.datasets.queryset import QuerySpec
+from repro.errors import EvaluationError
+
+
+# ---------------------------------------------------------------------------
+# Rank-quality metrics
+# ---------------------------------------------------------------------------
+def average_precision(
+    ranked_ids: Sequence[int], relevant: set[int]
+) -> float:
+    """Average precision of a ranked list against a relevant set.
+
+    AP = mean over relevant ranks r of precision@r; 0 if the list hits
+    nothing.
+    """
+    if not relevant:
+        raise EvaluationError("relevant set is empty")
+    hits = 0
+    precision_sum = 0.0
+    for rank, image_id in enumerate(ranked_ids, start=1):
+        if int(image_id) in relevant:
+            hits += 1
+            precision_sum += hits / rank
+    denominator = min(len(relevant), len(ranked_ids))
+    return precision_sum / denominator if denominator else 0.0
+
+
+def ndcg(ranked_ids: Sequence[int], relevant: set[int]) -> float:
+    """Binary-relevance normalised discounted cumulative gain."""
+    if not relevant:
+        raise EvaluationError("relevant set is empty")
+    if not ranked_ids:
+        return 0.0
+    gains = np.array(
+        [1.0 if int(i) in relevant else 0.0 for i in ranked_ids]
+    )
+    discounts = 1.0 / np.log2(np.arange(2, gains.shape[0] + 2))
+    dcg = float(np.sum(gains * discounts))
+    ideal_hits = min(len(relevant), len(ranked_ids))
+    ideal = float(np.sum(discounts[:ideal_hits]))
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def precision_recall_points(
+    ranked_ids: Sequence[int],
+    relevant: set[int],
+    ks: Sequence[int],
+) -> List[tuple[int, float, float]]:
+    """(k, precision@k, recall@k) points along a ranked list."""
+    if not relevant:
+        raise EvaluationError("relevant set is empty")
+    out = []
+    ids = [int(i) for i in ranked_ids]
+    for k in ks:
+        if k < 1:
+            raise EvaluationError(f"k values must be >= 1, got {k}")
+        head = ids[:k]
+        hits = sum(1 for i in head if i in relevant)
+        out.append(
+            (k, hits / max(1, len(head)), hits / len(relevant))
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Session diagnostics
+# ---------------------------------------------------------------------------
+@dataclass
+class SubconceptReport:
+    """Coverage of one query subconcept in a result."""
+
+    name: str
+    ground_truth_size: int
+    retrieved: int
+
+    @property
+    def recall(self) -> float:
+        """Fraction of this subconcept's images retrieved."""
+        return (
+            self.retrieved / self.ground_truth_size
+            if self.ground_truth_size
+            else 0.0
+        )
+
+    @property
+    def covered(self) -> bool:
+        """Whether the subconcept counts as retrieved for GTIR."""
+        return self.retrieved > 0
+
+
+@dataclass
+class GroupReport:
+    """Composition of one localized result group."""
+
+    leaf_node_id: int
+    size: int
+    dominant_category: str
+    purity: float
+    relevant_fraction: float
+
+
+@dataclass
+class SessionDiagnosis:
+    """Full diagnostic of one QD result against its query ground truth."""
+
+    query_name: str
+    precision: float
+    average_precision: float
+    ndcg: float
+    subconcepts: List[SubconceptReport]
+    groups: List[GroupReport]
+    category_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gtir(self) -> float:
+        """Ground-truth inclusion ratio recomputed from the reports."""
+        if not self.subconcepts:
+            return 0.0
+        return sum(s.covered for s in self.subconcepts) / len(
+            self.subconcepts
+        )
+
+    def missed_subconcepts(self) -> List[str]:
+        """Names of subconcepts absent from the result."""
+        return [s.name for s in self.subconcepts if not s.covered]
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Diagnosis for query {self.query_name!r}:",
+            f"  precision={self.precision:.3f}  "
+            f"AP={self.average_precision:.3f}  "
+            f"nDCG={self.ndcg:.3f}  GTIR={self.gtir:.2f}",
+            "  subconcepts:",
+        ]
+        for sub in self.subconcepts:
+            status = "ok    " if sub.covered else "MISSED"
+            lines.append(
+                f"    [{status}] {sub.name:28s} "
+                f"{sub.retrieved}/{sub.ground_truth_size} images"
+            )
+        lines.append("  groups:")
+        for group in self.groups:
+            lines.append(
+                f"    leaf {group.leaf_node_id}: {group.size} results, "
+                f"{group.purity:.0%} {group.dominant_category}, "
+                f"{group.relevant_fraction:.0%} relevant"
+            )
+        return "\n".join(lines)
+
+
+def diagnose_result(
+    result: QueryResult,
+    database: ImageDatabase,
+    query: QuerySpec,
+    *,
+    k: int | None = None,
+) -> SessionDiagnosis:
+    """Build a :class:`SessionDiagnosis` for a finished session."""
+    relevant_categories = query.relevant_categories()
+    relevant_ids = {
+        int(i)
+        for i in database.ids_of_categories(sorted(relevant_categories))
+    }
+    if not relevant_ids:
+        raise EvaluationError(
+            f"query {query.name!r} has no ground truth in this database"
+        )
+    ranked = result.flatten(k)
+
+    histogram: Dict[str, int] = {}
+    for image_id in ranked:
+        category = database.category_of(image_id)
+        histogram[category] = histogram.get(category, 0) + 1
+
+    subconcepts = []
+    for sub in query.subconcepts:
+        gt = int(
+            database.ids_of_categories(sorted(sub.categories)).shape[0]
+        )
+        got = sum(histogram.get(cat, 0) for cat in sub.categories)
+        subconcepts.append(
+            SubconceptReport(
+                name=sub.name, ground_truth_size=gt, retrieved=got
+            )
+        )
+
+    groups = []
+    for group in result.groups:
+        ids = group.items.ids()
+        if not ids:
+            continue
+        cats = [database.category_of(i) for i in ids]
+        dominant = max(set(cats), key=cats.count)
+        groups.append(
+            GroupReport(
+                leaf_node_id=group.leaf_node_id,
+                size=len(ids),
+                dominant_category=dominant,
+                purity=cats.count(dominant) / len(cats),
+                relevant_fraction=sum(
+                    1 for c in cats if c in relevant_categories
+                )
+                / len(cats),
+            )
+        )
+
+    hits = sum(1 for i in ranked if i in relevant_ids)
+    return SessionDiagnosis(
+        query_name=query.name,
+        precision=hits / max(1, len(ranked)),
+        average_precision=average_precision(ranked, relevant_ids),
+        ndcg=ndcg(ranked, relevant_ids),
+        subconcepts=subconcepts,
+        groups=groups,
+        category_histogram=histogram,
+    )

@@ -1,0 +1,85 @@
+"""Retrieval-quality metrics: precision, recall, and GTIR.
+
+The paper evaluates with precision (== recall in its setup, because the
+number of retrieved images equals the ground-truth size) and the *ground
+truth inclusion ratio*:
+
+    GTIR = (number of retrieved subconcepts)
+         / (number of total subconcepts in the ground truth)
+
+A subconcept counts as retrieved when at least ``min_hits`` result images
+belong to one of its categories (the paper's reading is one image).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from repro.datasets.database import ImageDatabase
+from repro.datasets.queryset import QuerySpec
+from repro.errors import EvaluationError
+
+
+def _relevant_set(database: ImageDatabase, query: QuerySpec) -> Set[int]:
+    ids = database.ids_of_categories(sorted(query.relevant_categories()))
+    return set(int(i) for i in ids)
+
+
+def precision_at(
+    retrieved: Sequence[int],
+    database: ImageDatabase,
+    query: QuerySpec,
+) -> float:
+    """Fraction of retrieved images whose category is in the ground truth."""
+    if not retrieved:
+        return 0.0
+    relevant = _relevant_set(database, query)
+    hits = sum(1 for image_id in retrieved if int(image_id) in relevant)
+    return hits / len(retrieved)
+
+
+def recall_at(
+    retrieved: Sequence[int],
+    database: ImageDatabase,
+    query: QuerySpec,
+) -> float:
+    """Fraction of ground-truth images present in the retrieved set."""
+    relevant = _relevant_set(database, query)
+    if not relevant:
+        raise EvaluationError(
+            f"query {query.name!r} has no ground-truth images in this "
+            "database"
+        )
+    unique = {int(i) for i in retrieved}
+    return len(unique & relevant) / len(relevant)
+
+
+def retrieved_subconcepts(
+    retrieved: Iterable[int],
+    database: ImageDatabase,
+    query: QuerySpec,
+    min_hits: int = 1,
+) -> Set[str]:
+    """Names of the query subconcepts represented in ``retrieved``."""
+    if min_hits < 1:
+        raise EvaluationError(f"min_hits must be >= 1, got {min_hits}")
+    counts: dict[str, int] = {}
+    for image_id in retrieved:
+        category = database.category_of(int(image_id))
+        sub = query.subconcept_of_category(category)
+        if sub is not None:
+            counts[sub.name] = counts.get(sub.name, 0) + 1
+    return {name for name, count in counts.items() if count >= min_hits}
+
+
+def gtir(
+    retrieved: Iterable[int],
+    database: ImageDatabase,
+    query: QuerySpec,
+    min_hits: int = 1,
+) -> float:
+    """Ground truth inclusion ratio of a result set (paper §5.2.1)."""
+    if query.n_subconcepts == 0:
+        raise EvaluationError(f"query {query.name!r} has no subconcepts")
+    found = retrieved_subconcepts(retrieved, database, query, min_hits)
+    return len(found) / query.n_subconcepts

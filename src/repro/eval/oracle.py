@@ -1,0 +1,122 @@
+"""The simulated user.
+
+The paper's retrieval-effectiveness study used 20 students who marked
+relevant images by hand, with the Corel category labels as ground truth.
+:class:`SimulatedUser` reproduces that behaviour: shown a set of image
+ids, it marks the ones whose category belongs to the query's relevant
+set.  Optional ``miss_rate`` and ``false_mark_rate`` model imperfect
+humans (images overlooked / wrongly marked), which the noise-robustness
+ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.datasets.database import ImageDatabase
+from repro.datasets.queryset import QuerySpec
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_probability
+
+
+class SimulatedUser:
+    """Marks relevant images according to category ground truth.
+
+    Examples
+    --------
+    >>> # doctest-style sketch; needs a database to run:
+    >>> # user = SimulatedUser(db, get_query("bird"), seed=0)
+    >>> # relevant = user.mark([1, 2, 3])
+    """
+
+    def __init__(
+        self,
+        database: ImageDatabase,
+        query: QuerySpec,
+        *,
+        seed: RandomState = None,
+        miss_rate: float = 0.0,
+        false_mark_rate: float = 0.0,
+        max_marks_per_category: int | None = 3,
+    ) -> None:
+        self.database = database
+        self.query = query
+        self.miss_rate = check_probability("miss_rate", miss_rate)
+        self.false_mark_rate = check_probability(
+            "false_mark_rate", false_mark_rate
+        )
+        if max_marks_per_category is not None and max_marks_per_category < 1:
+            raise ValueError("max_marks_per_category must be >= 1 or None")
+        #: Real users mark a handful of images per round (the paper's
+        #: Figure 2 example marks 2, then 4), not every relevant
+        #: thumbnail on every screen.  The cap bounds marks per category
+        #: per round; ``None`` marks everything relevant.
+        self.max_marks_per_category = max_marks_per_category
+        self._rng = ensure_rng(seed)
+        self._relevant_categories = query.relevant_categories()
+
+    def is_relevant(self, image_id: int) -> bool:
+        """Ground-truth relevance of one image."""
+        return (
+            self.database.category_of(int(image_id))
+            in self._relevant_categories
+        )
+
+    def mark(self, shown: Sequence[int]) -> List[int]:
+        """Return the subset of ``shown`` the user marks as relevant.
+
+        At most ``max_marks_per_category`` images per category are
+        marked in a single call (one feedback round); the same budget
+        bounds *false* marks for the whole round — a confused user
+        mis-clicks a few thumbnails, not a fixed fraction of everything
+        they scroll past.
+        """
+        marked: List[int] = []
+        per_category: dict[str, int] = {}
+        false_marks = 0
+        for image_id in shown:
+            relevant = self.is_relevant(image_id)
+            if relevant and self._rng.random() >= self.miss_rate:
+                category = self.database.category_of(int(image_id))
+                taken = per_category.get(category, 0)
+                if (
+                    self.max_marks_per_category is not None
+                    and taken >= self.max_marks_per_category
+                ):
+                    continue
+                per_category[category] = taken + 1
+                marked.append(int(image_id))
+            elif not relevant and self._rng.random() < self.false_mark_rate:
+                if (
+                    self.max_marks_per_category is not None
+                    and false_marks >= self.max_marks_per_category
+                ):
+                    continue
+                false_marks += 1
+                marked.append(int(image_id))
+        return marked
+
+    def pick_example(self, *, subconcept_index: int = 0) -> int:
+        """A starting example image for query-by-example baselines.
+
+        The paper's students began with one example of the concept; this
+        picks a random image of one subconcept (default: the first), which
+        is exactly the situation where single-neighbourhood techniques get
+        stuck.
+        """
+        sub = self.query.subconcepts[
+            subconcept_index % len(self.query.subconcepts)
+        ]
+        ids = self.database.ids_of_categories(sorted(sub.categories))
+        if ids.shape[0] == 0:
+            raise LookupError(
+                f"no images for subconcept {sub.name!r} in the database"
+            )
+        return int(ids[int(self._rng.integers(ids.shape[0]))])
+
+    def relevant_ids(self) -> Set[int]:
+        """All ground-truth-relevant image ids for the query."""
+        ids = self.database.ids_of_categories(
+            sorted(self._relevant_categories)
+        )
+        return {int(i) for i in ids}

@@ -1,0 +1,60 @@
+"""Plain-text reporting: aligned ASCII tables and series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            elif value is None:
+                cells.append("n/a")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for cells in rendered:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[Sequence[float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an (x, y1, y2, ...) series as an aligned table.
+
+    Used for figure-style outputs (time vs database size).
+    """
+    headers = [x_label, *y_labels]
+    return format_table(headers, points, title=title, float_format="{:.5f}")

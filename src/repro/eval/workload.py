@@ -1,0 +1,228 @@
+"""Query-workload generation and concurrent-user simulation.
+
+§5.2.2 closes with "the QD approach is very time efficient, suitable for
+very large databases with many concurrent users", and §6 argues the
+client/server split multiplies server capacity.  This module makes those
+claims measurable:
+
+* :class:`WorkloadSpec` / :func:`generate_workload` — reproducible query
+  workloads over a database: each query targets 1–N categories drawn
+  from a Zipf-like popularity distribution (real query logs are heavily
+  skewed) with a general-vs-specific mix;
+* :func:`simulate_concurrent_users` — replays a workload through the QD
+  engine and through a traditional global-k-NN feedback loop, charging
+  each model's *server-side* work, and reports sustainable session
+  throughput for both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.engine import QueryDecompositionEngine
+from repro.datasets.database import ImageDatabase
+from repro.errors import EvaluationError
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic query workload.
+
+    Attributes
+    ----------
+    n_queries:
+        Number of query sessions.
+    max_targets:
+        Upper bound of target categories per query (a "general" query
+        wants several related categories, a "specific" one wants one).
+    zipf_s:
+        Skew of the category-popularity distribution (0 = uniform;
+        ~1 matches typical query logs).
+    rounds:
+        Feedback rounds per session.
+    result_k:
+        Result size per session.
+    """
+
+    n_queries: int = 100
+    max_targets: int = 3
+    zipf_s: float = 1.0
+    rounds: int = 3
+    result_k: int = 50
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 1:
+            raise EvaluationError("n_queries must be >= 1")
+        if self.max_targets < 1:
+            raise EvaluationError("max_targets must be >= 1")
+        if self.zipf_s < 0:
+            raise EvaluationError("zipf_s must be >= 0")
+        if self.rounds < 1:
+            raise EvaluationError("rounds must be >= 1")
+        if self.result_k < 1:
+            raise EvaluationError("result_k must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query: the categories the user is after."""
+
+    targets: tuple[str, ...]
+
+
+def generate_workload(
+    database: ImageDatabase,
+    spec: WorkloadSpec,
+    *,
+    seed: RandomState = None,
+) -> List[WorkloadQuery]:
+    """Generate a reproducible workload over ``database`` categories."""
+    rng = ensure_rng(seed)
+    categories = list(database.category_names)
+    n = len(categories)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-spec.zipf_s) if spec.zipf_s > 0 else np.ones(n)
+    weights /= weights.sum()
+    # Popularity order is itself shuffled so category index does not
+    # encode popularity.
+    order = rng.permutation(n)
+    queries: List[WorkloadQuery] = []
+    for _ in range(spec.n_queries):
+        n_targets = int(rng.integers(1, spec.max_targets + 1))
+        picks = rng.choice(n, size=n_targets, replace=False, p=weights)
+        queries.append(
+            WorkloadQuery(
+                targets=tuple(categories[order[int(p)]] for p in picks)
+            )
+        )
+    return queries
+
+
+@dataclass
+class ConcurrencyReport:
+    """Server-side cost of a workload under both deployment models."""
+
+    n_sessions: int
+    qd_server_seconds: float
+    traditional_server_seconds: float
+    qd_server_page_reads: int
+    traditional_server_page_reads: int
+    skipped_sessions: int = 0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_multiplier(self) -> float:
+        """How many more concurrent sessions QD's server sustains."""
+        if self.qd_server_seconds <= 0:
+            return float("inf")
+        return self.traditional_server_seconds / self.qd_server_seconds
+
+    def format(self) -> str:
+        """Human-readable summary."""
+        qd_rate = (
+            self.n_sessions / self.qd_server_seconds
+            if self.qd_server_seconds > 0
+            else float("inf")
+        )
+        trad_rate = (
+            self.n_sessions / self.traditional_server_seconds
+            if self.traditional_server_seconds > 0
+            else float("inf")
+        )
+        return "\n".join(
+            [
+                f"Concurrent-user simulation over {self.n_sessions} "
+                "sessions:",
+                f"  QD server time          {self.qd_server_seconds:.3f} s "
+                f"({qd_rate:,.0f} sessions/s, "
+                f"{self.qd_server_page_reads} page reads)",
+                f"  traditional server time "
+                f"{self.traditional_server_seconds:.3f} s "
+                f"({trad_rate:,.0f} sessions/s, "
+                f"{self.traditional_server_page_reads} page reads)",
+                f"  server throughput multiplier: "
+                f"{self.throughput_multiplier:.1f}x",
+            ]
+        )
+
+
+def simulate_concurrent_users(
+    engine: QueryDecompositionEngine,
+    workload: Sequence[WorkloadQuery],
+    *,
+    seed: RandomState = None,
+    rounds: int = 3,
+    result_k: int = 50,
+    screens_per_round: int = 3,
+) -> ConcurrencyReport:
+    """Replay a workload and charge each model's server-side work.
+
+    Under the QD deployment the server only executes the final localized
+    k-NN computations (feedback runs on the client with the shipped RFS
+    structure); under a traditional deployment the server executes one
+    global k-NN over the full database per feedback round per session.
+    """
+    database = engine.database
+    rng = ensure_rng(seed)
+    qd_seconds = 0.0
+    qd_reads = 0
+    completed = 0
+    skipped = 0
+    for idx, query in enumerate(workload):
+        targets = set(query.targets)
+
+        def mark(shown: Sequence[int]) -> List[int]:
+            return [
+                int(i)
+                for i in shown
+                if database.category_of(int(i)) in targets
+            ]
+
+        session = engine.new_session(
+            seed=derive_rng(rng, f"session{idx}")
+        )
+        try:
+            for _ in range(rounds):
+                session.submit(mark(session.display(
+                    screens=screens_per_round
+                )))
+            engine.io.reset()
+            start = time.perf_counter()
+            session.finalize(result_k)
+            qd_seconds += time.perf_counter() - start
+            qd_reads += engine.io.per_category.get("localized_knn", 0)
+            completed += 1
+        except Exception:
+            # Workload queries whose targets never surfaced produce no
+            # marks; a real user would abandon, so does the simulation.
+            skipped += 1
+            continue
+
+    # Traditional model: one global scan per round per completed session.
+    n_leaves = sum(1 for n in engine.rfs.iter_nodes() if n.is_leaf)
+    features = database.features
+    probe_rng = derive_rng(rng, "probe")
+    sample_times = []
+    for _ in range(20):
+        probe = features[int(probe_rng.integers(database.size))]
+        start = time.perf_counter()
+        dists = np.linalg.norm(features - probe, axis=1)
+        np.argsort(dists, kind="stable")[:result_k]
+        sample_times.append(time.perf_counter() - start)
+    per_round = float(np.median(sample_times))
+    traditional_seconds = per_round * rounds * completed
+    traditional_reads = n_leaves * rounds * completed
+
+    return ConcurrencyReport(
+        n_sessions=completed,
+        qd_server_seconds=qd_seconds,
+        traditional_server_seconds=traditional_seconds,
+        qd_server_page_reads=qd_reads,
+        traditional_server_page_reads=traditional_reads,
+        skipped_sessions=skipped,
+    )

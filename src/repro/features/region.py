@@ -1,0 +1,173 @@
+"""Region-of-interest feature extraction (paper §6, future work).
+
+"Another possible extension is to ask the user to draw a contour around
+the object of interest in the example images [19], thus decreasing
+unintended noise in the query formulation."
+
+:func:`contour_mask` rasterises a user-drawn polygon into a boolean
+mask; :func:`extract_region_features` computes the 37-d feature vector
+with the background suppressed:
+
+* colour moments are computed over the masked pixels only;
+* for the wavelet texture features the background is replaced by the
+  region's mean colour (a flat field contributes no detail energy, so
+  the subband energies reflect the object's texture);
+* edge features are computed from gradients whose magnitude is zeroed
+  outside the (slightly eroded) mask, so the artificial object/background
+  boundary does not dominate the histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import FeatureConfig
+from repro.errors import InvalidImageError
+from repro.features.color import validate_image
+from repro.features.edges import (
+    EDGE_FEATURE_DIMS,
+    N_ORIENTATION_BINS,
+    _connectivity,
+    sobel_gradients,
+)
+from repro.features.color import rgb_to_hsv
+from repro.features.texture import to_grayscale, wavelet_texture_features
+
+#: A region must cover at least this many pixels to produce stable
+#: moments.
+_MIN_REGION_PIXELS = 4
+
+
+def contour_mask(
+    size: int, points: Sequence[Tuple[float, float]]
+) -> np.ndarray:
+    """Rasterise a polygon contour (normalised coordinates) to a mask.
+
+    Uses the same even-odd rule as the canvas rasteriser, so a contour
+    drawn over a rendered scene selects exactly the pixels the drawing
+    primitives would fill.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] < 3 or pts.shape[1] != 2:
+        raise InvalidImageError(
+            "contour needs >= 3 (x, y) points, got array of shape "
+            f"{pts.shape}"
+        )
+    centres = (np.arange(size, dtype=np.float64) + 0.5) / size
+    ys, xs = np.meshgrid(centres, centres, indexing="ij")
+    inside = np.zeros((size, size), dtype=bool)
+    x0s, y0s = pts[:, 0], pts[:, 1]
+    x1s, y1s = np.roll(x0s, -1), np.roll(y0s, -1)
+    for ex0, ey0, ex1, ey1 in zip(x0s, y0s, x1s, y1s):
+        if ey0 == ey1:
+            continue
+        cond = (ys >= min(ey0, ey1)) & (ys < max(ey0, ey1))
+        x_int = ex0 + (ys - ey0) * (ex1 - ex0) / (ey1 - ey0)
+        inside ^= cond & (xs < x_int)
+    return inside
+
+
+def extract_region_features(
+    image: np.ndarray,
+    mask: np.ndarray,
+    config: Optional[FeatureConfig] = None,
+) -> np.ndarray:
+    """37-d feature vector of the masked region of ``image``."""
+    arr = validate_image(image)
+    cfg = config or FeatureConfig()
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != arr.shape[:2]:
+        raise InvalidImageError(
+            f"mask shape {mask.shape} does not match image "
+            f"{arr.shape[:2]}"
+        )
+    if int(mask.sum()) < _MIN_REGION_PIXELS:
+        raise InvalidImageError(
+            f"region too small: {int(mask.sum())} pixels "
+            f"(need >= {_MIN_REGION_PIXELS})"
+        )
+    color = _masked_color_moments(arr, mask)
+    texture = _masked_texture(arr, mask, cfg)
+    edges = _masked_edges(arr, mask)
+    return np.concatenate([color, texture, edges])
+
+
+def _masked_color_moments(
+    image: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Colour moments over the masked pixels only."""
+    hsv = rgb_to_hsv(image)
+    features = np.empty(9, dtype=np.float64)
+    for ch in range(3):
+        values = hsv[..., ch][mask]
+        mean = values.mean()
+        centred = values - mean
+        features[3 * ch] = mean
+        features[3 * ch + 1] = np.sqrt(np.mean(centred**2))
+        features[3 * ch + 2] = np.cbrt(np.mean(centred**3))
+    return features
+
+
+def _masked_texture(
+    image: np.ndarray, mask: np.ndarray, cfg: FeatureConfig
+) -> np.ndarray:
+    """Wavelet texture with the background flattened to the region mean.
+
+    A constant field contributes zero detail energy, so the subband
+    energies are driven by the object's interior texture (plus the
+    region boundary, attenuated by the flat fill).
+    """
+    flattened = image.copy()
+    region_mean = image[mask].mean(axis=0)
+    flattened[~mask] = region_mean
+    return wavelet_texture_features(flattened, levels=cfg.wavelet_levels)
+
+
+def _masked_edges(image: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Edge-structure features from gradients inside the eroded mask."""
+    grey = to_grayscale(image)
+    gx, gy = sobel_gradients(grey)
+    magnitude = np.hypot(gx, gy)
+    # Erode the mask by two pixels: the 3x3 Sobel window of a pixel one
+    # step inside the contour still overlaps background, so only
+    # gradients two steps inside are pure object signal.
+    interior = mask.copy()
+    for _ in range(2):
+        interior[:1] = interior[-1:] = False
+        interior[:, :1] = interior[:, -1:] = False
+        interior = (
+            interior
+            & np.roll(interior, 1, 0) & np.roll(interior, -1, 0)
+            & np.roll(interior, 1, 1) & np.roll(interior, -1, 1)
+        )
+    magnitude = np.where(interior, magnitude, 0.0)
+    orientation = np.arctan2(gy, gx) % np.pi
+
+    features = np.zeros(EDGE_FEATURE_DIMS, dtype=np.float64)
+    peak = magnitude.max()
+    edges = magnitude >= 0.2 * peak if peak > 1e-12 else (
+        np.zeros_like(magnitude, dtype=bool)
+    )
+    n_edge = int(edges.sum())
+    region_size = int(mask.sum())
+    if n_edge > 0:
+        hist, _ = np.histogram(
+            orientation[edges],
+            bins=N_ORIENTATION_BINS,
+            range=(0.0, np.pi),
+            weights=magnitude[edges],
+        )
+        weight_sum = hist.sum()
+        if weight_sum > 0:
+            features[:N_ORIENTATION_BINS] = hist / weight_sum
+        mags = magnitude[edges]
+        features[12] = n_edge / max(1, region_size)
+        features[13] = float(mags.mean() / peak)
+        features[14] = float(mags.std() / peak)
+        features[15] = _connectivity(edges)
+        ys, xs = np.nonzero(edges)
+        features[16] = float(np.std(xs) / edges.shape[1])
+        features[17] = float(np.std(ys) / edges.shape[0])
+    return features

@@ -1,0 +1,23 @@
+"""Procedural imaging substrate.
+
+The paper evaluates on 15,000 Corel photographs.  Corel is proprietary, so
+this package synthesises a stand-in: every category is a parameterised
+scene renderer that produces real RGB arrays with controlled intra-category
+jitter.  The renderers are designed so that semantically related
+subconcepts (e.g. the four poses of a white sedan, or "laptop on a clear
+background" vs "laptop on a complicated background") occupy *distinct*
+clusters of the 37-d feature space — the phenomenon the paper is about.
+"""
+
+from repro.imaging.canvas import Canvas
+from repro.imaging.palettes import PALETTES, Color, jitter_color
+from repro.imaging.scenes import SCENE_RENDERERS, render_scene
+
+__all__ = [
+    "Canvas",
+    "Color",
+    "PALETTES",
+    "jitter_color",
+    "SCENE_RENDERERS",
+    "render_scene",
+]

@@ -1,0 +1,86 @@
+"""Named colours and palette utilities for the scene renderers.
+
+Colours are RGB triples of floats in [0, 1].  Palettes group the colours a
+scene family draws from; :func:`jitter_color` perturbs a base colour to
+create intra-category variation without moving an image out of its
+feature-space cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+Color = Tuple[float, float, float]
+
+# Core named colours used by the scene renderers.
+COLORS: Dict[str, Color] = {
+    "white": (0.95, 0.95, 0.95),
+    "black": (0.05, 0.05, 0.05),
+    "grey": (0.50, 0.50, 0.50),
+    "silver": (0.75, 0.75, 0.78),
+    "red": (0.85, 0.10, 0.10),
+    "dark_red": (0.55, 0.05, 0.08),
+    "green": (0.10, 0.65, 0.15),
+    "dark_green": (0.05, 0.35, 0.10),
+    "blue": (0.10, 0.20, 0.80),
+    "sky_blue": (0.45, 0.70, 0.95),
+    "deep_blue": (0.05, 0.15, 0.45),
+    "sea_blue": (0.10, 0.35, 0.60),
+    "yellow": (0.95, 0.85, 0.10),
+    "gold": (0.85, 0.65, 0.10),
+    "orange": (0.95, 0.55, 0.10),
+    "brown": (0.45, 0.28, 0.12),
+    "dark_brown": (0.30, 0.18, 0.08),
+    "tan": (0.80, 0.65, 0.45),
+    "skin": (0.90, 0.72, 0.58),
+    "pink": (0.95, 0.60, 0.70),
+    "purple": (0.55, 0.20, 0.65),
+    "snow": (0.92, 0.94, 0.98),
+    "rock": (0.48, 0.44, 0.42),
+    "grass": (0.30, 0.60, 0.20),
+    "sand": (0.88, 0.80, 0.58),
+    "steel": (0.55, 0.58, 0.62),
+    "beige": (0.90, 0.86, 0.76),
+    "cream": (0.96, 0.93, 0.85),
+    "charcoal": (0.18, 0.18, 0.20),
+}
+
+# Palettes used to synthesise the ~125 distractor categories.  Each
+# distractor category picks one palette and one texture family, giving a
+# broad spread of background clutter in feature space (the small triangles
+# scattered between the sedan clusters in the paper's Figure 1).
+PALETTES: Dict[str, Tuple[Color, ...]] = {
+    "warm": (COLORS["red"], COLORS["orange"], COLORS["yellow"], COLORS["brown"]),
+    "cool": (COLORS["blue"], COLORS["sky_blue"], COLORS["deep_blue"], COLORS["purple"]),
+    "earth": (COLORS["brown"], COLORS["tan"], COLORS["dark_green"], COLORS["sand"]),
+    "mono": (COLORS["black"], COLORS["grey"], COLORS["silver"], COLORS["white"]),
+    "nature": (COLORS["grass"], COLORS["dark_green"], COLORS["sky_blue"], COLORS["brown"]),
+    "pastel": (COLORS["pink"], COLORS["cream"], COLORS["beige"], COLORS["sky_blue"]),
+    "vivid": (COLORS["red"], COLORS["green"], COLORS["blue"], COLORS["yellow"]),
+    "dusk": (COLORS["purple"], COLORS["deep_blue"], COLORS["orange"], COLORS["charcoal"]),
+}
+
+
+def jitter_color(
+    color: Color, rng: np.random.Generator, amount: float = 0.04
+) -> Color:
+    """Return ``color`` perturbed by uniform noise of half-width ``amount``.
+
+    The result is clipped to [0, 1] per channel.  A small ``amount`` keeps
+    images within their category's feature cluster while avoiding exact
+    duplicates.
+    """
+    base = np.asarray(color, dtype=np.float64)
+    noise = rng.uniform(-amount, amount, size=3)
+    out = np.clip(base + noise, 0.0, 1.0)
+    return (float(out[0]), float(out[1]), float(out[2]))
+
+
+def mix(a: Color, b: Color, t: float) -> Color:
+    """Linear interpolation between two colours (``t`` in [0, 1])."""
+    av = np.asarray(a, dtype=np.float64)
+    bv = np.asarray(b, dtype=np.float64)
+    out = (1.0 - t) * av + t * bv
+    return (float(out[0]), float(out[1]), float(out[2]))

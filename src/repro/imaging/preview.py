@@ -1,0 +1,66 @@
+"""Terminal previews of rendered images.
+
+The prototype's GUI shows thumbnails; in a terminal-only environment the
+examples render images as coloured ANSI half-blocks (two pixels per
+character cell) or plain luminance ASCII.  Purely presentational — no
+other module depends on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.color import validate_image
+
+# Dark → bright luminance ramp for the plain-ASCII mode.
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_preview(image: np.ndarray, width: int = 32) -> str:
+    """Render an RGB image as luminance ASCII art."""
+    arr = validate_image(image)
+    resized = _nearest_resize(arr, width, max(1, width // 2))
+    luma = resized @ np.array([0.299, 0.587, 0.114])
+    idx = np.clip(
+        (luma * (len(_ASCII_RAMP) - 1)).round().astype(int),
+        0,
+        len(_ASCII_RAMP) - 1,
+    )
+    return "\n".join(
+        "".join(_ASCII_RAMP[v] for v in row) for row in idx
+    )
+
+
+def ansi_preview(image: np.ndarray, width: int = 32) -> str:
+    """Render an RGB image with 24-bit ANSI background half-blocks.
+
+    Each character cell shows two vertically stacked pixels (upper via
+    foreground colour of ``▀``, lower via background colour), so a
+    ``width``×``width`` image needs ``width/2`` terminal rows.
+    """
+    arr = validate_image(image)
+    height = max(2, (width // 2) * 2)
+    resized = _nearest_resize(arr, width, height)
+    rgb = (resized * 255).round().astype(int)
+    lines = []
+    for row in range(0, height, 2):
+        cells = []
+        for col in range(width):
+            top = rgb[row, col]
+            bottom = rgb[row + 1, col]
+            cells.append(
+                f"\x1b[38;2;{top[0]};{top[1]};{top[2]}m"
+                f"\x1b[48;2;{bottom[0]};{bottom[1]};{bottom[2]}m▀"
+            )
+        lines.append("".join(cells) + "\x1b[0m")
+    return "\n".join(lines)
+
+
+def _nearest_resize(
+    image: np.ndarray, width: int, height: int
+) -> np.ndarray:
+    """Nearest-neighbour resize to (height, width)."""
+    h, w = image.shape[:2]
+    rows = (np.arange(height) * h // height).clip(0, h - 1)
+    cols = (np.arange(width) * w // width).clip(0, w - 1)
+    return image[np.ix_(rows, cols)]

@@ -1,0 +1,826 @@
+"""Scene renderers for every query-relevant category plus distractors.
+
+Each renderer draws one image of its category with random intra-category
+jitter (object position, size, hue).  Renderers are designed so that:
+
+* images of one category form a coherent cluster in the 37-d feature
+  space (shared palette, layout, texture), and
+* different *subconcepts* of the same semantic query (e.g. "eagle" vs
+  "owl" vs "sparrow" for the query "bird") occupy clearly separated
+  clusters — the scattering phenomenon the paper studies, and
+* a few query families ("airplane", "mountain view") keep their
+  subconcepts visually close, matching Table 1 where the Multiple
+  Viewpoints baseline reaches GTIR = 1 on exactly those queries.
+
+The registry :data:`SCENE_RENDERERS` maps category name → renderer; use
+:func:`render_scene` to draw an image.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.imaging.canvas import Canvas
+from repro.imaging.palettes import COLORS, PALETTES, Color, jitter_color, mix
+
+Renderer = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def _u(rng: np.random.Generator, lo: float, hi: float) -> float:
+    """Uniform float sample, shorthand used throughout the renderers."""
+    return float(rng.uniform(lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# People
+# ---------------------------------------------------------------------------
+def render_person_hair_model(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Studio portrait: pastel backdrop, large face, prominent hair."""
+    c = Canvas(size)
+    backdrop = jitter_color(COLORS["pink"], rng, 0.06)
+    c.vertical_gradient(backdrop, jitter_color(COLORS["cream"], rng, 0.05))
+    cx = _u(rng, 0.42, 0.58)
+    cy = _u(rng, 0.40, 0.52)
+    face_r = _u(rng, 0.16, 0.22)
+    hair = jitter_color(COLORS["dark_brown"], rng, 0.08)
+    # Hair halo behind and above the face.
+    c.ellipse(cx, cy - 0.04, face_r * 1.5, face_r * 1.35, hair)
+    c.ellipse(cx, cy, face_r, face_r * 1.15, jitter_color(COLORS["skin"], rng))
+    # Fringe.
+    c.ellipse(cx, cy - face_r * 0.75, face_r * 1.05, face_r * 0.45, hair)
+    # Shoulders.
+    c.ellipse(cx, cy + face_r * 2.2, face_r * 2.0, face_r * 1.0,
+              jitter_color(COLORS["purple"], rng, 0.1))
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def render_person_fitness(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Gym scene: grey interior, bright-clad standing figure, equipment."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["grey"], rng, 0.04),
+                        jitter_color(COLORS["charcoal"], rng, 0.04))
+    # Floor line.
+    c.rectangle(0.0, 0.78, 1.0, 1.0, jitter_color(COLORS["steel"], rng))
+    cx = _u(rng, 0.35, 0.6)
+    outfit = jitter_color(COLORS["red"], rng, 0.08)
+    # Torso / legs / head of an athletic figure.
+    c.rectangle(cx - 0.05, 0.38, cx + 0.05, 0.60, outfit)
+    c.rectangle(cx - 0.045, 0.60, cx - 0.012, 0.80, COLORS["charcoal"])
+    c.rectangle(cx + 0.012, 0.60, cx + 0.045, 0.80, COLORS["charcoal"])
+    c.circle(cx, 0.32, 0.05, jitter_color(COLORS["skin"], rng))
+    # Raised arms holding a barbell.
+    c.line(cx - 0.16, 0.30, cx + 0.16, 0.30, jitter_color(COLORS["skin"], rng),
+           width=0.018)
+    c.line(cx - 0.22, 0.30, cx + 0.22, 0.30, COLORS["black"], width=0.012)
+    c.circle(cx - 0.24, 0.30, 0.045, COLORS["black"])
+    c.circle(cx + 0.24, 0.30, 0.045, COLORS["black"])
+    c.noise(rng, 0.025)
+    return c.image()
+
+
+def render_person_kongfu(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Martial-arts scene: warm outdoor court, dynamic white-clad figure."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["orange"], rng, 0.06),
+                        jitter_color(COLORS["tan"], rng, 0.05))
+    c.rectangle(0.0, 0.72, 1.0, 1.0, jitter_color(COLORS["brown"], rng, 0.05))
+    cx = _u(rng, 0.35, 0.6)
+    gi = jitter_color(COLORS["white"], rng, 0.03)
+    # Lunging body.
+    c.polygon([(cx - 0.08, 0.40), (cx + 0.10, 0.44),
+               (cx + 0.06, 0.62), (cx - 0.12, 0.58)], gi)
+    # Extended kicking leg and grounded leg.
+    c.line(cx + 0.06, 0.60, cx + 0.26, 0.50, gi, width=0.022)
+    c.line(cx - 0.10, 0.60, cx - 0.14, 0.78, gi, width=0.022)
+    # Punching arm.
+    c.line(cx + 0.06, 0.44, cx + 0.24, 0.36, gi, width=0.018)
+    c.circle(cx - 0.04, 0.33, 0.05, jitter_color(COLORS["skin"], rng))
+    # Black belt.
+    c.line(cx - 0.09, 0.52, cx + 0.07, 0.54, COLORS["black"], width=0.012)
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Airplanes — both subconcepts share a clear-sky look on purpose (Table 1:
+# MV reaches GTIR 1 on "airplane" because the subconcepts are feature-close).
+# ---------------------------------------------------------------------------
+def _draw_airplane(c: Canvas, cx: float, cy: float, scale: float,
+                   body: Color) -> None:
+    """Draw one simple silhouette airplane at the given centre and scale."""
+    # Fuselage.
+    c.ellipse(cx, cy, 0.18 * scale, 0.045 * scale, body)
+    # Wings.
+    c.triangle((cx - 0.02 * scale, cy),
+               (cx + 0.06 * scale, cy - 0.16 * scale),
+               (cx + 0.10 * scale, cy), body)
+    c.triangle((cx - 0.02 * scale, cy),
+               (cx + 0.06 * scale, cy + 0.16 * scale),
+               (cx + 0.10 * scale, cy), body)
+    # Tail fin.
+    c.triangle((cx - 0.16 * scale, cy),
+               (cx - 0.20 * scale, cy - 0.08 * scale),
+               (cx - 0.12 * scale, cy), body)
+
+
+def render_airplane_single(size: int, rng: np.random.Generator) -> np.ndarray:
+    """One airliner against a clear blue sky."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.04),
+                        jitter_color(COLORS["white"], rng, 0.03))
+    body = jitter_color(COLORS["silver"], rng, 0.05)
+    _draw_airplane(c, _u(rng, 0.35, 0.65), _u(rng, 0.35, 0.6),
+                   _u(rng, 0.9, 1.3), body)
+    c.noise(rng, 0.015)
+    return c.image()
+
+
+def render_airplane_multiple(size: int, rng: np.random.Generator) -> np.ndarray:
+    """A formation of two-to-four airplanes in the same clear sky."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.04),
+                        jitter_color(COLORS["white"], rng, 0.03))
+    body = jitter_color(COLORS["silver"], rng, 0.05)
+    count = int(rng.integers(2, 5))
+    for i in range(count):
+        _draw_airplane(c, _u(rng, 0.2, 0.8), 0.2 + 0.22 * i + _u(rng, 0, 0.06),
+                       _u(rng, 0.5, 0.8), body)
+    c.noise(rng, 0.015)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Birds — three subconcepts with deliberately different habitats.
+# ---------------------------------------------------------------------------
+def render_bird_eagle(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Eagle soaring: pale sky, dark spread-winged silhouette."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.05),
+                        jitter_color(COLORS["cream"], rng, 0.04))
+    cx = _u(rng, 0.35, 0.65)
+    cy = _u(rng, 0.3, 0.55)
+    wing = jitter_color(COLORS["dark_brown"], rng, 0.05)
+    span = _u(rng, 0.28, 0.38)
+    # Two swept wings and a small body.
+    c.triangle((cx, cy), (cx - span, cy - 0.10), (cx - span * 0.4, cy + 0.05),
+               wing)
+    c.triangle((cx, cy), (cx + span, cy - 0.10), (cx + span * 0.4, cy + 0.05),
+               wing)
+    c.ellipse(cx, cy + 0.02, 0.05, 0.08, wing)
+    c.circle(cx, cy - 0.06, 0.03, jitter_color(COLORS["white"], rng))
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def render_bird_owl(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Owl at dusk: dark woodland backdrop, round body, large eyes."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["charcoal"], rng, 0.04),
+                        jitter_color(COLORS["dark_brown"], rng, 0.05))
+    # Tree trunk.
+    c.rectangle(0.6, 0.0, 0.85, 1.0, jitter_color(COLORS["dark_brown"], rng))
+    cx = _u(rng, 0.3, 0.45)
+    cy = _u(rng, 0.42, 0.55)
+    body = jitter_color(COLORS["brown"], rng, 0.06)
+    c.ellipse(cx, cy, 0.13, 0.18, body)
+    c.ellipse(cx, cy - 0.16, 0.11, 0.09, body)
+    # The big owl eyes.
+    eye = jitter_color(COLORS["gold"], rng, 0.04)
+    c.circle(cx - 0.045, cy - 0.17, 0.032, eye)
+    c.circle(cx + 0.045, cy - 0.17, 0.032, eye)
+    c.circle(cx - 0.045, cy - 0.17, 0.013, COLORS["black"])
+    c.circle(cx + 0.045, cy - 0.17, 0.013, COLORS["black"])
+    # Branch under the owl.
+    c.line(0.1, cy + 0.2, 0.85, cy + 0.17, COLORS["dark_brown"], width=0.02)
+    c.noise(rng, 0.025)
+    return c.image()
+
+
+def render_bird_sparrow(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Sparrow on a branch: bright daylight green backdrop, small bird."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["cream"], rng, 0.04),
+                        jitter_color(COLORS["grass"], rng, 0.06))
+    cx = _u(rng, 0.4, 0.6)
+    cy = _u(rng, 0.5, 0.62)
+    body = jitter_color(COLORS["tan"], rng, 0.05)
+    c.ellipse(cx, cy, 0.09, 0.065, body)
+    c.circle(cx + 0.08, cy - 0.045, 0.042, body)
+    # Wing patch and beak.
+    c.ellipse(cx - 0.01, cy - 0.01, 0.055, 0.035,
+              jitter_color(COLORS["brown"], rng))
+    c.triangle((cx + 0.115, cy - 0.05), (cx + 0.16, cy - 0.04),
+               (cx + 0.115, cy - 0.028), COLORS["gold"])
+    # Branch.
+    c.line(0.1, cy + 0.08, 0.9, cy + 0.1, jitter_color(COLORS["brown"], rng),
+           width=0.015)
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Cars — poses matter: the Figure 1 experiment renders white sedans in four
+# distinct viewpoints which must form four distinct feature clusters.
+# ---------------------------------------------------------------------------
+def _sedan_side(c: Canvas, rng: np.random.Generator, body: Color) -> None:
+    """Side view: long low body, cabin trapezoid, two wheels."""
+    y = _u(rng, 0.55, 0.62)
+    x0 = _u(rng, 0.12, 0.2)
+    x1 = x0 + _u(rng, 0.55, 0.65)
+    c.rectangle(x0, y, x1, y + 0.12, body)
+    c.polygon([(x0 + 0.12, y), (x0 + 0.2, y - 0.1),
+               (x1 - 0.2, y - 0.1), (x1 - 0.1, y)], body)
+    c.rectangle(x0 + 0.22, y - 0.085, x1 - 0.22, y - 0.015,
+                jitter_color(COLORS["sky_blue"], rng, 0.05))
+    for wx in (x0 + 0.14, x1 - 0.14):
+        c.circle(wx, y + 0.13, 0.055, COLORS["black"])
+        c.circle(wx, y + 0.13, 0.025, COLORS["silver"])
+
+
+def _sedan_front(c: Canvas, rng: np.random.Generator, body: Color) -> None:
+    """Front view: compact tall box, windshield, two headlights, grille."""
+    cx = _u(rng, 0.42, 0.58)
+    y = _u(rng, 0.42, 0.5)
+    w = _u(rng, 0.17, 0.21)
+    c.rectangle(cx - w, y, cx + w, y + 0.3, body)
+    c.polygon([(cx - w * 0.85, y), (cx - w * 0.6, y - 0.12),
+               (cx + w * 0.6, y - 0.12), (cx + w * 0.85, y)], body)
+    c.rectangle(cx - w * 0.55, y - 0.1, cx + w * 0.55, y - 0.01,
+                jitter_color(COLORS["sky_blue"], rng, 0.05))
+    c.circle(cx - w * 0.65, y + 0.2, 0.03, COLORS["yellow"])
+    c.circle(cx + w * 0.65, y + 0.2, 0.03, COLORS["yellow"])
+    c.rectangle(cx - w * 0.35, y + 0.17, cx + w * 0.35, y + 0.24,
+                COLORS["charcoal"])
+
+
+def _sedan_back(c: Canvas, rng: np.random.Generator, body: Color) -> None:
+    """Back view: like the front but red tail lights and a boot line."""
+    cx = _u(rng, 0.42, 0.58)
+    y = _u(rng, 0.42, 0.5)
+    w = _u(rng, 0.17, 0.21)
+    c.rectangle(cx - w, y, cx + w, y + 0.3, body)
+    c.polygon([(cx - w * 0.85, y), (cx - w * 0.6, y - 0.12),
+               (cx + w * 0.6, y - 0.12), (cx + w * 0.85, y)], body)
+    c.rectangle(cx - w * 0.5, y - 0.1, cx + w * 0.5, y - 0.01,
+                jitter_color(COLORS["charcoal"], rng, 0.03))
+    c.rectangle(cx - w * 0.85, y + 0.18, cx - w * 0.4, y + 0.24,
+                COLORS["red"])
+    c.rectangle(cx + w * 0.4, y + 0.18, cx + w * 0.85, y + 0.24,
+                COLORS["red"])
+    c.line(cx - w, y + 0.12, cx + w, y + 0.12, COLORS["charcoal"],
+           width=0.008)
+
+
+def _sedan_angle(c: Canvas, rng: np.random.Generator, body: Color) -> None:
+    """Three-quarter view: skewed body with both side and front cues."""
+    y = _u(rng, 0.52, 0.6)
+    x0 = _u(rng, 0.18, 0.26)
+    c.polygon([(x0, y + 0.02), (x0 + 0.5, y), (x0 + 0.58, y + 0.14),
+               (x0 + 0.05, y + 0.17)], body)
+    c.polygon([(x0 + 0.1, y + 0.01), (x0 + 0.17, y - 0.1),
+               (x0 + 0.42, y - 0.11), (x0 + 0.47, y)], body)
+    c.polygon([(x0 + 0.19, y - 0.085), (x0 + 0.4, y - 0.095),
+               (x0 + 0.43, y - 0.01), (x0 + 0.16, y - 0.005)],
+              jitter_color(COLORS["sky_blue"], rng, 0.05))
+    c.circle(x0 + 0.12, y + 0.17, 0.05, COLORS["black"])
+    c.circle(x0 + 0.46, y + 0.15, 0.05, COLORS["black"])
+    c.circle(x0 + 0.555, y + 0.1, 0.022, COLORS["yellow"])
+
+
+_SEDAN_POSES = {
+    "side": _sedan_side,
+    "front": _sedan_front,
+    "back": _sedan_back,
+    "angle": _sedan_angle,
+}
+
+
+# Each pose is photographed in its own typical context (wide roadside
+# shot, close street-level front, dusk rear shot, showroom three-quarter
+# view), which is what scatters the four "white sedan" clusters apart in
+# feature space — the phenomenon of the paper's Figure 1.
+_SEDAN_CONTEXTS = {
+    "side": ("sky_blue", "cream", "grey", 0.66),
+    "front": ("steel", "silver", "charcoal", 0.55),
+    "back": ("orange", "dark_red", "charcoal", 0.68),
+    "angle": ("beige", "cream", "tan", 0.72),
+}
+
+
+def render_car_sedan(
+    size: int,
+    rng: np.random.Generator,
+    pose: str = "any",
+    body_color: str = "white",
+) -> np.ndarray:
+    """Modern sedan; pose 'side'/'front'/'back'/'angle'/'any'.
+
+    Pose also selects the shot context (sky/ground palette and horizon),
+    so each pose forms its own cluster in feature space.
+    """
+    if pose == "any":
+        pose = str(rng.choice(list(_SEDAN_POSES)))
+    try:
+        draw = _SEDAN_POSES[pose]
+        sky_top, sky_bottom, ground, horizon = _SEDAN_CONTEXTS[pose]
+    except KeyError as exc:
+        raise DatasetError(f"unknown sedan pose {pose!r}") from exc
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS[sky_top], rng, 0.04),
+                        jitter_color(COLORS[sky_bottom], rng, 0.04))
+    c.rectangle(0.0, horizon, 1.0, 1.0,
+                jitter_color(COLORS[ground], rng, 0.04))
+    draw(c, rng, jitter_color(COLORS[body_color], rng, 0.03))
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def render_car_antique(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Antique car: sepia setting, tall cabin, spoked wheels."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["tan"], rng, 0.05),
+                        jitter_color(COLORS["beige"], rng, 0.04))
+    c.rectangle(0.0, 0.7, 1.0, 1.0, jitter_color(COLORS["dark_brown"], rng))
+    body = jitter_color(COLORS["dark_red"], rng, 0.05)
+    x0 = _u(rng, 0.18, 0.28)
+    # Tall boxy cabin + short hood.
+    c.rectangle(x0, 0.38, x0 + 0.22, 0.62, body)
+    c.rectangle(x0 + 0.22, 0.5, x0 + 0.45, 0.62, body)
+    c.rectangle(x0 + 0.03, 0.42, x0 + 0.19, 0.52,
+                jitter_color(COLORS["cream"], rng))
+    # Large spoked wheels.
+    for wx in (x0 + 0.07, x0 + 0.38):
+        c.circle(wx, 0.66, 0.075, COLORS["black"])
+        c.circle(wx, 0.66, 0.05, jitter_color(COLORS["gold"], rng, 0.04))
+        c.circle(wx, 0.66, 0.015, COLORS["black"])
+    c.noise(rng, 0.025)
+    return c.image()
+
+
+def render_car_steamed(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Steam car: dark smoky scene, boiler stack with steam plume."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["grey"], rng, 0.05),
+                        jitter_color(COLORS["charcoal"], rng, 0.04))
+    c.rectangle(0.0, 0.72, 1.0, 1.0, jitter_color(COLORS["charcoal"], rng))
+    body = jitter_color(COLORS["black"], rng, 0.03)
+    x0 = _u(rng, 0.2, 0.3)
+    c.rectangle(x0, 0.5, x0 + 0.4, 0.66, body)
+    # Boiler and chimney stack.
+    c.ellipse(x0 + 0.08, 0.52, 0.07, 0.1, jitter_color(COLORS["steel"], rng))
+    c.rectangle(x0 + 0.05, 0.3, x0 + 0.11, 0.46, body)
+    # Steam plume.
+    steam = jitter_color(COLORS["white"], rng, 0.03)
+    c.circle(x0 + 0.08, 0.24, 0.05, steam, alpha=0.85)
+    c.circle(x0 + 0.14, 0.18, 0.06, steam, alpha=0.7)
+    c.circle(x0 + 0.22, 0.13, 0.07, steam, alpha=0.55)
+    for wx in (x0 + 0.08, x0 + 0.33):
+        c.circle(wx, 0.7, 0.06, COLORS["black"])
+        c.circle(wx, 0.7, 0.03, COLORS["steel"])
+    c.noise(rng, 0.03)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Horses
+# ---------------------------------------------------------------------------
+def _draw_horse(c: Canvas, cx: float, cy: float, coat: Color,
+                rng: np.random.Generator, running: bool) -> None:
+    """Draw a simple horse silhouette; legs splay when ``running``."""
+    c.ellipse(cx, cy, 0.14, 0.075, coat)
+    c.line(cx + 0.12, cy - 0.02, cx + 0.2, cy - 0.12, coat, width=0.024)
+    c.ellipse(cx + 0.22, cy - 0.14, 0.05, 0.032, coat)
+    spread = 0.1 if running else 0.04
+    for dx in (-0.1, -0.04, 0.05, 0.11):
+        foot_dx = dx + (spread if dx > 0 else -spread) * 0.5
+        c.line(cx + dx, cy + 0.05, cx + foot_dx, cy + 0.17, coat, width=0.013)
+    # Tail.
+    c.line(cx - 0.13, cy - 0.02, cx - 0.2, cy + 0.06, coat, width=0.014)
+
+
+def render_horse_polo(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Polo: manicured green field, horse with mounted rider and mallet."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.04),
+                        jitter_color(COLORS["grass"], rng, 0.04))
+    c.rectangle(0.0, 0.5, 1.0, 1.0, jitter_color(COLORS["grass"], rng, 0.03))
+    cx = _u(rng, 0.35, 0.55)
+    cy = _u(rng, 0.58, 0.66)
+    _draw_horse(c, cx, cy, jitter_color(COLORS["brown"], rng, 0.05), rng, True)
+    # Rider in white.
+    c.rectangle(cx - 0.03, cy - 0.17, cx + 0.03, cy - 0.05,
+                jitter_color(COLORS["white"], rng))
+    c.circle(cx, cy - 0.2, 0.032, jitter_color(COLORS["skin"], rng))
+    # Mallet.
+    c.line(cx + 0.03, cy - 0.12, cx + 0.18, cy + 0.02, COLORS["tan"],
+           width=0.009)
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def render_horse_wild(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Wild horses: dusty open plain, two or three unmounted horses."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["orange"], rng, 0.06),
+                        jitter_color(COLORS["sand"], rng, 0.05))
+    c.rectangle(0.0, 0.62, 1.0, 1.0, jitter_color(COLORS["sand"], rng, 0.04))
+    count = int(rng.integers(2, 4))
+    for i in range(count):
+        coat = jitter_color(
+            COLORS["dark_brown"] if i % 2 == 0 else COLORS["tan"], rng, 0.05)
+        _draw_horse(c, 0.22 + 0.28 * i + _u(rng, -0.04, 0.04),
+                    _u(rng, 0.62, 0.72), coat, rng, True)
+    c.noise(rng, 0.025)
+    return c.image()
+
+
+def render_horse_race(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Race: brown track with rail, horse with a bright-silk jockey."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["cream"], rng, 0.04),
+                        jitter_color(COLORS["tan"], rng, 0.04))
+    c.rectangle(0.0, 0.55, 1.0, 1.0, jitter_color(COLORS["brown"], rng, 0.04))
+    # Inside rail.
+    c.line(0.0, 0.55, 1.0, 0.55, COLORS["white"], width=0.012)
+    cx = _u(rng, 0.35, 0.55)
+    cy = _u(rng, 0.64, 0.7)
+    _draw_horse(c, cx, cy, jitter_color(COLORS["dark_brown"], rng, 0.04),
+                rng, True)
+    silk = jitter_color(
+        COLORS["green"] if rng.random() < 0.5 else COLORS["yellow"], rng, 0.05)
+    c.rectangle(cx - 0.028, cy - 0.15, cx + 0.028, cy - 0.05, silk)
+    c.circle(cx, cy - 0.175, 0.028, silk)
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Mountain views — both subconcepts are distant landscapes and deliberately
+# stay feature-close (Table 1: MV reaches GTIR 1 and QD's edge is small).
+# ---------------------------------------------------------------------------
+def _draw_peaks(c: Canvas, rng: np.random.Generator, snowcap: bool) -> None:
+    """Draw a ridge line of two-to-three triangular peaks."""
+    base = 0.62
+    n = int(rng.integers(2, 4))
+    for i in range(n):
+        px = 0.15 + 0.32 * i + _u(rng, -0.06, 0.06)
+        h = _u(rng, 0.28, 0.4)
+        w = _u(rng, 0.2, 0.28)
+        rock = jitter_color(COLORS["rock"], rng, 0.04)
+        c.triangle((px - w, base), (px, base - h), (px + w, base), rock)
+        if snowcap:
+            c.triangle((px - w * 0.35, base - h * 0.62), (px, base - h),
+                       (px + w * 0.35, base - h * 0.62), COLORS["snow"])
+
+
+def render_mountain_snow(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Snowy mountain view: pale sky, snow-capped ridge, white ground."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.05),
+                        jitter_color(COLORS["white"], rng, 0.03))
+    _draw_peaks(c, rng, snowcap=True)
+    c.rectangle(0.0, 0.62, 1.0, 1.0, jitter_color(COLORS["snow"], rng, 0.03))
+    c.speckle(rng, COLORS["white"], density=0.03)
+    c.smooth_noise(rng, cells=4, amount=0.05)
+    return c.image()
+
+
+def render_mountain_water(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Mountain lake view: same ridge family with a water foreground."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.05),
+                        jitter_color(COLORS["cream"], rng, 0.03))
+    _draw_peaks(c, rng, snowcap=rng.random() < 0.5)
+    c.rectangle(0.0, 0.62, 1.0, 1.0, jitter_color(COLORS["sea_blue"], rng, 0.04))
+    # Reflection shimmer.
+    c.stripes(jitter_color(COLORS["sky_blue"], rng, 0.04), count=10,
+              horizontal=True, alpha=0.25, phase=_u(rng, 0, 1))
+    c.smooth_noise(rng, cells=4, amount=0.05)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Roses — colour is the separating feature between the two subconcepts.
+# ---------------------------------------------------------------------------
+def _draw_rose(c: Canvas, rng: np.random.Generator, petal: Color) -> None:
+    """Layered-petal rose head on a stem."""
+    cx = _u(rng, 0.4, 0.6)
+    cy = _u(rng, 0.35, 0.5)
+    r = _u(rng, 0.14, 0.2)
+    c.line(cx, cy + r, cx + 0.02, 0.95, COLORS["dark_green"], width=0.014)
+    c.ellipse(cx - 0.09, cy + r + 0.12, 0.07, 0.03, COLORS["dark_green"],
+              angle=0.6)
+    for k, shrink in enumerate((1.0, 0.72, 0.48, 0.26)):
+        shade = mix(petal, COLORS["black"], 0.12 * k)
+        c.circle(cx, cy, r * shrink, jitter_color(shade, rng, 0.03))
+    return None
+
+
+def render_rose_yellow(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Yellow rose against soft foliage."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["grass"], rng, 0.05),
+                        jitter_color(COLORS["dark_green"], rng, 0.05))
+    c.smooth_noise(rng, cells=5, amount=0.06)
+    _draw_rose(c, rng, COLORS["yellow"])
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def render_rose_red(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Red rose against soft foliage."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["grass"], rng, 0.05),
+                        jitter_color(COLORS["dark_green"], rng, 0.05))
+    c.smooth_noise(rng, cells=5, amount=0.06)
+    _draw_rose(c, rng, COLORS["red"])
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Water sports
+# ---------------------------------------------------------------------------
+def render_sport_surfing(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Surfing: turquoise surf, white foam wave, surfer on a board."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["sky_blue"], rng, 0.04),
+                        jitter_color(COLORS["sea_blue"], rng, 0.04))
+    c.rectangle(0.0, 0.45, 1.0, 1.0, jitter_color(COLORS["sea_blue"], rng))
+    # Breaking wave with foam.
+    c.ellipse(0.3, 0.5, 0.35, 0.14, jitter_color(COLORS["white"], rng),
+              alpha=0.8)
+    c.speckle(rng, COLORS["white"], density=0.06)
+    cx = _u(rng, 0.45, 0.65)
+    # Board and crouched surfer.
+    c.ellipse(cx, 0.62, 0.11, 0.02, jitter_color(COLORS["yellow"], rng),
+              angle=_u(rng, -0.3, 0.1))
+    c.rectangle(cx - 0.02, 0.5, cx + 0.02, 0.6,
+                jitter_color(COLORS["charcoal"], rng))
+    c.circle(cx, 0.47, 0.028, jitter_color(COLORS["skin"], rng))
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def render_sport_sailing(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Sailing: deep open sea, hull with a tall white triangular sail."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["cream"], rng, 0.04),
+                        jitter_color(COLORS["deep_blue"], rng, 0.04))
+    c.rectangle(0.0, 0.58, 1.0, 1.0, jitter_color(COLORS["deep_blue"], rng))
+    cx = _u(rng, 0.4, 0.6)
+    # Hull.
+    c.polygon([(cx - 0.16, 0.6), (cx + 0.16, 0.6), (cx + 0.1, 0.68),
+               (cx - 0.1, 0.68)], jitter_color(COLORS["dark_red"], rng, 0.04))
+    # Mast and mainsail.
+    c.line(cx, 0.22, cx, 0.6, COLORS["charcoal"], width=0.008)
+    c.triangle((cx, 0.22), (cx, 0.58), (cx + 0.2, 0.56),
+               jitter_color(COLORS["white"], rng, 0.02))
+    c.triangle((cx, 0.28), (cx, 0.58), (cx - 0.13, 0.57),
+               jitter_color(COLORS["cream"], rng, 0.03))
+    c.stripes(jitter_color(COLORS["sea_blue"], rng, 0.05), count=12,
+              horizontal=True, alpha=0.2, phase=_u(rng, 0, 1))
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Computers — four fine-grained categories; the three computer queries of
+# Table 1 group them differently.
+# ---------------------------------------------------------------------------
+def render_computer_server(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Server rack: dark machine room, tall cabinet with LED rows."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["charcoal"], rng, 0.03),
+                        jitter_color(COLORS["black"], rng, 0.02))
+    c.rectangle(0.0, 0.8, 1.0, 1.0, jitter_color(COLORS["grey"], rng, 0.04))
+    cx = _u(rng, 0.42, 0.58)
+    w = _u(rng, 0.14, 0.18)
+    c.rectangle(cx - w, 0.12, cx + w, 0.82,
+                jitter_color(COLORS["black"], rng, 0.02))
+    c.rectangle(cx - w + 0.01, 0.12, cx + w - 0.01, 0.82,
+                jitter_color(COLORS["charcoal"], rng, 0.02))
+    # Rack units with status LEDs.
+    n_units = 6
+    for i in range(n_units):
+        y = 0.16 + i * 0.105
+        c.rectangle(cx - w + 0.02, y, cx + w - 0.02, y + 0.07,
+                    jitter_color(COLORS["steel"], rng, 0.03))
+        led = COLORS["green"] if rng.random() < 0.7 else COLORS["orange"]
+        c.circle(cx + w - 0.05, y + 0.035, 0.012, led)
+        c.circle(cx + w - 0.085, y + 0.035, 0.012, COLORS["green"])
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def _draw_monitor(c: Canvas, cx: float, cy: float, w: float,
+                  rng: np.random.Generator) -> None:
+    """CRT-style monitor with a bright screen."""
+    c.rectangle(cx - w, cy - w * 0.8, cx + w, cy + w * 0.7,
+                jitter_color(COLORS["beige"], rng, 0.03))
+    c.rectangle(cx - w * 0.8, cy - w * 0.6, cx + w * 0.8, cy + w * 0.45,
+                jitter_color(COLORS["sky_blue"], rng, 0.05))
+    c.rectangle(cx - w * 0.3, cy + w * 0.7, cx + w * 0.3, cy + w * 0.95,
+                jitter_color(COLORS["beige"], rng, 0.03))
+
+
+def render_computer_desktop(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Desktop PC: office scene, monitor on desk beside a tower case."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["beige"], rng, 0.04),
+                        jitter_color(COLORS["cream"], rng, 0.03))
+    # Desk.
+    c.rectangle(0.0, 0.62, 1.0, 0.72, jitter_color(COLORS["brown"], rng, 0.04))
+    c.rectangle(0.0, 0.72, 1.0, 1.0, jitter_color(COLORS["tan"], rng, 0.04))
+    _draw_monitor(c, _u(rng, 0.32, 0.42), 0.45, _u(rng, 0.13, 0.16), rng)
+    # Tower case.
+    tx = _u(rng, 0.68, 0.76)
+    c.rectangle(tx - 0.06, 0.3, tx + 0.06, 0.62,
+                jitter_color(COLORS["beige"], rng, 0.03))
+    c.rectangle(tx - 0.04, 0.34, tx + 0.04, 0.38, COLORS["charcoal"])
+    c.circle(tx, 0.56, 0.012, COLORS["green"])
+    # Keyboard.
+    c.rectangle(0.25, 0.64, 0.55, 0.69, jitter_color(COLORS["cream"], rng))
+    c.noise(rng, 0.02)
+    return c.image()
+
+
+def _draw_laptop(c: Canvas, cx: float, cy: float, w: float,
+                 rng: np.random.Generator) -> None:
+    """Open laptop: screen half plus keyboard deck trapezoid."""
+    c.rectangle(cx - w, cy - w * 1.1, cx + w, cy,
+                jitter_color(COLORS["charcoal"], rng, 0.03))
+    c.rectangle(cx - w * 0.88, cy - w, cx + w * 0.88, cy - w * 0.1,
+                jitter_color(COLORS["sky_blue"], rng, 0.05))
+    c.polygon([(cx - w, cy), (cx + w, cy), (cx + w * 1.25, cy + w * 0.5),
+               (cx - w * 1.25, cy + w * 0.5)],
+              jitter_color(COLORS["steel"], rng, 0.03))
+    c.polygon([(cx - w * 0.8, cy + w * 0.06), (cx + w * 0.8, cy + w * 0.06),
+               (cx + w * 0.95, cy + w * 0.32), (cx - w * 0.95, cy + w * 0.32)],
+              jitter_color(COLORS["charcoal"], rng, 0.03))
+
+
+def render_laptop_clear(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Laptop product shot on a clean bright background."""
+    c = Canvas(size)
+    c.fill(jitter_color(COLORS["white"], rng, 0.02))
+    _draw_laptop(c, _u(rng, 0.45, 0.55), _u(rng, 0.5, 0.58),
+                 _u(rng, 0.2, 0.26), rng)
+    c.noise(rng, 0.01)
+    return c.image()
+
+
+def render_laptop_complex(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Laptop in a cluttered cafe/desk scene with strong background texture."""
+    c = Canvas(size)
+    c.vertical_gradient(jitter_color(COLORS["brown"], rng, 0.06),
+                        jitter_color(COLORS["dark_brown"], rng, 0.05))
+    c.smooth_noise(rng, cells=6, amount=0.12)
+    # Clutter: mug, papers, window block.
+    c.rectangle(0.05, 0.05, 0.3, 0.35, jitter_color(COLORS["sky_blue"], rng),
+                alpha=0.8)
+    c.circle(_u(rng, 0.75, 0.85), _u(rng, 0.65, 0.75), 0.05,
+             jitter_color(COLORS["red"], rng))
+    c.rectangle(0.62, 0.78, 0.92, 0.9, jitter_color(COLORS["cream"], rng),
+                alpha=0.9)
+    _draw_laptop(c, _u(rng, 0.42, 0.52), _u(rng, 0.52, 0.6),
+                 _u(rng, 0.18, 0.24), rng)
+    c.speckle(rng, COLORS["gold"], density=0.02)
+    c.noise(rng, 0.03)
+    return c.image()
+
+
+# ---------------------------------------------------------------------------
+# Distractors — parametric texture scenes approximating the other ~125 Corel
+# categories (sunsets, food, buildings, abstract textures, ...).
+# ---------------------------------------------------------------------------
+_DISTRACTOR_STYLES = (
+    "blobs", "stripes", "checker", "gradient", "rings", "polys", "cloud",
+)
+
+
+def make_distractor_renderer(
+    palette_name: str, style: str, style_seed: int
+) -> Renderer:
+    """Build a renderer for one distractor category.
+
+    ``palette_name`` picks the colour family, ``style`` the texture family,
+    and ``style_seed`` fixes the per-category layout so all images of the
+    category cluster together while differing in fine detail.
+    """
+    if palette_name not in PALETTES:
+        raise DatasetError(f"unknown palette {palette_name!r}")
+    if style not in _DISTRACTOR_STYLES:
+        raise DatasetError(f"unknown distractor style {style!r}")
+    palette = PALETTES[palette_name]
+
+    def render(size: int, rng: np.random.Generator) -> np.ndarray:
+        layout = np.random.default_rng(style_seed)
+        c = Canvas(size)
+        base = palette[int(layout.integers(len(palette)))]
+        other = palette[int(layout.integers(len(palette)))]
+        c.vertical_gradient(jitter_color(base, rng, 0.04),
+                            jitter_color(other, rng, 0.04))
+        if style == "blobs":
+            for _ in range(int(layout.integers(3, 7))):
+                col = palette[int(layout.integers(len(palette)))]
+                c.circle(float(layout.uniform(0.1, 0.9)),
+                         float(layout.uniform(0.1, 0.9)),
+                         float(layout.uniform(0.06, 0.2)),
+                         jitter_color(col, rng, 0.05), alpha=0.85)
+        elif style == "stripes":
+            col = palette[int(layout.integers(len(palette)))]
+            c.stripes(jitter_color(col, rng, 0.04),
+                      count=int(layout.integers(3, 10)),
+                      horizontal=bool(layout.integers(2)), alpha=0.6,
+                      phase=float(rng.uniform(0, 0.05)))
+        elif style == "checker":
+            col = palette[int(layout.integers(len(palette)))]
+            c.checker(jitter_color(col, rng, 0.04),
+                      count=int(layout.integers(2, 6)), alpha=0.6)
+        elif style == "gradient":
+            c.horizontal_gradient(
+                jitter_color(palette[int(layout.integers(len(palette)))], rng),
+                jitter_color(palette[int(layout.integers(len(palette)))], rng))
+        elif style == "rings":
+            cx = float(layout.uniform(0.3, 0.7))
+            cy = float(layout.uniform(0.3, 0.7))
+            for k in range(int(layout.integers(3, 6)), 0, -1):
+                col = palette[k % len(palette)]
+                c.circle(cx, cy, 0.08 * k, jitter_color(col, rng, 0.04))
+        elif style == "polys":
+            for _ in range(int(layout.integers(2, 5))):
+                col = palette[int(layout.integers(len(palette)))]
+                px = float(layout.uniform(0.2, 0.8))
+                py = float(layout.uniform(0.2, 0.8))
+                r = float(layout.uniform(0.1, 0.25))
+                n = int(layout.integers(3, 7))
+                angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+                angles += float(layout.uniform(0, np.pi))
+                pts = [(px + r * np.cos(a), py + r * np.sin(a))
+                       for a in angles]
+                c.polygon(pts, jitter_color(col, rng, 0.05), alpha=0.85)
+        elif style == "cloud":
+            c.smooth_noise(rng, cells=int(layout.integers(3, 7)), amount=0.2)
+        c.noise(rng, 0.03)
+        return c.image()
+
+    return render
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def _sedan(pose: str, color: str) -> Renderer:
+    def render(size: int, rng: np.random.Generator) -> np.ndarray:
+        return render_car_sedan(size, rng, pose=pose, body_color=color)
+
+    return render
+
+
+SCENE_RENDERERS: Dict[str, Renderer] = {
+    "person_hair_model": render_person_hair_model,
+    "person_fitness": render_person_fitness,
+    "person_kongfu": render_person_kongfu,
+    "airplane_single": render_airplane_single,
+    "airplane_multiple": render_airplane_multiple,
+    "bird_eagle": render_bird_eagle,
+    "bird_owl": render_bird_owl,
+    "bird_sparrow": render_bird_sparrow,
+    "car_modern_sedan": _sedan("any", "white"),
+    "car_antique": render_car_antique,
+    "car_steamed": render_car_steamed,
+    # Pose-specific white sedans used by the Figure 1 experiment.
+    "sedan_side": _sedan("side", "white"),
+    "sedan_front": _sedan("front", "white"),
+    "sedan_back": _sedan("back", "white"),
+    "sedan_angle": _sedan("angle", "white"),
+    "horse_polo": render_horse_polo,
+    "horse_wild": render_horse_wild,
+    "horse_race": render_horse_race,
+    "mountain_snow": render_mountain_snow,
+    "mountain_water": render_mountain_water,
+    "rose_yellow": render_rose_yellow,
+    "rose_red": render_rose_red,
+    "sport_surfing": render_sport_surfing,
+    "sport_sailing": render_sport_sailing,
+    "computer_server": render_computer_server,
+    "computer_desktop": render_computer_desktop,
+    "laptop_clear": render_laptop_clear,
+    "laptop_complex": render_laptop_complex,
+}
+
+
+def render_scene(
+    name: str, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Render one image of category ``name`` at the given size."""
+    try:
+        renderer = SCENE_RENDERERS[name]
+    except KeyError as exc:
+        raise DatasetError(f"unknown scene category {name!r}") from exc
+    return renderer(size, rng)

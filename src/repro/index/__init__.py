@@ -1,0 +1,35 @@
+"""Hierarchical index substrate: R*-tree and the RFS structure.
+
+The paper organises the image database with an R\\*-tree-style hierarchical
+clustering (§3.1, citing Beckmann et al.) and extends each node with
+representative images to form the *Relevance Feedback Support* (RFS)
+structure.  This package provides:
+
+* :mod:`repro.index.geometry` — minimum bounding (hyper)rectangles,
+* :mod:`repro.index.diskmodel` — simulated disk-page access accounting,
+* :mod:`repro.index.rstar` — a full dynamic R\\*-tree (ChooseSubtree,
+  topological split, forced reinsertion) plus STR bulk loading and
+  best-first k-NN search,
+* :mod:`repro.index.rfs` — the RFS structure: the tree hierarchy enriched
+  with bottom-up k-means representative selection.
+"""
+
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.geometry import MBR
+from repro.index.hierarchies import build_hkmeans_hierarchy
+from repro.index.incremental import IncrementalRFS
+from repro.index.rfs import RFSNode, RFSStructure
+from repro.index.rstar import RStarTree
+from repro.index.serialize import load_rfs, save_rfs
+
+__all__ = [
+    "DiskAccessCounter",
+    "MBR",
+    "build_hkmeans_hierarchy",
+    "IncrementalRFS",
+    "RFSNode",
+    "RFSStructure",
+    "RStarTree",
+    "load_rfs",
+    "save_rfs",
+]

@@ -1,0 +1,77 @@
+"""Simulated disk-page accounting.
+
+The paper's §5.2.2 argues the QD/RFS approach is I/O-efficient: relevance
+feedback touches one tree node per marked representative image, and each
+localized k-NN usually reads a single leaf.  We model every tree node as
+one disk page and count page reads, with an optional LRU buffer pool so
+repeated reads of a hot node (e.g. the root) can be served from memory —
+mirroring how a real DBMS would behave.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DiskAccessCounter:
+    """Counts simulated page reads, optionally through an LRU buffer.
+
+    Parameters
+    ----------
+    buffer_pages:
+        Size of the LRU buffer pool in pages.  ``0`` disables buffering,
+        so every access is a physical read (the paper's conservative
+        accounting).
+
+    Attributes
+    ----------
+    physical_reads:
+        Page reads that missed the buffer (or all reads when unbuffered).
+    logical_reads:
+        Total page accesses, hits included.
+    """
+
+    buffer_pages: int = 0
+    physical_reads: int = 0
+    logical_reads: int = 0
+    per_category: Dict[str, int] = field(default_factory=dict)
+    _buffer: "OrderedDict[int, None]" = field(default_factory=OrderedDict)
+
+    def access(self, page_id: int, category: str = "node") -> bool:
+        """Record one access to ``page_id``.
+
+        Returns ``True`` if the access was a physical read (buffer miss).
+        ``category`` labels the access for per-phase breakdowns
+        ("feedback", "knn", ...).
+        """
+        self.logical_reads += 1
+        if self.buffer_pages > 0 and page_id in self._buffer:
+            self._buffer.move_to_end(page_id)
+            return False
+        self.physical_reads += 1
+        self.per_category[category] = self.per_category.get(category, 0) + 1
+        if self.buffer_pages > 0:
+            self._buffer[page_id] = None
+            if len(self._buffer) > self.buffer_pages:
+                self._buffer.popitem(last=False)
+        return True
+
+    def reset(self) -> None:
+        """Zero all counters and clear the buffer pool."""
+        self.physical_reads = 0
+        self.logical_reads = 0
+        self.per_category.clear()
+        self._buffer.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counters as a plain dictionary (for reports)."""
+        out = {
+            "physical_reads": self.physical_reads,
+            "logical_reads": self.logical_reads,
+        }
+        for key, value in sorted(self.per_category.items()):
+            out[f"reads[{key}]"] = value
+        return out

@@ -1,0 +1,186 @@
+"""Minimum bounding hyperrectangles for the R*-tree.
+
+An :class:`MBR` is an axis-aligned box in the 37-d feature space.  All the
+R*-tree heuristics (area, margin, overlap, centre distance) and the RFS
+boundary-expansion rule (node diagonal) are defined here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class MBR:
+    """Axis-aligned minimum bounding rectangle in d dimensions.
+
+    Immutable by convention: operations return new boxes.  ``lo``/``hi``
+    are (d,) arrays with ``lo <= hi`` elementwise.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.ndim != 1 or lo.shape != hi.shape:
+            raise ConfigurationError(
+                f"MBR bounds must be matching 1-D arrays, got "
+                f"{lo.shape} and {hi.shape}"
+            )
+        if np.any(lo > hi):
+            raise ConfigurationError("MBR requires lo <= hi elementwise")
+        self.lo = lo
+        self.hi = hi
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "MBR":
+        """Degenerate box covering a single point."""
+        p = np.asarray(point, dtype=np.float64)
+        return cls(p.copy(), p.copy())
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "MBR":
+        """Tight box around an (n, d) point matrix."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ConfigurationError(
+                f"from_points needs a non-empty (n, d) matrix, got shape "
+                f"{pts.shape}"
+            )
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @classmethod
+    def union_of(cls, boxes: list["MBR"]) -> "MBR":
+        """Smallest box covering all ``boxes``."""
+        if not boxes:
+            raise ConfigurationError("union_of needs at least one box")
+        lo = boxes[0].lo.copy()
+        hi = boxes[0].hi.copy()
+        for box in boxes[1:]:
+            np.minimum(lo, box.lo, out=lo)
+            np.maximum(hi, box.hi, out=hi)
+        return cls(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the box."""
+        return self.lo.shape[0]
+
+    def extents(self) -> np.ndarray:
+        """Per-dimension side lengths."""
+        return self.hi - self.lo
+
+    def center(self) -> np.ndarray:
+        """Geometric centre of the box."""
+        return (self.lo + self.hi) / 2.0
+
+    def area(self) -> float:
+        """Volume of the box (product of extents).
+
+        Computed in log space to stay finite in high dimensions, then
+        exponentiated; degenerate boxes return 0.
+        """
+        ext = self.extents()
+        if np.any(ext == 0):
+            return 0.0
+        return float(np.exp(np.sum(np.log(ext))))
+
+    def log_area(self, floor: float = 1e-12) -> float:
+        """Log-volume with a per-dimension floor; robust heuristic form.
+
+        High-dimensional R*-tree heuristics compare products of 37
+        extents, which overflow/underflow as raw volumes.  All internal
+        comparisons therefore use log-volumes with degenerate extents
+        floored at ``floor``.
+        """
+        ext = np.maximum(self.extents(), floor)
+        return float(np.sum(np.log(ext)))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree 'margin' heuristic)."""
+        return float(np.sum(self.extents()))
+
+    def diagonal(self) -> float:
+        """Euclidean length of the main diagonal.
+
+        This is the denominator of the paper's boundary-expansion test
+        (§3.3): expand to the parent when
+        ``dist(query, centre) / diagonal > threshold``.
+        """
+        return float(np.linalg.norm(self.extents()))
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest box covering ``self`` and ``other``."""
+        return MBR(
+            np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi)
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Increase in log-volume needed to absorb ``other``.
+
+        Uses log-volumes (see :meth:`log_area`) so the quantity is
+        comparable across nodes in high dimensions.
+        """
+        return self.union(other).log_area() - self.log_area()
+
+    def intersects(self, other: "MBR") -> bool:
+        """Whether the two boxes overlap (touching counts)."""
+        return bool(
+            np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi)
+        )
+
+    def overlap_measure(self, other: "MBR") -> float:
+        """Overlap size used by the split heuristic.
+
+        Zero when disjoint; otherwise the *margin* (perimeter) of the
+        intersection box.  The classic R*-tree uses intersection volume,
+        which in 37 dimensions collapses to numerical zero almost always;
+        the intersection margin preserves the heuristic's ordering while
+        staying numerically meaningful.
+        """
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return 0.0
+        return float(np.sum(hi - lo))
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies inside the box (boundary inclusive)."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def min_distance(self, point: np.ndarray) -> float:
+        """MINDIST: Euclidean distance from ``point`` to the box (0 inside).
+
+        The standard lower bound driving best-first k-NN search.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        below = np.maximum(self.lo - p, 0.0)
+        above = np.maximum(p - self.hi, 0.0)
+        return float(np.linalg.norm(below + above))
+
+    def center_distance(self, point: np.ndarray) -> float:
+        """Euclidean distance from ``point`` to the box centre."""
+        return float(np.linalg.norm(self.center() - np.asarray(point)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MBR(dims={self.dims}, margin={self.margin():.3f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.lo, other.lo)
+            and np.array_equal(self.hi, other.hi)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo.tobytes(), self.hi.tobytes()))

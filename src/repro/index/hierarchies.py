@@ -1,0 +1,124 @@
+"""Alternative hierarchy builders for the RFS structure.
+
+The paper's §3.1 constructs the RFS tree with an R*-tree-style
+hierarchical clustering but explicitly notes other clustering techniques
+would serve ("We could have also chosen other clustering techniques such
+as the Hierarchical Generative Topographic Mapping").  This module
+provides **top-down hierarchical k-means**: the image set is split into
+a handful of k-means clusters, each cluster recursively re-split until
+it fits a leaf.  Compared to the R*-tree path it follows the data's
+natural cluster structure more directly at the price of less balanced
+node sizes.
+
+The output plugs straight into :class:`~repro.index.rfs.RFSStructure`
+(see ``RFSStructure.build(..., method="hkmeans")``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.config import RFSConfig
+from repro.errors import ClusteringError
+from repro.index.geometry import MBR
+from repro.index.rfs import RFSNode
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+#: Default branching factor of a top-down split.
+DEFAULT_BRANCHING = 8
+
+
+def build_hkmeans_hierarchy(
+    features: np.ndarray,
+    config: RFSConfig,
+    registry: Dict[int, RFSNode],
+    *,
+    seed: RandomState = None,
+    branching: int = DEFAULT_BRANCHING,
+) -> RFSNode:
+    """Build a hierarchical-k-means RFS node tree over ``features``.
+
+    Parameters
+    ----------
+    features:
+        (n, d) feature matrix; row index is the image id.
+    config:
+        Node capacity bounds (``node_max_entries`` caps leaf sizes).
+    registry:
+        Output mapping node id → node (shared with the RFS structure).
+    seed:
+        Randomness for the k-means splits.
+    branching:
+        Number of children per split (clusters smaller than the leaf
+        capacity stop splitting, so actual fan-out varies).
+    """
+    if branching < 2:
+        raise ClusteringError(f"branching must be >= 2, got {branching}")
+    matrix = np.asarray(features, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ClusteringError(
+            f"features must be a non-empty (n, d) matrix, got shape "
+            f"{matrix.shape}"
+        )
+    rng = ensure_rng(seed)
+    ids = itertools.count()
+    root = _split(
+        matrix,
+        np.arange(matrix.shape[0], dtype=np.int64),
+        config.node_max_entries,
+        branching,
+        rng,
+        ids,
+        registry,
+    )
+    return root
+
+
+def _split(
+    features: np.ndarray,
+    item_ids: np.ndarray,
+    leaf_capacity: int,
+    branching: int,
+    rng: np.random.Generator,
+    ids: "itertools.count[int]",
+    registry: Dict[int, RFSNode],
+) -> RFSNode:
+    """Recursively split ``item_ids`` into a node subtree."""
+    members = features[item_ids]
+    node = RFSNode(
+        node_id=next(ids),
+        level=0,  # corrected bottom-up below
+        item_ids=np.sort(item_ids),
+        mbr=MBR.from_points(members),
+        center=members.mean(axis=0),
+    )
+    registry[node.node_id] = node
+    if item_ids.shape[0] <= leaf_capacity:
+        return node
+    k = min(branching, item_ids.shape[0])
+    result = kmeans(
+        members, k, seed=derive_rng(rng, f"split{node.node_id}"),
+        n_restarts=1,
+    )
+    groups = [
+        item_ids[result.labels == j]
+        for j in range(k)
+        if np.any(result.labels == j)
+    ]
+    if len(groups) < 2:
+        # Degenerate data (duplicates): force an arbitrary halving so the
+        # recursion terminates.
+        half = item_ids.shape[0] // 2
+        groups = [item_ids[:half], item_ids[half:]]
+    for group in groups:
+        child = _split(
+            features, group, leaf_capacity, branching, rng, ids, registry
+        )
+        child.parent = node
+        node.children.append(child)
+    node.level = 1 + max(child.level for child in node.children)
+    return node

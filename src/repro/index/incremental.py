@@ -1,0 +1,277 @@
+"""Incremental maintenance of a built RFS structure.
+
+The paper's prototype builds the RFS structure once over a static
+database.  A deployed system ingests new images continuously; this
+module adds that capability without a full rebuild:
+
+* :func:`insert_image` — route a new feature vector down the hierarchy
+  (nearest child centre), append it to the chosen leaf, patch member
+  lists / centres / bounding boxes along the path, and refresh the
+  leaf's representatives.  Leaves that outgrow the capacity split by
+  2-means, mirroring how the clustering bulk load partitions.
+* :func:`remove_image` — detach an image from its leaf and patch the
+  path (representative lists are refreshed; empty leaves are pruned).
+
+Upper-level representative lists are *not* recomputed on every insert —
+they refresh lazily when a node's accumulated changes exceed a fraction
+of its size (:class:`IncrementalRFS` tracks dirtiness), which keeps
+inserts O(depth × leaf work).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError, QueryError
+from repro.index.geometry import MBR
+from repro.index.rfs import RFSNode, RFSStructure
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+#: A node refreshes its representative list once its accumulated
+#: insert/remove count exceeds this fraction of its size.
+REFRESH_FRACTION = 0.1
+
+
+class IncrementalRFS:
+    """Wraps an :class:`RFSStructure` with insert/remove operations.
+
+    The wrapped structure keeps working for queries at all times; the
+    feature matrix grows via an internal buffer (``features`` property
+    always returns the current full matrix).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.config import RFSConfig
+    >>> base = np.random.default_rng(0).normal(size=(200, 8))
+    >>> rfs = RFSStructure.build(base, RFSConfig(node_max_entries=40,
+    ...     node_min_entries=20), seed=1)
+    >>> inc = IncrementalRFS(rfs, seed=1)
+    >>> new_id = inc.insert_image(np.zeros(8))
+    >>> new_id
+    200
+    """
+
+    def __init__(
+        self, rfs: RFSStructure, *, seed: RandomState = None
+    ) -> None:
+        self.rfs = rfs
+        self._rng = ensure_rng(seed)
+        self._dirty: Dict[int, int] = {}
+        self._next_node_id = max(rfs.nodes) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def features(self) -> np.ndarray:
+        """The current feature matrix (grows with inserts)."""
+        return self.rfs.features
+
+    @property
+    def size(self) -> int:
+        """Number of images currently indexed."""
+        return self.rfs.root.size
+
+    # ------------------------------------------------------------------
+    def insert_image(self, vector: np.ndarray) -> int:
+        """Add one feature vector; returns its new image id."""
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.rfs.features.shape[1],):
+            raise QueryError(
+                f"vector must have shape "
+                f"({self.rfs.features.shape[1]},), got {vec.shape}"
+            )
+        image_id = self.rfs.features.shape[0]
+        self.rfs.features = np.vstack([self.rfs.features, vec[None, :]])
+
+        node = self.rfs.root
+        path: List[RFSNode] = [node]
+        while not node.is_leaf:
+            centres = np.vstack([c.center for c in node.children])
+            child_idx = int(
+                np.argmin(np.linalg.norm(centres - vec, axis=1))
+            )
+            node = node.children[child_idx]
+            path.append(node)
+        for ancestor in path:
+            self._attach(ancestor, image_id, vec)
+        leaf = path[-1]
+        self._mark_dirty(path)
+        if leaf.size > self.rfs.config.node_max_entries:
+            self._split_leaf(leaf)
+        self._refresh_dirty(path)
+        return image_id
+
+    def remove_image(self, image_id: int) -> None:
+        """Detach an image from the structure (its row stays allocated).
+
+        Raises :class:`NodeNotFoundError` when the id is not indexed.
+        """
+        leaf = self.rfs.leaf_of_item(int(image_id))
+        path: List[RFSNode] = []
+        node: Optional[RFSNode] = leaf
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        for ancestor in path:
+            self._detach(ancestor, int(image_id))
+        if leaf.size == 0 and leaf.parent is not None:
+            self._prune(leaf)
+        self._mark_dirty(path)
+        self._refresh_dirty(path)
+
+    # ------------------------------------------------------------------
+    def _attach(
+        self, node: RFSNode, image_id: int, vec: np.ndarray
+    ) -> None:
+        old_size = node.size
+        node.item_ids = np.insert(
+            node.item_ids,
+            int(np.searchsorted(node.item_ids, image_id)),
+            image_id,
+        )
+        node.center = (node.center * old_size + vec) / (old_size + 1)
+        node.mbr = MBR(
+            np.minimum(node.mbr.lo, vec), np.maximum(node.mbr.hi, vec)
+        )
+
+    def _detach(self, node: RFSNode, image_id: int) -> None:
+        pos = int(np.searchsorted(node.item_ids, image_id))
+        if (
+            pos >= node.item_ids.shape[0]
+            or node.item_ids[pos] != image_id
+        ):
+            raise NodeNotFoundError(
+                f"image {image_id} not under node {node.node_id}"
+            )
+        node.item_ids = np.delete(node.item_ids, pos)
+        if node.size > 0:
+            members = self.rfs.features[node.item_ids]
+            node.center = members.mean(axis=0)
+            node.mbr = MBR.from_points(members)
+        node.representatives = [
+            r for r in node.representatives if r != image_id
+        ]
+        node.rep_child_index.pop(image_id, None)
+
+    def _prune(self, leaf: RFSNode) -> None:
+        parent = leaf.parent
+        assert parent is not None
+        parent.children = [c for c in parent.children if c is not leaf]
+        self.rfs.nodes.pop(leaf.node_id, None)
+        self._rebuild_routing(parent)
+
+    def _split_leaf(self, leaf: RFSNode) -> None:
+        """2-means split of an overfull leaf into two siblings."""
+        parent = leaf.parent
+        features = self.rfs.features
+        members = features[leaf.item_ids]
+        from repro.clustering.kmeans import kmeans
+
+        result = kmeans(
+            members, 2, seed=derive_rng(self._rng, f"split{leaf.node_id}"),
+            n_restarts=1,
+        )
+        sides = [leaf.item_ids[result.labels == j] for j in (0, 1)]
+        if any(side.shape[0] == 0 for side in sides):
+            half = leaf.size // 2
+            sides = [leaf.item_ids[:half], leaf.item_ids[half:]]
+        if parent is None:
+            # Root leaf: grow a new level.
+            new_root_children = []
+            for side in sides:
+                child = self._new_leaf(side)
+                new_root_children.append(child)
+            leaf.children = new_root_children
+            for child in new_root_children:
+                child.parent = leaf
+            leaf.level = 1
+            self._refresh_representatives(leaf)
+            self._rebuild_routing(leaf)
+            return
+        parent.children = [c for c in parent.children if c is not leaf]
+        self.rfs.nodes.pop(leaf.node_id, None)
+        for side in sides:
+            child = self._new_leaf(side)
+            child.parent = parent
+            parent.children.append(child)
+        self._rebuild_routing(parent)
+
+    def _new_leaf(self, item_ids: np.ndarray) -> RFSNode:
+        features = self.rfs.features
+        members = features[item_ids]
+        node = RFSNode(
+            node_id=self._next_node_id,
+            level=0,
+            item_ids=np.sort(item_ids),
+            mbr=MBR.from_points(members),
+            center=members.mean(axis=0),
+        )
+        self._next_node_id += 1
+        self.rfs.nodes[node.node_id] = node
+        self._refresh_representatives(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Lazy representative refresh
+    # ------------------------------------------------------------------
+    def _mark_dirty(self, path: List[RFSNode]) -> None:
+        for node in path:
+            self._dirty[node.node_id] = (
+                self._dirty.get(node.node_id, 0) + 1
+            )
+
+    def _refresh_dirty(self, path: List[RFSNode]) -> None:
+        # Refresh bottom-up so upper nodes see fresh child reps.
+        for node in reversed(path):
+            if node.node_id not in self.rfs.nodes:
+                continue  # split/pruned away
+            changes = self._dirty.get(node.node_id, 0)
+            if changes >= max(1, int(REFRESH_FRACTION * node.size)):
+                self._refresh_representatives(node)
+                if not node.is_leaf:
+                    self._rebuild_routing(node)
+                self._dirty[node.node_id] = 0
+
+    def _refresh_representatives(self, node: RFSNode) -> None:
+        if node.is_leaf:
+            node.representatives = self.rfs._leaf_representatives(
+                node, derive_rng(self._rng, f"re{node.node_id}")
+            )
+        else:
+            node.representatives = self.rfs._inner_representatives(
+                node, derive_rng(self._rng, f"re{node.node_id}")
+            )
+
+    def _rebuild_routing(self, node: RFSNode) -> None:
+        node.rep_child_index.clear()
+        for idx, child in enumerate(node.children):
+            owned = set(child.item_ids.tolist())
+            for rep in node.representatives:
+                if rep in owned:
+                    node.rep_child_index[rep] = idx
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants (used by the property tests)."""
+        for node in self.rfs.iter_nodes():
+            if not node.is_leaf:
+                child_ids = np.sort(
+                    np.concatenate(
+                        [c.item_ids for c in node.children]
+                    )
+                ) if node.children else np.empty(0, dtype=np.int64)
+                assert np.array_equal(child_ids, node.item_ids), (
+                    f"node {node.node_id} member mismatch"
+                )
+                for child in node.children:
+                    assert child.parent is node
+            if node.size:
+                members = self.rfs.features[node.item_ids]
+                assert np.all(members >= node.mbr.lo - 1e-9)
+                assert np.all(members <= node.mbr.hi + 1e-9)
+            for rep in node.representatives:
+                assert rep in node.item_ids, (
+                    f"stale representative {rep} in node {node.node_id}"
+                )

@@ -1,0 +1,467 @@
+"""The Relevance Feedback Support (RFS) structure (paper §3.1).
+
+The RFS structure is an R*-tree-style hierarchical clustering of the image
+database in which every node additionally stores *representative images*:
+
+* at the leaf level, each leaf's images are clustered with unsupervised
+  k-means and the images nearest the subcluster centres become the leaf's
+  representatives;
+* at every upper level, the representatives of a node's children are
+  aggregated and clustered again with k-means, and the candidates nearest
+  the new centres become the node's representatives;
+* the number of representatives of a node is proportional to the number
+  of images it covers, so upper nodes carry more representatives (the
+  paper designates ~5 % of the database as representative overall).
+
+All information needed for relevance feedback — representative ids and
+which child each one belongs to — is self-contained in the nodes, so
+feedback rounds never touch raw image data or perform k-NN computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import RFSConfig
+from repro.errors import (
+    ConfigurationError,
+    EmptyIndexError,
+    NodeNotFoundError,
+)
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.geometry import MBR
+from repro.index.rstar import Node, RStarTree
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.utils.validation import check_vectors
+from repro.clustering.kmeans import kmeans
+
+
+class RFSNode:
+    """One cluster of the RFS hierarchy.
+
+    Mirrors an R*-tree node, materialising everything query decomposition
+    needs: the member image ids, the cluster centre and diagonal (for the
+    boundary-expansion test), and the representative image ids.
+    """
+
+    __slots__ = (
+        "node_id",
+        "level",
+        "item_ids",
+        "children",
+        "parent",
+        "mbr",
+        "center",
+        "representatives",
+        "rep_child_index",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        level: int,
+        item_ids: np.ndarray,
+        mbr: MBR,
+        center: np.ndarray,
+    ) -> None:
+        self.node_id = node_id
+        self.level = level
+        self.item_ids = item_ids
+        self.children: List["RFSNode"] = []
+        self.parent: Optional["RFSNode"] = None
+        self.mbr = mbr
+        self.center = center
+        self.representatives: List[int] = []
+        # Maps a representative image id to the index of the child whose
+        # subtree contains it (None-valued dict at leaves).
+        self.rep_child_index: Dict[int, int] = {}
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is at the bottom of the hierarchy."""
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """Number of database images covered by this node's subtree."""
+        return int(self.item_ids.shape[0])
+
+    def diagonal(self) -> float:
+        """Euclidean diagonal of the node's bounding box."""
+        return self.mbr.diagonal()
+
+    def child_of_representative(self, rep_id: int) -> "RFSNode":
+        """The child node whose subtree contains representative ``rep_id``."""
+        try:
+            return self.children[self.rep_child_index[rep_id]]
+        except (KeyError, IndexError) as exc:
+            raise NodeNotFoundError(
+                f"image {rep_id} is not a representative routed through "
+                f"node {self.node_id}"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RFSNode(id={self.node_id}, level={self.level}, "
+            f"size={self.size}, reps={len(self.representatives)})"
+        )
+
+
+class RFSStructure:
+    """The full RFS index over a feature database.
+
+    Build with :meth:`build`; the structure keeps a reference to the
+    feature matrix (rows indexed by image id) and exposes the node
+    hierarchy, representative routing, and localized k-NN computation with
+    simulated I/O accounting.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> feats = np.random.default_rng(0).normal(size=(300, 8))
+    >>> rfs = RFSStructure.build(feats, RFSConfig(node_max_entries=40,
+    ...     node_min_entries=20, leaf_subclusters=3), seed=1)
+    >>> rfs.root.size
+    300
+    >>> len(rfs.root.representatives) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        root: RFSNode,
+        nodes: Dict[int, RFSNode],
+        config: RFSConfig,
+        io: DiskAccessCounter,
+    ) -> None:
+        self.features = features
+        self.root = root
+        self.nodes = nodes
+        self.config = config
+        self.io = io
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        features: np.ndarray,
+        config: Optional[RFSConfig] = None,
+        *,
+        seed: RandomState = None,
+        io: Optional[DiskAccessCounter] = None,
+        method: str = "rstar",
+    ) -> "RFSStructure":
+        """Build the RFS structure over an (n, d) feature matrix.
+
+        ``method`` selects the hierarchical clustering that produces the
+        tree (§3.1 notes the choice is open):
+
+        * ``"rstar"`` (default) — the R*-tree clustering bulk load, the
+          paper's choice;
+        * ``"hkmeans"`` — top-down hierarchical k-means, an alternative
+          in the spirit of the paper's Hierarchical-GTM remark.
+
+        Representatives are then selected bottom-up with k-means either
+        way.
+        """
+        matrix = check_vectors("features", features)
+        cfg = config or RFSConfig()
+        rng = ensure_rng(seed)
+        counter = io if io is not None else DiskAccessCounter()
+
+        nodes: Dict[int, RFSNode] = {}
+        if method == "rstar":
+            tree = RStarTree(
+                dims=matrix.shape[1],
+                max_entries=cfg.node_max_entries,
+                min_entries=min(
+                    cfg.node_min_entries, cfg.node_max_entries
+                ),
+                split_min_entries=cfg.split_min_entries,
+                reinsert_fraction=cfg.reinsert_fraction,
+                io=counter,
+            )
+            tree.bulk_load(matrix, seed=derive_rng(rng, "bulkload"))
+            root = cls._materialise(tree.root, matrix, nodes)
+        elif method == "hkmeans":
+            from repro.index.hierarchies import build_hkmeans_hierarchy
+
+            root = build_hkmeans_hierarchy(
+                matrix, cfg, nodes, seed=derive_rng(rng, "hkmeans")
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown hierarchy method {method!r}; "
+                "use 'rstar' or 'hkmeans'"
+            )
+        structure = cls(matrix, root, nodes, cfg, counter)
+        structure._select_representatives(derive_rng(rng, "reps"))
+        return structure
+
+    @staticmethod
+    def _materialise(
+        tree_node: Node, features: np.ndarray, registry: Dict[int, RFSNode]
+    ) -> RFSNode:
+        """Recursively convert an R*-tree node into an RFS node."""
+        if tree_node.is_leaf:
+            ids = np.array(
+                sorted(e.item_id for e in tree_node.entries), dtype=np.int64
+            )
+            node = RFSNode(
+                node_id=tree_node.node_id,
+                level=tree_node.level,
+                item_ids=ids,
+                mbr=tree_node.mbr(),
+                center=features[ids].mean(axis=0),
+            )
+        else:
+            children = [
+                RFSStructure._materialise(e.child, features, registry)
+                for e in tree_node.entries
+                if e.child is not None
+            ]
+            ids = np.sort(
+                np.concatenate([c.item_ids for c in children])
+            )
+            node = RFSNode(
+                node_id=tree_node.node_id,
+                level=tree_node.level,
+                item_ids=ids,
+                mbr=tree_node.mbr(),
+                center=features[ids].mean(axis=0),
+            )
+            node.children = children
+            for child in children:
+                child.parent = node
+        registry[node.node_id] = node
+        return node
+
+    def _target_rep_count(self, node: RFSNode) -> int:
+        """Representative budget for a node (proportional to its size)."""
+        return max(1, int(round(self.config.representative_fraction * node.size)))
+
+    def _select_representatives(self, rng: np.random.Generator) -> None:
+        """Bottom-up k-means representative selection (paper §3.1)."""
+        for node in self._post_order(self.root):
+            if node.is_leaf:
+                node.representatives = self._leaf_representatives(node, rng)
+            else:
+                node.representatives = self._inner_representatives(node, rng)
+                # Route each representative to the child that owns it.
+                for idx, child in enumerate(node.children):
+                    owned = set(child.item_ids.tolist())
+                    for rep in node.representatives:
+                        if rep in owned:
+                            node.rep_child_index[rep] = idx
+
+    def _leaf_representatives(
+        self, node: RFSNode, rng: np.random.Generator
+    ) -> List[int]:
+        """Cluster the leaf's images; pick images nearest the centres."""
+        target = self._target_rep_count(node)
+        members = self.features[node.item_ids]
+        k = min(self.config.leaf_subclusters, node.size)
+        result = kmeans(members, k, seed=derive_rng(rng, f"leaf{node.node_id}"))
+        reps: List[int] = []
+        sizes = result.cluster_sizes()
+        for j in range(k):
+            mask = result.labels == j
+            if not mask.any():
+                continue
+            # Proportional share of the budget, at least one per subcluster.
+            share = max(1, int(round(target * sizes[j] / node.size)))
+            member_ids = node.item_ids[mask]
+            dists = np.linalg.norm(
+                members[mask] - result.centroids[j], axis=1
+            )
+            order = np.argsort(dists, kind="stable")[:share]
+            reps.extend(int(member_ids[i]) for i in order)
+        return sorted(set(reps))
+
+    def _inner_representatives(
+        self, node: RFSNode, rng: np.random.Generator
+    ) -> List[int]:
+        """Aggregate child representatives, re-cluster, pick the nearest."""
+        candidates = sorted(
+            {rep for child in node.children for rep in child.representatives}
+        )
+        target = min(self._target_rep_count(node), len(candidates))
+        if target >= len(candidates):
+            return candidates
+        cand_ids = np.array(candidates, dtype=np.int64)
+        cand_feats = self.features[cand_ids]
+        result = kmeans(
+            cand_feats, target, seed=derive_rng(rng, f"inner{node.node_id}")
+        )
+        reps: List[int] = []
+        for j in range(target):
+            dists = np.linalg.norm(cand_feats - result.centroids[j], axis=1)
+            reps.append(int(cand_ids[int(np.argmin(dists))]))
+        return sorted(set(reps))
+
+    def _post_order(self, node: RFSNode) -> Iterator[RFSNode]:
+        for child in node.children:
+            yield from self._post_order(child)
+        yield node
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[RFSNode]:
+        """Yield every node, root first."""
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            yield node
+            queue.extend(node.children)
+
+    @property
+    def height(self) -> int:
+        """Number of levels in the hierarchy."""
+        depth = 1
+        node = self.root
+        while node.children:
+            depth += 1
+            node = node.children[0]
+        return depth
+
+    def get_node(self, node_id: int) -> RFSNode:
+        """Look up a node by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError as exc:
+            raise NodeNotFoundError(f"no RFS node with id {node_id}") from exc
+
+    def all_representatives(self) -> List[int]:
+        """Distinct representative image ids across the whole structure."""
+        reps = set()
+        for node in self.iter_nodes():
+            reps.update(node.representatives)
+        return sorted(reps)
+
+    def representative_fraction(self) -> float:
+        """Achieved fraction of the database designated representative."""
+        return len(self.all_representatives()) / max(1, self.root.size)
+
+    def leaf_of_item(self, item_id: int) -> RFSNode:
+        """The leaf whose subtree contains ``item_id``."""
+        node = self.root
+        while not node.is_leaf:
+            for child in node.children:
+                pos = np.searchsorted(child.item_ids, item_id)
+                if (
+                    pos < child.item_ids.shape[0]
+                    and child.item_ids[pos] == item_id
+                ):
+                    node = child
+                    break
+            else:
+                raise NodeNotFoundError(
+                    f"item {item_id} not present in the structure"
+                )
+        return node
+
+    # ------------------------------------------------------------------
+    # Localized k-NN (paper §3.3)
+    # ------------------------------------------------------------------
+    def expand_search_node(
+        self, start: RFSNode, query_points: np.ndarray, threshold: float
+    ) -> RFSNode:
+        """Apply the boundary-expansion rule.
+
+        Starting at ``start``, while any query point's distance from the
+        node centre exceeds ``threshold`` × node diagonal, widen the
+        search to the parent node.
+        """
+        points = check_vectors(
+            "query_points", query_points, dim=self.features.shape[1]
+        )
+        node = start
+        while node.parent is not None:
+            diag = node.diagonal()
+            if diag <= 0:
+                node = node.parent
+                continue
+            ratios = (
+                np.linalg.norm(points - node.center, axis=1) / diag
+            )
+            if float(ratios.max()) <= threshold:
+                break
+            node = node.parent
+        return node
+
+    def localized_knn(
+        self,
+        node: RFSNode,
+        query_point: np.ndarray,
+        k: int,
+        *,
+        io_category: str = "localized_knn",
+        weights: Optional[np.ndarray] = None,
+    ) -> List[tuple[float, int]]:
+        """k nearest images to ``query_point`` inside ``node``'s subtree.
+
+        Leaf pages under ``node`` are read in ascending MINDIST order and
+        the scan stops once no unread leaf can improve the k-th best
+        distance — so a localized query usually reads a single leaf even
+        when boundary expansion widened the search node (the paper's
+        §5.2.2 I/O behaviour: "processing of all the localized k-NN
+        subqueries need to access only a few neighborhoods").
+
+        ``weights`` optionally applies a per-dimension weighted Euclidean
+        metric (e.g. from
+        :class:`repro.retrieval.weighting.FamilyWeights`); the leaf
+        MINDIST bound is weighted consistently, so pruning stays exact.
+        """
+        if node.size == 0:
+            raise EmptyIndexError(f"node {node.node_id} covers no images")
+        query = np.asarray(query_point, dtype=np.float64)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != query.shape:
+                raise ConfigurationError(
+                    f"weights shape {weights.shape} != query "
+                    f"{query.shape}"
+                )
+
+        def leaf_mindist(leaf: RFSNode) -> float:
+            if weights is None:
+                return leaf.mbr.min_distance(query)
+            below = np.maximum(leaf.mbr.lo - query, 0.0)
+            above = np.maximum(query - leaf.mbr.hi, 0.0)
+            gap = below + above
+            return float(np.sqrt(np.sum(weights * gap * gap)))
+
+        leaves = sorted(self._leaves_under(node), key=leaf_mindist)
+        take = min(k, node.size)
+        best: List[tuple[float, int]] = []  # kept sorted ascending
+        kth = np.inf
+        for leaf in leaves:
+            if len(best) >= take and leaf_mindist(leaf) > kth:
+                break
+            self.io.access(leaf.node_id, io_category)
+            members = self.features[leaf.item_ids]
+            diff = members - query
+            if weights is None:
+                dists = np.sqrt(np.sum(diff * diff, axis=1))
+            else:
+                dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
+            for dist, image_id in zip(dists, leaf.item_ids):
+                best.append((float(dist), int(image_id)))
+            best.sort(key=lambda pair: (pair[0], pair[1]))
+            del best[take:]
+            if len(best) >= take:
+                kth = best[-1][0]
+        return best
+
+    def _leaves_under(self, node: RFSNode) -> Iterator[RFSNode]:
+        if node.is_leaf:
+            yield node
+            return
+        for child in node.children:
+            yield from self._leaves_under(child)

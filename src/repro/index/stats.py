@@ -1,0 +1,136 @@
+"""Structural statistics of an RFS hierarchy.
+
+Operational diagnostics for a built (or incrementally maintained)
+structure: per-level node counts and fill factors, sibling overlap,
+representative coverage, and cluster purity against ground-truth labels
+when available.  The node-capacity and hierarchy ablations report these
+numbers; deployments use them to decide when to reindex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.index.rfs import RFSStructure
+
+
+@dataclass
+class LevelStats:
+    """Aggregates for one level of the hierarchy."""
+
+    level: int
+    n_nodes: int
+    mean_size: float
+    min_size: int
+    max_size: int
+    mean_representatives: float
+    mean_sibling_overlap: float
+
+
+@dataclass
+class TreeStats:
+    """Full structural report of an RFS hierarchy."""
+
+    n_images: int
+    n_nodes: int
+    height: int
+    representative_fraction: float
+    levels: List[LevelStats]
+    label_purity: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            "RFS structure statistics:",
+            f"  images={self.n_images}  nodes={self.n_nodes}  "
+            f"height={self.height}  "
+            f"representatives={self.representative_fraction:.1%}",
+        ]
+        if self.label_purity is not None:
+            lines.append(
+                f"  leaf label purity: {self.label_purity:.1%} "
+                "(dominant-category share per leaf)"
+            )
+        lines.append(
+            f"  {'level':>5s} {'nodes':>6s} {'size μ':>8s} "
+            f"{'min':>5s} {'max':>5s} {'reps μ':>7s} {'overlap μ':>9s}"
+        )
+        for lv in self.levels:
+            lines.append(
+                f"  {lv.level:5d} {lv.n_nodes:6d} {lv.mean_size:8.1f} "
+                f"{lv.min_size:5d} {lv.max_size:5d} "
+                f"{lv.mean_representatives:7.1f} "
+                f"{lv.mean_sibling_overlap:9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compute_tree_stats(
+    rfs: RFSStructure,
+    labels: Optional[np.ndarray] = None,
+) -> TreeStats:
+    """Compute :class:`TreeStats` for a structure.
+
+    ``labels`` (per-image ground-truth category ids) enables the leaf
+    purity metric — how semantically clean the visual clustering came
+    out, which bounds what representative selection can achieve.
+    """
+    by_level: Dict[int, List] = {}
+    for node in rfs.iter_nodes():
+        by_level.setdefault(node.level, []).append(node)
+
+    levels: List[LevelStats] = []
+    for level in sorted(by_level, reverse=True):
+        nodes = by_level[level]
+        sizes = [n.size for n in nodes]
+        reps = [len(n.representatives) for n in nodes]
+        overlaps: List[float] = []
+        for node in nodes:
+            siblings = (
+                node.parent.children if node.parent is not None else []
+            )
+            for sib in siblings:
+                if sib is node or sib.level != node.level:
+                    continue
+                overlaps.append(node.mbr.overlap_measure(sib.mbr))
+        levels.append(
+            LevelStats(
+                level=level,
+                n_nodes=len(nodes),
+                mean_size=float(np.mean(sizes)),
+                min_size=int(min(sizes)),
+                max_size=int(max(sizes)),
+                mean_representatives=float(np.mean(reps)),
+                mean_sibling_overlap=(
+                    float(np.mean(overlaps)) if overlaps else 0.0
+                ),
+            )
+        )
+
+    purity: Optional[float] = None
+    if labels is not None:
+        labels = np.asarray(labels)
+        shares: List[float] = []
+        weights: List[int] = []
+        for node in rfs.iter_nodes():
+            if not node.is_leaf or node.size == 0:
+                continue
+            member_labels = labels[node.item_ids]
+            counts = np.bincount(member_labels)
+            shares.append(float(counts.max() / node.size))
+            weights.append(node.size)
+        if shares:
+            purity = float(np.average(shares, weights=weights))
+
+    return TreeStats(
+        n_images=rfs.root.size,
+        n_nodes=len(rfs.nodes),
+        height=rfs.height,
+        representative_fraction=rfs.representative_fraction(),
+        levels=levels,
+        label_purity=purity,
+    )

@@ -1,0 +1,29 @@
+"""Distance functions, multipoint queries, and top-k machinery.
+
+These are the retrieval primitives shared by the Query Decomposition core
+and all baseline techniques: plain/weighted/quadratic-form distances
+(§2's survey of query-point-movement and Qcluster), the MARS-style
+multipoint query, and ranked-list utilities.
+"""
+
+from repro.retrieval.distance import (
+    euclidean,
+    euclidean_many,
+    quadratic_form_distance,
+    weighted_euclidean,
+)
+from repro.retrieval.multipoint import MultipointQuery
+from repro.retrieval.topk import RankedList, merge_ranked_lists, top_k
+from repro.retrieval.weighting import FamilyWeights
+
+__all__ = [
+    "euclidean",
+    "euclidean_many",
+    "quadratic_form_distance",
+    "weighted_euclidean",
+    "MultipointQuery",
+    "FamilyWeights",
+    "RankedList",
+    "merge_ranked_lists",
+    "top_k",
+]

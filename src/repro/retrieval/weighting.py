@@ -1,0 +1,82 @@
+"""User-controlled feature-family weighting (paper §6, future work).
+
+"We can also investigate ways to leverage existing advanced techniques
+such as allowing the user to define the importance of specific image
+features, e.g., the user may define color as the most important feature
+in the retrieval procedure [6]."
+
+:class:`FamilyWeights` lets a user scale the three feature families
+(colour moments, wavelet texture, edge structure); it expands to a
+per-dimension weight vector matching the 37-d layout, which the QD final
+round (and any weighted-distance retrieval) can apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import FeatureConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FamilyWeights:
+    """Relative importance of the three visual feature families.
+
+    Values are non-negative multipliers; at least one must be positive.
+    ``color=2, texture=1, edges=1`` makes colour twice as important in
+    every distance computation.
+
+    Examples
+    --------
+    >>> FamilyWeights(color=2.0).as_vector().shape
+    (37,)
+    """
+
+    color: float = 1.0
+    texture: float = 1.0
+    edges: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("color", "texture", "edges"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} weight must be >= 0")
+        if self.color == self.texture == self.edges == 0:
+            raise ConfigurationError(
+                "at least one family weight must be positive"
+            )
+
+    def as_vector(
+        self, config: FeatureConfig | None = None
+    ) -> np.ndarray:
+        """Per-dimension weights for the configured feature layout.
+
+        Normalised so the weights sum to the dimensionality — distances
+        stay on the unweighted scale when all families are equal.
+        """
+        cfg = config or FeatureConfig()
+        out = np.empty(cfg.total_dims, dtype=np.float64)
+        out[: cfg.color_dims] = self.color
+        out[cfg.color_dims : cfg.color_dims + cfg.texture_dims] = (
+            self.texture
+        )
+        out[cfg.color_dims + cfg.texture_dims :] = self.edges
+        out *= cfg.total_dims / out.sum()
+        return out
+
+
+def weighted_distances(
+    points: np.ndarray, query: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Weighted Euclidean distances (vectorised helper).
+
+    Thin wrapper kept here so callers weighting by family need only this
+    module; semantics match
+    :func:`repro.retrieval.distance.weighted_euclidean`.
+    """
+    diff = np.asarray(points, dtype=np.float64) - np.asarray(
+        query, dtype=np.float64
+    )
+    return np.sqrt(np.sum(weights * diff * diff, axis=1))

@@ -1,0 +1,24 @@
+"""Shared low-level helpers: seeded RNG management, validation, timing."""
+
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch, TimingLog
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_vector,
+    check_vectors,
+)
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "Stopwatch",
+    "TimingLog",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_vector",
+    "check_vectors",
+]

@@ -1,0 +1,78 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (scene rendering, k-means
+initialisation, simulated users, workload generators) accepts either an
+integer seed or a :class:`numpy.random.Generator`.  Centralising the
+coercion here keeps experiments reproducible end to end: a single top-level
+seed fans out to independent, stable streams via :func:`derive_rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed)!r}"
+    )
+
+
+def derive_rng(rng: np.random.Generator, stream: str) -> np.random.Generator:
+    """Derive an independent child generator keyed by a stream name.
+
+    Two calls with the same parent state and the same ``stream`` produce
+    identical child generators; different stream names produce independent
+    streams.  The parent generator is *not* advanced, so the order in which
+    child streams are derived does not matter.
+
+    Parameters
+    ----------
+    rng:
+        Parent generator.  Its bit-generator state is read, not consumed.
+    stream:
+        Stable label for the child stream (e.g. ``"kmeans"``).
+    """
+    state = rng.bit_generator.state
+    # Hash the state representation together with the stream label into a
+    # 128-bit seed.  repr() of the state dict is stable for a given state.
+    material = (repr(sorted(state.items(), key=str)) + "\x00" + stream).encode()
+    digest = np.frombuffer(
+        _stable_hash(material), dtype=np.uint64
+    )
+    return np.random.default_rng(np.random.SeedSequence(digest.tolist()))
+
+
+def _stable_hash(data: bytes) -> bytes:
+    """Return a 16-byte stable hash of ``data`` (BLAKE2, stdlib)."""
+    import hashlib
+
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def spawn_seeds(seed: Optional[int], count: int) -> list[int]:
+    """Expand one integer seed into ``count`` independent integer seeds."""
+    ss = np.random.SeedSequence(seed)
+    return [int(s.generate_state(1)[0]) for s in ss.spawn(count)]

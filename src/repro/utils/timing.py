@@ -1,0 +1,87 @@
+"""Timing utilities used by the scalability experiments (Figures 10, 11)."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+
+class Stopwatch:
+    """A context-manager stopwatch measuring wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingLog:
+    """Accumulates named timing samples across repeated runs.
+
+    The scalability benchmarks time many simulated queries and report the
+    mean per phase ("initial", "iteration", "final_knn", ...).
+    """
+
+    samples: Dict[str, List[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Append one sample for ``phase``."""
+        self.samples[phase].append(float(seconds))
+
+    def measure(self, phase: str) -> "_PhaseTimer":
+        """Context manager that records its elapsed time under ``phase``."""
+        return _PhaseTimer(self, phase)
+
+    def mean(self, phase: str) -> float:
+        """Mean recorded seconds for ``phase`` (0.0 if never recorded)."""
+        vals = self.samples.get(phase, [])
+        return float(np.mean(vals)) if vals else 0.0
+
+    def total(self, phase: str) -> float:
+        """Total recorded seconds for ``phase``."""
+        return float(np.sum(self.samples.get(phase, [])))
+
+    def count(self, phase: str) -> int:
+        """Number of samples recorded for ``phase``."""
+        return len(self.samples.get(phase, []))
+
+    def phases(self) -> Iterator[str]:
+        """Iterate over recorded phase names."""
+        return iter(self.samples.keys())
+
+
+class _PhaseTimer:
+    """Internal context manager produced by :meth:`TimingLog.measure`."""
+
+    def __init__(self, log: TimingLog, phase: str) -> None:
+        self._log = log
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._log.record(self._phase, time.perf_counter() - self._start)

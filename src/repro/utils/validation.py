@@ -1,0 +1,73 @@
+"""Argument-validation helpers shared across the package.
+
+Each helper raises :class:`repro.errors.ConfigurationError` with a message
+that names the offending parameter, so call sites stay one line long and
+error messages stay uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1]."""
+    if not 0 < value <= 1:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0 <= value <= 1:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_vector(
+    name: str, value: np.ndarray, *, dim: Optional[int] = None
+) -> np.ndarray:
+    """Validate a 1-D float feature vector, optionally of fixed length."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ConfigurationError(
+            f"{name} must be a 1-D vector, got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape[0] != dim:
+        raise ConfigurationError(
+            f"{name} must have dimension {dim}, got {arr.shape[0]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_vectors(
+    name: str, value: np.ndarray, *, dim: Optional[int] = None
+) -> np.ndarray:
+    """Validate a 2-D (n, d) array of float feature vectors."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"{name} must be a 2-D (n, d) array, got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape[1] != dim:
+        raise ConfigurationError(
+            f"{name} must have {dim} columns, got {arr.shape[1]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return arr

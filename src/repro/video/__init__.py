@@ -1,0 +1,31 @@
+"""Video retrieval extension (paper §6, future work).
+
+"Our system may also be extended to support video retrieval."  This
+package supplies the substrate that extension needs and wires it to the
+Query Decomposition engine:
+
+* :mod:`repro.video.synthesis` — synthetic clips: shots rendered from
+  the image scene generators, animated with camera pan / zoom-ish drift
+  and hard cuts between shots;
+* :mod:`repro.video.shots` — shot-boundary detection by frame-difference
+  analysis;
+* :mod:`repro.video.keyframes` — per-shot keyframe selection (cluster
+  frame features, keep medoids);
+* :mod:`repro.video.retrieval` — a keyframe database searchable with the
+  QD engine, with clip-level result aggregation.
+"""
+
+from repro.video.keyframes import select_keyframes
+from repro.video.retrieval import VideoDatabase, VideoSearchEngine
+from repro.video.shots import detect_shot_boundaries, frame_differences
+from repro.video.synthesis import SyntheticClip, render_clip
+
+__all__ = [
+    "select_keyframes",
+    "VideoDatabase",
+    "VideoSearchEngine",
+    "detect_shot_boundaries",
+    "frame_differences",
+    "SyntheticClip",
+    "render_clip",
+]

@@ -1,0 +1,115 @@
+"""Keyframe selection.
+
+Each shot is summarised by one or more *keyframes*: the shot's frames
+are mapped into the 37-d feature space, clustered with k-means, and the
+frame nearest each cluster centre (the medoid) is kept.  Short or
+visually static shots yield a single keyframe; shots with internal
+variation get more, up to ``max_keyframes``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.errors import DatasetError
+from repro.features.extractor import FeatureExtractor
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+#: A cluster must reduce scatter by at least this factor to justify an
+#: extra keyframe.
+_SCATTER_GAIN = 0.5
+
+
+def select_keyframes(
+    frames: np.ndarray,
+    shot_ranges: Sequence[Tuple[int, int]],
+    *,
+    extractor: Optional[FeatureExtractor] = None,
+    max_keyframes: int = 3,
+    seed: RandomState = None,
+) -> List[List[int]]:
+    """Pick keyframe indices for each shot.
+
+    Parameters
+    ----------
+    frames:
+        (n, h, w, 3) clip frames.
+    shot_ranges:
+        Half-open ``(start, end)`` frame ranges, one per shot (e.g. from
+        :meth:`repro.video.synthesis.SyntheticClip.shot_ranges` or
+        derived from detected boundaries).
+    extractor:
+        Feature extractor (a default 37-d one is built when omitted).
+    max_keyframes:
+        Upper bound of keyframes per shot.
+
+    Returns
+    -------
+    list of lists:
+        For each shot, the chosen frame indices (absolute, sorted).
+    """
+    if max_keyframes < 1:
+        raise DatasetError("max_keyframes must be >= 1")
+    arr = np.asarray(frames, dtype=np.float64)
+    if arr.ndim != 4:
+        raise DatasetError(
+            f"frames must be (n, h, w, 3), got shape {arr.shape}"
+        )
+    ex = extractor or FeatureExtractor()
+    rng = ensure_rng(seed)
+    out: List[List[int]] = []
+    for shot_idx, (start, end) in enumerate(shot_ranges):
+        if not 0 <= start < end <= arr.shape[0]:
+            raise DatasetError(
+                f"invalid shot range ({start}, {end}) for "
+                f"{arr.shape[0]} frames"
+            )
+        feats = ex.extract_batch(arr[start:end])
+        out.append(
+            [
+                start + offset
+                for offset in _shot_keyframes(
+                    feats,
+                    max_keyframes,
+                    derive_rng(rng, f"shot{shot_idx}"),
+                )
+            ]
+        )
+    return out
+
+
+def _shot_keyframes(
+    feats: np.ndarray, max_keyframes: int, rng: np.random.Generator
+) -> List[int]:
+    """Medoid frame offsets for one shot's feature matrix."""
+    n = feats.shape[0]
+    if n == 1:
+        return [0]
+    centre = feats.mean(axis=0)
+    base_scatter = float(np.sum((feats - centre) ** 2))
+    best_k = 1
+    if base_scatter > 1e-12:
+        for k in range(2, min(max_keyframes, n) + 1):
+            result = kmeans(feats, k, seed=rng, n_restarts=1)
+            if result.inertia < _SCATTER_GAIN * base_scatter:
+                best_k = k
+                base_scatter = result.inertia
+            else:
+                break
+    if best_k == 1:
+        dists = np.linalg.norm(feats - centre, axis=1)
+        return [int(np.argmin(dists))]
+    result = kmeans(feats, best_k, seed=rng, n_restarts=1)
+    keyframes: List[int] = []
+    for j in range(best_k):
+        members = np.flatnonzero(result.labels == j)
+        if members.shape[0] == 0:
+            continue
+        dists = np.linalg.norm(
+            feats[members] - result.centroids[j], axis=1
+        )
+        keyframes.append(int(members[int(np.argmin(dists))]))
+    return sorted(set(keyframes))

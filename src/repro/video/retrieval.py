@@ -1,0 +1,222 @@
+"""Video retrieval over keyframes with the Query Decomposition engine.
+
+The pipeline the paper's future-work sketch implies:
+
+1. ingest clips → detect shots → select keyframes,
+2. index the keyframes' 37-d features with the RFS structure,
+3. answer queries with Query Decomposition feedback sessions over the
+   keyframe database,
+4. aggregate keyframe hits back to clips (a clip ranks by its best
+   keyframe score).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import QDConfig, RFSConfig
+from repro.core.engine import MarkFunction, QueryDecompositionEngine
+from repro.errors import DatasetError
+from repro.features.extractor import FeatureExtractor
+from repro.features.normalize import FeatureNormalizer
+from repro.index.rfs import RFSStructure
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.video.keyframes import select_keyframes
+from repro.video.shots import detect_shot_boundaries
+from repro.video.synthesis import SyntheticClip
+
+
+@dataclass(frozen=True)
+class KeyframeRecord:
+    """Provenance of one indexed keyframe."""
+
+    clip_id: int
+    frame_index: int
+    shot_index: int
+    category: str
+
+
+@dataclass
+class VideoDatabase:
+    """Keyframe features plus clip provenance.
+
+    Build with :meth:`ingest`; feed to :class:`VideoSearchEngine`.
+    """
+
+    features: np.ndarray
+    records: List[KeyframeRecord]
+    normalizer: FeatureNormalizer
+    clip_categories: Dict[int, List[str]] = field(default_factory=dict)
+
+    @classmethod
+    def ingest(
+        cls,
+        clips: Sequence[SyntheticClip],
+        *,
+        extractor: Optional[FeatureExtractor] = None,
+        use_ground_truth_shots: bool = False,
+        seed: RandomState = None,
+    ) -> "VideoDatabase":
+        """Run the full ingest pipeline over rendered clips.
+
+        With ``use_ground_truth_shots`` the clips' true shot ranges are
+        used instead of the detector (handy for isolating failures).
+        """
+        if not clips:
+            raise DatasetError("need at least one clip")
+        ex = extractor or FeatureExtractor()
+        rng = ensure_rng(seed)
+        rows: List[np.ndarray] = []
+        records: List[KeyframeRecord] = []
+        clip_categories: Dict[int, List[str]] = {}
+        for clip_id, clip in enumerate(clips):
+            if use_ground_truth_shots:
+                ranges = clip.shot_ranges()
+            else:
+                boundaries = detect_shot_boundaries(clip.frames)
+                starts = [0] + boundaries
+                ends = boundaries + [clip.n_frames]
+                ranges = list(zip(starts, ends))
+            keyframes = select_keyframes(
+                clip.frames,
+                ranges,
+                extractor=ex,
+                seed=derive_rng(rng, f"clip{clip_id}"),
+            )
+            clip_categories[clip_id] = list(clip.shot_categories)
+            for shot_index, frame_ids in enumerate(keyframes):
+                category = _category_of_frame(
+                    clip, ranges[shot_index][0]
+                )
+                for frame_index in frame_ids:
+                    rows.append(ex.extract(clip.frames[frame_index]))
+                    records.append(
+                        KeyframeRecord(
+                            clip_id=clip_id,
+                            frame_index=frame_index,
+                            shot_index=shot_index,
+                            category=category,
+                        )
+                    )
+        raw = np.vstack(rows)
+        normalizer = FeatureNormalizer().fit(raw)
+        return cls(
+            features=normalizer.transform(raw),
+            records=records,
+            normalizer=normalizer,
+            clip_categories=clip_categories,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of indexed keyframes."""
+        return int(self.features.shape[0])
+
+    def category_of(self, keyframe_id: int) -> str:
+        """Ground-truth category of a keyframe."""
+        return self.records[keyframe_id].category
+
+    def keyframes_of_category(self, category: str) -> List[int]:
+        """Keyframe ids whose shot category matches."""
+        return [
+            i
+            for i, rec in enumerate(self.records)
+            if rec.category == category
+        ]
+
+
+def _category_of_frame(clip: SyntheticClip, frame: int) -> str:
+    """Ground-truth category of the true shot containing ``frame``."""
+    for (start, end), category in zip(
+        clip.shot_ranges(), clip.shot_categories
+    ):
+        if start <= frame < end:
+            return category
+    return clip.shot_categories[-1]
+
+
+class VideoSearchEngine:
+    """Query Decomposition retrieval over a keyframe database."""
+
+    def __init__(
+        self,
+        database: VideoDatabase,
+        rfs_config: Optional[RFSConfig] = None,
+        qd_config: Optional[QDConfig] = None,
+        *,
+        seed: RandomState = None,
+    ) -> None:
+        if database.size < 4:
+            raise DatasetError(
+                "keyframe database too small to index "
+                f"({database.size} keyframes)"
+            )
+        self.database = database
+        cfg = rfs_config or RFSConfig(
+            node_max_entries=max(8, min(100, database.size // 4)),
+            node_min_entries=max(
+                4, min(70, database.size // 8)
+            ),
+            leaf_subclusters=3,
+            representative_fraction=0.2,
+        )
+        self.rfs = RFSStructure.build(
+            database.features, cfg, seed=seed
+        )
+        self.engine = QueryDecompositionEngine(
+            _KeyframeDatabaseView(database), self.rfs, qd_config
+        )
+
+    def search(
+        self,
+        mark_fn: MarkFunction,
+        k: int,
+        *,
+        rounds: int = 3,
+        seed: RandomState = None,
+    ) -> List[Tuple[int, float]]:
+        """Run a feedback session; return ranked ``(clip_id, score)``.
+
+        ``mark_fn`` receives keyframe ids and returns the relevant ones
+        (e.g. from a simulated user that knows the clip categories).
+        Clips rank by their best (lowest) keyframe score.
+        """
+        result = self.engine.run_scripted(
+            mark_fn, k=k, rounds=rounds, seed=seed
+        )
+        best: Dict[int, float] = {}
+        for ranked_item in result.flatten_by_score():
+            record = self.database.records[ranked_item.item_id]
+            score = ranked_item.score
+            if (
+                record.clip_id not in best
+                or score < best[record.clip_id]
+            ):
+                best[record.clip_id] = score
+        return sorted(best.items(), key=lambda kv: (kv[1], kv[0]))
+
+
+class _KeyframeDatabaseView:
+    """Duck-typed stand-in for :class:`ImageDatabase` over keyframes.
+
+    The QD engine only touches ``features`` (and, through sessions,
+    nothing else), so this thin adapter suffices.
+    """
+
+    def __init__(self, database: VideoDatabase) -> None:
+        self.database = database
+        self.features = database.features
+
+    @property
+    def size(self) -> int:
+        return self.database.size
+
+    @property
+    def dims(self) -> int:
+        return int(self.features.shape[1])
+
+    def category_of(self, keyframe_id: int) -> str:
+        return self.database.category_of(keyframe_id)

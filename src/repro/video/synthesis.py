@@ -1,0 +1,139 @@
+"""Synthetic video clips.
+
+A clip is a sequence of *shots*; each shot renders one category scene
+and animates it with smooth camera drift (cyclic translation), slow
+brightness change, and per-frame sensor noise.  Cuts between shots are
+hard (no transition), which is what the shot detector looks for.
+
+Real video is unavailable offline, but the detector and keyframe
+selector only rely on two properties this synthesis reproduces exactly:
+high inter-frame similarity within a shot and a similarity discontinuity
+at a cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.imaging.scenes import render_scene
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class ShotSpec:
+    """One shot: a scene category and its length in frames."""
+
+    category: str
+    n_frames: int
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise DatasetError("a shot needs at least one frame")
+
+
+@dataclass
+class SyntheticClip:
+    """A rendered clip with its ground truth.
+
+    Attributes
+    ----------
+    frames:
+        (n_frames, size, size, 3) float array in [0, 1].
+    shot_boundaries:
+        Frame indices at which a new shot starts (excluding frame 0).
+    shot_categories:
+        Category name of each shot, in order.
+    """
+
+    frames: np.ndarray
+    shot_boundaries: List[int]
+    shot_categories: List[str]
+
+    @property
+    def n_frames(self) -> int:
+        """Total frame count."""
+        return int(self.frames.shape[0])
+
+    @property
+    def n_shots(self) -> int:
+        """Number of shots."""
+        return len(self.shot_categories)
+
+    def shot_ranges(self) -> List[Tuple[int, int]]:
+        """Half-open frame ranges ``[(start, end), ...]`` per shot."""
+        starts = [0] + list(self.shot_boundaries)
+        ends = list(self.shot_boundaries) + [self.n_frames]
+        return list(zip(starts, ends))
+
+
+def _animate(
+    base: np.ndarray,
+    n_frames: int,
+    rng: np.random.Generator,
+    max_pan: int = 3,
+    brightness_drift: float = 0.06,
+    noise: float = 0.01,
+) -> np.ndarray:
+    """Animate a still scene into shot frames.
+
+    Camera pan is a smooth cyclic roll of up to ``max_pan`` pixels;
+    brightness drifts sinusoidally; each frame gets independent sensor
+    noise.
+    """
+    size = base.shape[0]
+    frames = np.empty((n_frames, size, size, 3), dtype=np.float64)
+    phase = float(rng.uniform(0, 2 * np.pi))
+    pan_speed = float(rng.uniform(0.2, 0.8))
+    for t in range(n_frames):
+        dx = int(round(max_pan * np.sin(phase + pan_speed * t)))
+        dy = int(round(max_pan * np.cos(phase + 0.7 * pan_speed * t)))
+        frame = np.roll(np.roll(base, dx, axis=1), dy, axis=0)
+        gain = 1.0 + brightness_drift * np.sin(0.3 * t + phase)
+        frame = frame * gain
+        frame += rng.uniform(-noise, noise, size=frame.shape)
+        frames[t] = np.clip(frame, 0.0, 1.0)
+    return frames
+
+
+def render_clip(
+    shots: Sequence[ShotSpec | Tuple[str, int]],
+    size: int = 32,
+    *,
+    seed: RandomState = None,
+) -> SyntheticClip:
+    """Render a clip from an ordered list of shot specifications.
+
+    ``shots`` entries may be :class:`ShotSpec` or ``(category,
+    n_frames)`` tuples.
+
+    Examples
+    --------
+    >>> clip = render_clip([("bird_owl", 10), ("rose_red", 8)], seed=0)
+    >>> clip.n_frames, clip.n_shots, clip.shot_boundaries
+    (18, 2, [10])
+    """
+    specs = [
+        s if isinstance(s, ShotSpec) else ShotSpec(*s) for s in shots
+    ]
+    if not specs:
+        raise DatasetError("a clip needs at least one shot")
+    rng = ensure_rng(seed)
+    pieces: List[np.ndarray] = []
+    boundaries: List[int] = []
+    cursor = 0
+    for i, spec in enumerate(specs):
+        shot_rng = derive_rng(rng, f"shot{i}:{spec.category}")
+        base = render_scene(spec.category, size, shot_rng)
+        pieces.append(_animate(base, spec.n_frames, shot_rng))
+        cursor += spec.n_frames
+        if i < len(specs) - 1:
+            boundaries.append(cursor)
+    return SyntheticClip(
+        frames=np.concatenate(pieces, axis=0),
+        shot_boundaries=boundaries,
+        shot_categories=[s.category for s in specs],
+    )

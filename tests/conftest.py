@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+The heavier artefacts (rendered database, RFS structure, engine) are
+session-scoped: they are deterministic in their seeds, and building them
+once keeps the suite fast while letting many tests exercise realistic
+state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DatasetConfig, QDConfig, RFSConfig
+from repro.core.engine import QueryDecompositionEngine
+from repro.datasets.build import (
+    build_rendered_database,
+    build_synthetic_database,
+)
+from repro.index.rfs import RFSStructure
+
+# Small-but-real scales: every named category exists, leaves hold a few
+# dozen images, the tree has >= 2 levels.
+SMALL_DB_IMAGES = 1200
+SMALL_DB_CATEGORIES = 40
+SMALL_RFS = RFSConfig(
+    node_max_entries=60, node_min_entries=30, leaf_subclusters=4
+)
+
+
+@pytest.fixture(scope="session")
+def rendered_db():
+    """A 1,200-image rendered database with all named categories."""
+    return build_rendered_database(
+        DatasetConfig(
+            total_images=SMALL_DB_IMAGES,
+            n_categories=SMALL_DB_CATEGORIES,
+            seed=123,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_db():
+    """A 900-image Gaussian-mixture database (30 clusters)."""
+    return build_synthetic_database(900, n_categories=30, seed=9)
+
+
+@pytest.fixture(scope="session")
+def rfs(rendered_db):
+    """RFS structure over the rendered database."""
+    return RFSStructure.build(rendered_db.features, SMALL_RFS, seed=77)
+
+
+@pytest.fixture(scope="session")
+def engine(rendered_db):
+    """A ready-to-query QD engine over the rendered database."""
+    return QueryDecompositionEngine.build(
+        rendered_db, SMALL_RFS, QDConfig(), seed=77
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0)

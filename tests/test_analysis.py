@@ -1,0 +1,137 @@
+"""Tests for rank metrics and session diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.queryset import get_query
+from repro.errors import EvaluationError
+from repro.eval.analysis import (
+    average_precision,
+    diagnose_result,
+    ndcg,
+    precision_recall_points,
+)
+from repro.eval.oracle import SimulatedUser
+from repro.eval.protocol import run_qd_session
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2, 3], {1, 2, 3}) == 1.0
+
+    def test_no_hits(self):
+        assert average_precision([4, 5], {1, 2}) == 0.0
+
+    def test_known_value(self):
+        # Hits at ranks 1 and 3 of a 2-relevant set:
+        # AP = (1/1 + 2/3) / 2 = 5/6.
+        assert average_precision([1, 9, 2], {1, 2}) == pytest.approx(
+            5 / 6
+        )
+
+    def test_prefers_early_hits(self):
+        early = average_precision([1, 9, 8], {1})
+        late = average_precision([9, 8, 1], {1})
+        assert early > late
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(EvaluationError):
+            average_precision([1], set())
+
+    def test_empty_ranking(self):
+        assert average_precision([], {1}) == 0.0
+
+
+class TestNdcg:
+    def test_perfect(self):
+        assert ndcg([1, 2], {1, 2}) == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert ndcg([5, 6], {1}) == 0.0
+
+    def test_order_sensitivity(self):
+        assert ndcg([1, 9], {1}) > ndcg([9, 1], {1})
+
+    def test_bounded(self, rng):
+        for _ in range(10):
+            ranked = rng.permutation(20).tolist()
+            relevant = set(rng.choice(20, size=5, replace=False).tolist())
+            value = ndcg(ranked, relevant)
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_ranking(self):
+        assert ndcg([], {1}) == 0.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(EvaluationError):
+            ndcg([1], set())
+
+
+class TestPrecisionRecallPoints:
+    def test_monotone_recall(self):
+        points = precision_recall_points(
+            [1, 9, 2, 8, 3], {1, 2, 3}, ks=[1, 3, 5]
+        )
+        recalls = [r for _, _, r in points]
+        assert recalls == sorted(recalls)
+
+    def test_values(self):
+        points = precision_recall_points([1, 9], {1, 2}, ks=[2])
+        k, precision, recall = points[0]
+        assert (k, precision, recall) == (2, 0.5, 0.5)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_points([1], {1}, ks=[0])
+
+
+class TestDiagnoseResult:
+    @pytest.fixture(scope="class")
+    def diagnosis(self, engine):
+        query = get_query("bird")
+        result, _ = run_qd_session(engine, query, seed=3)
+        return diagnose_result(result, engine.database, query), query
+
+    def test_metrics_in_range(self, diagnosis):
+        diag, _ = diagnosis
+        assert 0.0 <= diag.precision <= 1.0
+        assert 0.0 <= diag.average_precision <= 1.0
+        assert 0.0 <= diag.ndcg <= 1.0
+
+    def test_subconcept_reports_complete(self, diagnosis):
+        diag, query = diagnosis
+        assert len(diag.subconcepts) == query.n_subconcepts
+        for sub in diag.subconcepts:
+            assert sub.ground_truth_size > 0
+            assert 0 <= sub.retrieved
+
+    def test_gtir_matches_coverage(self, diagnosis):
+        diag, _ = diagnosis
+        covered = sum(1 for s in diag.subconcepts if s.covered)
+        assert diag.gtir == pytest.approx(
+            covered / len(diag.subconcepts)
+        )
+
+    def test_missed_subconcepts_listed(self, diagnosis):
+        diag, _ = diagnosis
+        for name in diag.missed_subconcepts():
+            sub = next(s for s in diag.subconcepts if s.name == name)
+            assert not sub.covered
+
+    def test_group_reports(self, diagnosis):
+        diag, _ = diagnosis
+        assert diag.groups
+        for group in diag.groups:
+            assert 0.0 < group.purity <= 1.0
+            assert 0.0 <= group.relevant_fraction <= 1.0
+
+    def test_histogram_sums_to_results(self, diagnosis, engine):
+        diag, query = diagnosis
+        total = sum(diag.category_histogram.values())
+        assert total == sum(g.size for g in diag.groups)
+
+    def test_format_mentions_subconcepts(self, diagnosis):
+        diag, query = diagnosis
+        text = diag.format()
+        for sub in query.subconcepts:
+            assert sub.name in text

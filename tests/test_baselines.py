@@ -1,0 +1,237 @@
+"""Tests for the baseline retrieval techniques."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    GlobalKNN,
+    MarsMultipoint,
+    MultipleViewpoints,
+    QCluster,
+    QueryPointMovement,
+)
+from repro.baselines.mv import Channel, default_channels
+from repro.datasets.queryset import get_query
+from repro.errors import QueryError, SessionStateError
+from repro.eval.oracle import SimulatedUser
+
+
+@pytest.fixture()
+def started(rendered_db):
+    def make(cls, **kwargs):
+        technique = cls(rendered_db, seed=0, **kwargs)
+        technique.begin([0])
+        return technique
+
+    return make
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_retrieve_before_begin_raises(self, rendered_db, cls):
+        with pytest.raises(SessionStateError):
+            cls(rendered_db).retrieve(5)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_feedback_before_begin_raises(self, rendered_db, cls):
+        with pytest.raises(SessionStateError):
+            cls(rendered_db).feedback([1])
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_begin_empty_raises(self, rendered_db, cls):
+        with pytest.raises(QueryError):
+            cls(rendered_db).begin([])
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_begin_out_of_range_raises(self, rendered_db, cls):
+        with pytest.raises(QueryError):
+            cls(rendered_db).begin([10**9])
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_retrieve_returns_k_unique(self, started, cls):
+        technique = started(cls)
+        ranked = technique.retrieve(25)
+        ids = ranked.ids()
+        assert len(ids) == 25
+        assert len(set(ids)) == 25
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_invalid_k_raises(self, started, cls):
+        with pytest.raises(QueryError):
+            started(cls).retrieve(0)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_feedback_accumulates_relevant(self, started, cls):
+        technique = started(cls)
+        technique.feedback([5, 6])
+        technique.feedback([6, 7])
+        assert set(technique.relevant_ids) == {0, 5, 6, 7}
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_example_among_top_results(self, started, cls):
+        """The example image itself should rank at/near the top."""
+        technique = started(cls)
+        assert 0 in technique.retrieve(10).ids()
+
+
+class TestGlobalKNN:
+    def test_retrieves_own_cluster_first(self, rendered_db):
+        owl_ids = rendered_db.ids_of_category("bird_owl")
+        technique = GlobalKNN(rendered_db, seed=0)
+        technique.begin([int(owl_ids[0])])
+        got = technique.retrieve(5).ids()
+        cats = {rendered_db.category_of(i) for i in got}
+        assert "bird_owl" in cats
+
+    def test_centroid_update_moves_query(self, rendered_db):
+        owl = int(rendered_db.ids_of_category("bird_owl")[0])
+        eagle = int(rendered_db.ids_of_category("bird_eagle")[0])
+        technique = GlobalKNN(rendered_db, seed=0)
+        technique.begin([owl])
+        before = technique._query_point.copy()
+        technique.feedback([eagle])
+        assert not np.allclose(before, technique._query_point)
+
+
+class TestQPM:
+    def test_weights_uniform_with_single_example(self, rendered_db):
+        technique = QueryPointMovement(rendered_db, seed=0)
+        technique.begin([0])
+        assert np.allclose(technique._weights, 1.0)
+
+    def test_weights_sharpen_with_feedback(self, rendered_db):
+        owl_ids = rendered_db.ids_of_category("bird_owl")[:6]
+        technique = QueryPointMovement(rendered_db, seed=0)
+        technique.begin([int(owl_ids[0])])
+        technique.feedback([int(i) for i in owl_ids[1:]])
+        assert technique._weights.std() > 0
+
+    def test_improves_precision_over_knn_single_round(self, rendered_db):
+        """Weighted metric should not hurt on a clean cluster."""
+        owl_ids = rendered_db.ids_of_category("bird_owl")
+        relevant = set(int(i) for i in owl_ids)
+        qpm = QueryPointMovement(rendered_db, seed=0)
+        qpm.begin([int(owl_ids[0])])
+        qpm.feedback([int(i) for i in owl_ids[1:8]])
+        got = qpm.retrieve(20).ids()
+        hits = sum(1 for i in got if i in relevant)
+        assert hits >= 12
+
+
+class TestMars:
+    def test_multipoint_has_clusters_after_feedback(self, rendered_db):
+        owl = rendered_db.ids_of_category("bird_owl")[:4]
+        eagle = rendered_db.ids_of_category("bird_eagle")[:4]
+        technique = MarsMultipoint(rendered_db, seed=0)
+        technique.begin([int(owl[0])])
+        technique.feedback(
+            [int(i) for i in owl[1:]] + [int(i) for i in eagle]
+        )
+        assert technique._query.size >= 2
+
+    def test_invalid_max_clusters(self, rendered_db):
+        with pytest.raises(ValueError):
+            MarsMultipoint(rendered_db, max_clusters=0)
+
+
+class TestQCluster:
+    def test_contours_formed(self, rendered_db):
+        owl = rendered_db.ids_of_category("bird_owl")[:5]
+        technique = QCluster(rendered_db, seed=0)
+        technique.begin([int(owl[0])])
+        technique.feedback([int(i) for i in owl[1:]])
+        assert len(technique._contours) >= 1
+
+    def test_disjunctive_scoring_covers_two_far_clusters(self, rendered_db):
+        owl = rendered_db.ids_of_category("bird_owl")[:5]
+        rose = rendered_db.ids_of_category("rose_red")[:5]
+        technique = QCluster(rendered_db, seed=0, max_clusters=3)
+        technique.begin([int(owl[0])])
+        technique.feedback(
+            [int(i) for i in owl[1:]] + [int(i) for i in rose]
+        )
+        assert len(technique._contours) >= 2
+        got = technique.retrieve(40).ids()
+        cats = {rendered_db.category_of(i) for i in got}
+        assert "bird_owl" in cats and "rose_red" in cats
+
+    def test_invalid_max_clusters(self, rendered_db):
+        with pytest.raises(ValueError):
+            QCluster(rendered_db, max_clusters=0)
+
+
+class TestMV:
+    def test_four_default_channels(self):
+        channels = default_channels()
+        assert [c.name for c in channels] == [
+            "color", "color-negative", "bw", "bw-negative",
+        ]
+
+    def test_bw_channels_ignore_color(self):
+        for channel in default_channels():
+            if channel.name.startswith("bw"):
+                assert np.all(channel.weights[:9] == 0.0)
+            else:
+                assert np.all(channel.weights == 1.0)
+
+    def test_negative_channel_flips_color_block(self):
+        channels = {c.name: c for c in default_channels()}
+        q = np.ones(37)
+        transformed = channels["color-negative"].transform(q)
+        assert np.all(transformed[:9] == -1.0)
+        assert np.all(transformed[9:] == 1.0)
+
+    def test_channel_results_keys(self, rendered_db):
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        technique.begin([0])
+        results = technique.channel_results(5)
+        assert set(results) == {
+            "color", "color-negative", "bw", "bw-negative",
+        }
+        for ranked in results.values():
+            assert len(ranked) == 5
+
+    def test_retrieve_combines_channels(self, rendered_db):
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        technique.begin([0])
+        combined = set(technique.retrieve(40).ids())
+        per_channel = technique.channel_results(40)
+        union = set()
+        for ranked in per_channel.values():
+            union.update(ranked.ids())
+        assert combined <= union
+
+    def test_dimension_mismatch_rejected(self, rendered_db):
+        bad = [Channel("x", np.ones(5), np.ones(5))]
+        with pytest.raises(QueryError):
+            MultipleViewpoints(rendered_db, channels=bad)
+
+    def test_no_channels_rejected(self, rendered_db):
+        with pytest.raises(QueryError):
+            MultipleViewpoints(rendered_db, channels=[])
+
+    def test_bw_channel_finds_color_variant(self, rendered_db):
+        """MV's selling point: a colour-blind channel recovers images
+        that differ only in colour (the blue bus / green bus example)."""
+        yellow = rendered_db.ids_of_category("rose_yellow")
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        technique.begin([int(yellow[0])])
+        bw = technique.channel_results(60)["bw"].ids()
+        cats = {rendered_db.category_of(i) for i in bw}
+        assert "rose_red" in cats or "rose_yellow" in cats
+
+    def test_single_neighbourhood_confinement(self, rendered_db):
+        """MV from an owl example misses at least one far bird cluster —
+        the confinement the paper's §5.2.1 attributes to the k-NN model."""
+        query = get_query("bird")
+        user = SimulatedUser(rendered_db, query, seed=0)
+        owl = rendered_db.ids_of_category("bird_owl")
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        technique.begin([int(owl[0])])
+        for _ in range(3):
+            got = technique.retrieve(60).ids()
+            technique.feedback(user.mark(got))
+        cats = {rendered_db.category_of(i) for i in got}
+        bird_cats = {"bird_owl", "bird_eagle", "bird_sparrow"}
+        assert len(cats & bird_cats) < 3

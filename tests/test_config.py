@@ -1,0 +1,128 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    DatasetConfig,
+    FeatureConfig,
+    QDConfig,
+    RFSConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFeatureConfig:
+    def test_defaults_total_37_dims(self):
+        assert FeatureConfig().total_dims == 37
+
+    def test_paper_family_sizes(self):
+        cfg = FeatureConfig()
+        assert cfg.color_dims == 9
+        assert cfg.texture_dims == 10
+        assert cfg.edge_dims == 18
+
+    def test_image_size_must_match_wavelet_levels(self):
+        with pytest.raises(ConfigurationError):
+            FeatureConfig(image_size=30, wavelet_levels=3)
+
+    def test_image_size_48_is_valid_for_3_levels(self):
+        assert FeatureConfig(image_size=48).image_size == 48
+
+    def test_zero_color_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureConfig(color_dims=0)
+
+    def test_negative_edge_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureConfig(edge_dims=-1)
+
+    def test_frozen(self):
+        cfg = FeatureConfig()
+        with pytest.raises(AttributeError):
+            cfg.color_dims = 5  # type: ignore[misc]
+
+
+class TestRFSConfig:
+    def test_paper_defaults(self):
+        cfg = RFSConfig()
+        assert cfg.node_max_entries == 100
+        assert cfg.node_min_entries == 70
+        assert cfg.representative_fraction == 0.05
+
+    def test_split_min_entries_is_relaxed_bound(self):
+        assert RFSConfig().split_min_entries == 40
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RFSConfig(node_max_entries=10, node_min_entries=20)
+
+    def test_min_entries_below_2_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RFSConfig(node_min_entries=1)
+
+    def test_rep_fraction_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RFSConfig(representative_fraction=0.0)
+
+    def test_rep_fraction_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RFSConfig(representative_fraction=1.5)
+
+    def test_zero_leaf_subclusters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RFSConfig(leaf_subclusters=0)
+
+    def test_reinsert_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RFSConfig(reinsert_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            RFSConfig(reinsert_fraction=1.0)
+
+
+class TestQDConfig:
+    def test_paper_defaults(self):
+        cfg = QDConfig()
+        assert cfg.boundary_threshold == 0.4
+        assert cfg.display_size == 21
+        assert cfg.max_rounds == 3
+
+    def test_threshold_bounds(self):
+        QDConfig(boundary_threshold=0.0)
+        QDConfig(boundary_threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            QDConfig(boundary_threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            QDConfig(boundary_threshold=-0.1)
+
+    def test_display_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            QDConfig(display_size=0)
+
+    def test_rounds_positive(self):
+        with pytest.raises(ConfigurationError):
+            QDConfig(max_rounds=0)
+
+
+class TestDatasetConfig:
+    def test_paper_defaults(self):
+        cfg = DatasetConfig()
+        assert cfg.total_images == 15_000
+        assert cfg.n_categories == 150
+
+    def test_fewer_images_than_categories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(total_images=10, n_categories=20)
+
+    def test_zero_categories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(total_images=10, n_categories=0)
+
+
+class TestSystemConfig:
+    def test_bundles_all_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.features.total_dims == 37
+        assert cfg.rfs.node_max_entries == 100
+        assert cfg.qd.boundary_threshold == 0.4
+        assert cfg.dataset.total_images == 15_000

@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.FeatureExtractionError,
+            errors.InvalidImageError,
+            errors.ClusteringError,
+            errors.IndexError_,
+            errors.EmptyIndexError,
+            errors.NodeNotFoundError,
+            errors.QueryError,
+            errors.SessionStateError,
+            errors.DatasetError,
+            errors.UnknownConceptError,
+            errors.EvaluationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_invalid_image_is_feature_extraction_error(self):
+        assert issubclass(
+            errors.InvalidImageError, errors.FeatureExtractionError
+        )
+
+    def test_session_state_is_query_error(self):
+        assert issubclass(errors.SessionStateError, errors.QueryError)
+
+    def test_unknown_concept_is_dataset_error(self):
+        assert issubclass(
+            errors.UnknownConceptError, errors.DatasetError
+        )
+
+    def test_node_not_found_is_index_error(self):
+        assert issubclass(errors.NodeNotFoundError, errors.IndexError_)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert not issubclass(errors.IndexError_, IndexError)
+
+    def test_one_catch_handles_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SessionStateError("out of order")
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,346 @@
+"""Tests for the extension modules: deletion, serialization, alternative
+hierarchies, client/server model, feature-family weighting, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import FeatureConfig, RFSConfig
+from repro.core.clientserver import (
+    ClientPayload,
+    client_payload,
+    compare_deployments,
+)
+from repro.errors import ClusteringError, ConfigurationError, DatasetError
+from repro.index.hierarchies import build_hkmeans_hierarchy
+from repro.index.rfs import RFSStructure
+from repro.index.rstar import RStarTree
+from repro.index.serialize import load_rfs, save_rfs
+from repro.retrieval.weighting import FamilyWeights
+
+
+@pytest.fixture(scope="module")
+def feats():
+    return np.random.default_rng(11).normal(size=(600, 10))
+
+
+@pytest.fixture(scope="module")
+def built_rfs(feats):
+    cfg = RFSConfig(node_max_entries=50, node_min_entries=25)
+    return RFSStructure.build(feats, cfg, seed=4)
+
+
+class TestRStarDelete:
+    def test_delete_then_absent(self, rng):
+        pts = rng.normal(size=(120, 3))
+        tree = RStarTree(dims=3, max_entries=6)
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        assert tree.delete(pts[7], 7)
+        assert len(tree) == 119
+        ids = {i for _, i in tree.knn(pts[7], 119)}
+        assert 7 not in ids
+        tree.validate()
+
+    def test_delete_missing_returns_false(self, rng):
+        tree = RStarTree(dims=2, max_entries=4)
+        tree.insert(np.zeros(2), 0)
+        assert not tree.delete(np.ones(2), 1)
+        assert len(tree) == 1
+
+    def test_delete_wrong_dims_rejected(self):
+        tree = RStarTree(dims=3)
+        with pytest.raises(ConfigurationError):
+            tree.delete(np.zeros(2), 0)
+
+    def test_delete_all_empties_tree(self, rng):
+        pts = rng.normal(size=(40, 2))
+        tree = RStarTree(dims=2, max_entries=5)
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        for i, p in enumerate(pts):
+            assert tree.delete(p, i)
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_interleaved_insert_delete_keeps_knn_exact(self, rng):
+        tree = RStarTree(dims=3, max_entries=6)
+        alive = {}
+        next_id = 0
+        for step in range(300):
+            if alive and rng.random() < 0.4:
+                victim = list(alive)[int(rng.integers(len(alive)))]
+                assert tree.delete(alive.pop(victim), victim)
+            else:
+                p = rng.normal(size=3)
+                tree.insert(p, next_id)
+                alive[next_id] = p
+                next_id += 1
+        tree.validate()
+        assert len(tree) == len(alive)
+        if alive:
+            q = rng.normal(size=3)
+            pts = np.array(list(alive.values()))
+            ids = list(alive)
+            d = np.linalg.norm(pts - q, axis=1)
+            truth = sorted(
+                ids[j] for j in np.argsort(d, kind="stable")[:5]
+            )
+            got = sorted(i for _, i in tree.knn(q, 5))
+            assert got == truth
+
+    def test_root_chain_shortened(self, rng):
+        pts = rng.normal(size=(60, 2))
+        tree = RStarTree(dims=2, max_entries=4)
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        tall = tree.height
+        for i in range(55):
+            tree.delete(pts[i], i)
+        assert tree.height <= tall
+        tree.validate()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self, built_rfs, feats,
+                                           tmp_path):
+        path = tmp_path / "rfs.npz"
+        save_rfs(built_rfs, path)
+        loaded = load_rfs(path, feats)
+        assert loaded.root.size == built_rfs.root.size
+        assert sorted(loaded.nodes) == sorted(built_rfs.nodes)
+        for node_id in built_rfs.nodes:
+            a = built_rfs.get_node(node_id)
+            b = loaded.get_node(node_id)
+            assert np.array_equal(a.item_ids, b.item_ids)
+            assert a.representatives == b.representatives
+            assert a.level == b.level
+            assert np.allclose(a.center, b.center)
+
+    def test_loaded_structure_answers_queries(self, built_rfs, feats,
+                                              tmp_path):
+        path = tmp_path / "rfs.npz"
+        save_rfs(built_rfs, path)
+        loaded = load_rfs(path, feats)
+        leaf = loaded.leaf_of_item(3)
+        got = loaded.localized_knn(leaf, feats[3], 3)
+        assert got[0][1] == 3
+
+    def test_loaded_routing_consistent(self, built_rfs, feats, tmp_path):
+        path = tmp_path / "rfs.npz"
+        save_rfs(built_rfs, path)
+        loaded = load_rfs(path, feats)
+        for node in loaded.iter_nodes():
+            if node.is_leaf:
+                continue
+            for rep in node.representatives:
+                child = node.child_of_representative(rep)
+                assert rep in child.item_ids
+
+    def test_config_preserved(self, built_rfs, feats, tmp_path):
+        path = tmp_path / "rfs.npz"
+        save_rfs(built_rfs, path)
+        loaded = load_rfs(path, feats)
+        assert loaded.config.node_max_entries == 50
+        assert loaded.config.node_min_entries == 25
+
+    def test_dim_mismatch_rejected(self, built_rfs, tmp_path):
+        path = tmp_path / "rfs.npz"
+        save_rfs(built_rfs, path)
+        with pytest.raises(DatasetError):
+            load_rfs(path, np.zeros((600, 99)))
+
+    def test_missing_file_rejected(self, feats, tmp_path):
+        with pytest.raises(DatasetError):
+            load_rfs(tmp_path / "nope.npz", feats)
+
+
+class TestHKMeansHierarchy:
+    def test_partition_invariants(self, feats):
+        registry = {}
+        root = build_hkmeans_hierarchy(
+            feats, RFSConfig(node_max_entries=50, node_min_entries=25),
+            registry, seed=0,
+        )
+        assert root.size == feats.shape[0]
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.size <= 50
+            else:
+                child_ids = np.sort(
+                    np.concatenate([c.item_ids for c in node.children])
+                )
+                assert np.array_equal(child_ids, node.item_ids)
+                stack.extend(node.children)
+
+    def test_full_rfs_build_with_hkmeans(self, feats):
+        rfs = RFSStructure.build(
+            feats,
+            RFSConfig(node_max_entries=50, node_min_entries=25),
+            seed=1,
+            method="hkmeans",
+        )
+        assert rfs.root.size == feats.shape[0]
+        assert rfs.root.representatives
+        leaf = rfs.leaf_of_item(10)
+        assert rfs.localized_knn(leaf, feats[10], 1)[0][1] == 10
+
+    def test_unknown_method_rejected(self, feats):
+        with pytest.raises(ConfigurationError):
+            RFSStructure.build(feats, method="agglomerative")
+
+    def test_invalid_branching_rejected(self, feats):
+        with pytest.raises(ClusteringError):
+            build_hkmeans_hierarchy(
+                feats, RFSConfig(), {}, seed=0, branching=1
+            )
+
+    def test_duplicate_points_terminate(self):
+        dup = np.ones((200, 4))
+        registry = {}
+        root = build_hkmeans_hierarchy(
+            dup, RFSConfig(node_max_entries=30, node_min_entries=15),
+            registry, seed=0,
+        )
+        assert root.size == 200
+
+
+class TestClientServer:
+    def test_payload_counts(self, built_rfs):
+        payload = client_payload(built_rfs)
+        assert payload.n_nodes == len(built_rfs.nodes)
+        assert payload.n_representatives == len(
+            built_rfs.all_representatives()
+        )
+        assert payload.total_bytes > 0
+
+    def test_payload_total_is_sum(self):
+        payload = ClientPayload(
+            n_nodes=1, n_representatives=1,
+            structure_bytes=10, representative_feature_bytes=20,
+            thumbnail_bytes=30,
+        )
+        assert payload.total_bytes == 60
+
+    def test_qd_server_work_much_smaller(self, built_rfs):
+        comparison = compare_deployments(built_rfs)
+        assert (
+            comparison.qd_session.distance_evaluations
+            < comparison.traditional_session.distance_evaluations
+        )
+        assert comparison.server_capacity_multiplier > 2
+
+    def test_qd_contacts_server_once(self, built_rfs):
+        comparison = compare_deployments(built_rfs, rounds=5)
+        assert comparison.qd_session.rounds_on_server == 1
+        assert comparison.traditional_session.rounds_on_server == 5
+
+    def test_format_contains_multiplier(self, built_rfs):
+        text = compare_deployments(built_rfs).format()
+        assert "capacity multiplier" in text
+
+
+class TestFamilyWeights:
+    def test_vector_layout(self):
+        weights = FamilyWeights(color=2.0, texture=1.0, edges=1.0)
+        vec = weights.as_vector(FeatureConfig())
+        assert vec.shape == (37,)
+        assert np.all(vec[:9] > vec[9])  # colour boosted
+
+    def test_normalised_to_dimensionality(self):
+        vec = FamilyWeights(color=5, texture=1, edges=1).as_vector()
+        assert vec.sum() == pytest.approx(37.0)
+
+    def test_equal_weights_are_unweighted(self):
+        vec = FamilyWeights().as_vector()
+        assert np.allclose(vec, 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FamilyWeights(color=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FamilyWeights(color=0, texture=0, edges=0)
+
+    def test_zero_family_excluded_from_metric(self, built_rfs, feats):
+        # (10-d fixture: build a matching weight vector by hand.)
+        weights = np.ones(10)
+        weights[:5] = 0.0
+        base = feats[0].copy()
+        twin = base.copy()
+        twin[:5] += 100.0  # differs only on zero-weighted dims
+        diff = np.sqrt(np.sum(weights * (twin - base) ** 2))
+        assert diff == 0.0
+
+    def test_weighted_final_round(self, engine):
+        """dim_weights plumb through session finalize."""
+        from repro.datasets.queryset import get_query
+        from repro.eval.oracle import SimulatedUser
+
+        db = engine.database
+        user = SimulatedUser(db, get_query("rose"), seed=2)
+        session = engine.new_session(seed=2)
+        for _ in range(3):
+            session.submit(user.mark(session.display(screens=6)))
+        result = session.finalize(
+            20, dim_weights=FamilyWeights(color=3.0).as_vector()
+        )
+        assert len(result.flatten(20)) == 20
+
+
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def db_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "db.npz"
+        code = cli_main([
+            "build-db", "--images", "400", "--categories", "30",
+            "--seed", "5", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_info(self, db_path, capsys):
+        assert cli_main(["info", "--db", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "images:      400" in out
+
+    def test_build_rfs_and_query(self, db_path, tmp_path, capsys):
+        rfs_path = tmp_path / "rfs.npz"
+        assert cli_main([
+            "build-rfs", "--db", str(db_path), "--out", str(rfs_path),
+            "--node-max", "40", "--node-min", "20",
+        ]) == 0
+        assert rfs_path.exists()
+        assert cli_main([
+            "query", "--db", str(db_path), "--rfs", str(rfs_path),
+            "--query", "rose", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+
+    def test_query_without_prebuilt_rfs(self, db_path, capsys):
+        assert cli_main([
+            "query", "--db", str(db_path), "--query", "bird",
+            "--seed", "2", "--k", "20",
+        ]) == 0
+        assert "GTIR" in capsys.readouterr().out
+
+    def test_missing_db_is_error(self, capsys):
+        assert cli_main(["info", "--db", "/nonexistent/db.npz"]) == 1
+
+    def test_fig1_experiment(self, db_path, capsys):
+        assert cli_main([
+            "experiment", "fig1", "--db", str(db_path),
+        ]) == 0
+        assert "sedan" in capsys.readouterr().out
+
+    def test_hkmeans_method(self, db_path, tmp_path, capsys):
+        rfs_path = tmp_path / "hk.npz"
+        assert cli_main([
+            "build-rfs", "--db", str(db_path), "--out", str(rfs_path),
+            "--method", "hkmeans",
+        ]) == 0
+        assert "hkmeans" in capsys.readouterr().out

@@ -1,0 +1,313 @@
+"""Tests for the 37-d feature pipeline."""
+
+import colorsys
+
+import numpy as np
+import pytest
+
+from repro.config import FeatureConfig
+from repro.errors import (
+    ConfigurationError,
+    FeatureExtractionError,
+    InvalidImageError,
+)
+from repro.features.color import color_moments, rgb_to_hsv, validate_image
+from repro.features.edges import (
+    EDGE_FEATURE_DIMS,
+    edge_map,
+    edge_structural_features,
+    sobel_gradients,
+)
+from repro.features.extractor import FeatureExtractor
+from repro.features.normalize import FeatureNormalizer
+from repro.features.texture import (
+    haar_decompose,
+    haar_dwt2,
+    to_grayscale,
+    wavelet_texture_features,
+)
+
+
+def _solid(color, size=16):
+    img = np.empty((size, size, 3))
+    img[:] = color
+    return img
+
+
+class TestValidateImage:
+    def test_accepts_valid(self):
+        validate_image(np.zeros((8, 8, 3)))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidImageError):
+            validate_image(np.zeros((8, 8)))
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(InvalidImageError):
+            validate_image(np.zeros((8, 8, 4)))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(InvalidImageError):
+            validate_image(np.zeros((1, 8, 3)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidImageError):
+            validate_image(np.full((8, 8, 3), 2.0))
+
+    def test_rejects_nan(self):
+        bad = np.zeros((8, 8, 3))
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(InvalidImageError):
+            validate_image(bad)
+
+
+class TestRgbToHsv:
+    @pytest.mark.parametrize(
+        "rgb",
+        [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0),
+         (0.5, 0.5, 0.5), (0.9, 0.4, 0.1), (0.0, 0.0, 0.0),
+         (1.0, 1.0, 1.0), (0.2, 0.8, 0.6)],
+    )
+    def test_matches_colorsys(self, rgb):
+        img = _solid(rgb, size=4)
+        ours = rgb_to_hsv(img)[0, 0]
+        ref = colorsys.rgb_to_hsv(*rgb)
+        assert ours == pytest.approx(ref, abs=1e-9)
+
+    def test_output_ranges(self, rng):
+        img = rng.random((16, 16, 3))
+        hsv = rgb_to_hsv(img)
+        assert hsv[..., 0].min() >= 0 and hsv[..., 0].max() < 1.0
+        assert hsv[..., 1].min() >= 0 and hsv[..., 1].max() <= 1.0
+        assert hsv[..., 2].min() >= 0 and hsv[..., 2].max() <= 1.0
+
+
+class TestColorMoments:
+    def test_nine_dims(self):
+        assert color_moments(_solid((0.3, 0.6, 0.9))).shape == (9,)
+
+    def test_solid_image_zero_spread(self):
+        feats = color_moments(_solid((0.3, 0.6, 0.9)))
+        # std and skew of every channel vanish for a constant image.
+        for idx in (1, 2, 4, 5, 7, 8):
+            assert feats[idx] == pytest.approx(0.0, abs=1e-12)
+
+    def test_value_mean_matches_brightness(self):
+        feats = color_moments(_solid((0.25, 0.25, 0.25)))
+        assert feats[6] == pytest.approx(0.25)
+
+    def test_skew_sign(self):
+        img = np.zeros((8, 8, 3))
+        img[0, 0] = 1.0  # a single bright pixel → right-skewed V
+        feats = color_moments(img)
+        assert feats[8] > 0
+
+
+class TestHaarWavelet:
+    def test_constant_image_has_no_detail(self):
+        ll, lh, hl, hh = haar_dwt2(np.full((8, 8), 0.7))
+        assert np.allclose(lh, 0) and np.allclose(hl, 0)
+        assert np.allclose(hh, 0)
+        assert np.allclose(ll, 1.4)  # 0.7 * 2 (orthonormal scaling)
+
+    def test_horizontal_stripes_land_in_lh(self):
+        img = np.zeros((8, 8))
+        img[0::2] = 1.0
+        _, lh, hl, hh = haar_dwt2(img)
+        assert np.abs(lh).sum() > 0
+        assert np.allclose(hl, 0)
+
+    def test_vertical_stripes_land_in_hl(self):
+        img = np.zeros((8, 8))
+        img[:, 0::2] = 1.0
+        _, lh, hl, hh = haar_dwt2(img)
+        assert np.abs(hl).sum() > 0
+        assert np.allclose(lh, 0)
+
+    def test_energy_preservation(self, rng):
+        img = rng.random((16, 16))
+        ll, lh, hl, hh = haar_dwt2(img)
+        total = sum(np.sum(b**2) for b in (ll, lh, hl, hh))
+        assert total == pytest.approx(np.sum(img**2))
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(InvalidImageError):
+            haar_dwt2(np.zeros((7, 8)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(InvalidImageError):
+            haar_dwt2(np.zeros(8))
+
+    def test_decompose_levels(self, rng):
+        img = rng.random((16, 16))
+        ll, details = haar_decompose(img, 3)
+        assert len(details) == 3
+        assert ll.shape == (2, 2)
+        assert details[0][0].shape == (8, 8)
+        assert details[2][0].shape == (2, 2)
+
+    def test_decompose_too_deep_rejected(self, rng):
+        with pytest.raises(InvalidImageError):
+            haar_decompose(rng.random((8, 8)), 4)
+
+    def test_decompose_zero_levels_rejected(self, rng):
+        with pytest.raises(InvalidImageError):
+            haar_decompose(rng.random((8, 8)), 0)
+
+
+class TestWaveletTextureFeatures:
+    def test_ten_dims(self, rng):
+        feats = wavelet_texture_features(rng.random((32, 32, 3)))
+        assert feats.shape == (10,)
+
+    def test_flat_image_all_zero(self):
+        feats = wavelet_texture_features(_solid((0.5, 0.5, 0.5), 32))
+        assert np.allclose(feats, 0.0)
+
+    def test_textured_beats_flat(self, rng):
+        flat = wavelet_texture_features(_solid((0.5, 0.5, 0.5), 32))
+        noisy = wavelet_texture_features(
+            np.clip(rng.random((32, 32, 3)), 0, 1)
+        )
+        assert noisy.sum() > flat.sum()
+
+    def test_grayscale_weights(self):
+        grey = to_grayscale(_solid((1.0, 0.0, 0.0), 4))
+        assert grey[0, 0] == pytest.approx(0.299)
+
+
+class TestEdgeFeatures:
+    def test_eighteen_dims(self, rng):
+        feats = edge_structural_features(rng.random((32, 32, 3)))
+        assert feats.shape == (EDGE_FEATURE_DIMS,) == (18,)
+
+    def test_flat_image_no_edges(self):
+        feats = edge_structural_features(_solid((0.5, 0.5, 0.5), 32))
+        assert np.allclose(feats, 0.0)
+
+    def test_sobel_vertical_edge(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 1.0
+        gx, gy = sobel_gradients(img)
+        assert np.abs(gx).max() > 0
+        assert np.abs(gy).max() == pytest.approx(0.0)
+
+    def test_sobel_horizontal_edge(self):
+        img = np.zeros((8, 8))
+        img[4:, :] = 1.0
+        gx, gy = sobel_gradients(img)
+        assert np.abs(gy).max() > 0
+        assert np.abs(gx).max() == pytest.approx(0.0)
+
+    def test_orientation_histogram_normalised(self, rng):
+        feats = edge_structural_features(rng.random((32, 32, 3)))
+        assert feats[:12].sum() == pytest.approx(1.0)
+
+    def test_vertical_edge_orientation_bin(self):
+        img = np.zeros((16, 16, 3))
+        img[:, 8:, :] = 1.0
+        feats = edge_structural_features(img)
+        # A vertical edge has a horizontal gradient → orientation ~0 →
+        # first histogram bin dominates.
+        assert feats[0] == pytest.approx(1.0)
+
+    def test_edge_density_in_unit_range(self, rng):
+        feats = edge_structural_features(rng.random((32, 32, 3)))
+        assert 0.0 <= feats[12] <= 1.0
+
+    def test_connectivity_of_solid_edge(self):
+        img = np.zeros((16, 16, 3))
+        img[:, 8:, :] = 1.0
+        feats = edge_structural_features(img)
+        assert feats[15] == pytest.approx(1.0)  # contiguous edge line
+
+    def test_edge_map_empty_for_flat(self):
+        edges, mag, orient = edge_map(np.full((8, 8), 0.3))
+        assert not edges.any()
+
+
+class TestFeatureExtractor:
+    def test_dims(self):
+        assert FeatureExtractor().dims == 37
+
+    def test_extract_shape_and_finite(self, rng):
+        vec = FeatureExtractor().extract(rng.random((32, 32, 3)))
+        assert vec.shape == (37,)
+        assert np.isfinite(vec).all()
+
+    def test_extract_batch(self, rng):
+        batch = FeatureExtractor().extract_batch(
+            [rng.random((32, 32, 3)) for _ in range(3)]
+        )
+        assert batch.shape == (3, 37)
+
+    def test_extract_batch_empty(self):
+        batch = FeatureExtractor().extract_batch([])
+        assert batch.shape == (0, 37)
+
+    def test_family_slices_cover_everything(self):
+        ex = FeatureExtractor()
+        slices = ex.family_slices()
+        assert slices["color"] == slice(0, 9)
+        assert slices["texture"] == slice(9, 19)
+        assert slices["edges"] == slice(19, 37)
+
+    def test_deterministic(self, rng):
+        img = rng.random((32, 32, 3))
+        ex = FeatureExtractor()
+        assert np.array_equal(ex.extract(img), ex.extract(img))
+
+    def test_mismatched_config_rejected(self):
+        with pytest.raises(FeatureExtractionError):
+            FeatureExtractor(FeatureConfig(texture_dims=12))
+
+    def test_different_images_different_features(self, rng):
+        ex = FeatureExtractor()
+        a = ex.extract(_solid((1, 0, 0), 32))
+        b = ex.extract(_solid((0, 0, 1), 32))
+        assert not np.allclose(a, b)
+
+
+class TestFeatureNormalizer:
+    def test_fit_transform_zero_mean_unit_std(self, rng):
+        data = rng.normal(3.0, 2.0, size=(200, 5))
+        out = FeatureNormalizer().fit_transform(data)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_dimension_maps_to_zero(self):
+        data = np.column_stack([np.arange(5.0), np.full(5, 7.0)])
+        out = FeatureNormalizer().fit_transform(data)
+        assert np.allclose(out[:, 1], 0.0)
+
+    def test_transform_one(self, rng):
+        data = rng.normal(size=(50, 3))
+        norm = FeatureNormalizer().fit(data)
+        single = norm.transform_one(data[0])
+        batch = norm.transform(data[:1])[0]
+        assert np.allclose(single, batch)
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.normal(2.0, 3.0, size=(50, 4))
+        norm = FeatureNormalizer().fit(data)
+        back = norm.inverse_transform(norm.transform(data))
+        assert np.allclose(back, data)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            FeatureNormalizer().transform(np.zeros((1, 3)))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            FeatureNormalizer().fit(np.zeros((0, 3)))
+
+    def test_dim_mismatch_raises(self, rng):
+        norm = FeatureNormalizer().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ConfigurationError):
+            norm.transform(rng.normal(size=(5, 4)))
+
+    def test_is_fitted_flag(self, rng):
+        norm = FeatureNormalizer()
+        assert not norm.is_fitted
+        norm.fit(rng.normal(size=(10, 2)))
+        assert norm.is_fitted

@@ -1,0 +1,229 @@
+"""Tests for the procedural imaging substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.imaging.canvas import Canvas
+from repro.imaging.palettes import COLORS, PALETTES, jitter_color, mix
+from repro.imaging.scenes import (
+    SCENE_RENDERERS,
+    make_distractor_renderer,
+    render_car_sedan,
+    render_scene,
+)
+
+
+class TestPalettes:
+    def test_colors_in_unit_range(self):
+        for name, color in COLORS.items():
+            assert all(0.0 <= c <= 1.0 for c in color), name
+
+    def test_palettes_reference_valid_colors(self):
+        for name, palette in PALETTES.items():
+            assert len(palette) >= 3, name
+            for color in palette:
+                assert all(0.0 <= c <= 1.0 for c in color)
+
+    def test_jitter_stays_in_range(self, rng):
+        for _ in range(50):
+            out = jitter_color((0.99, 0.01, 0.5), rng, amount=0.1)
+            assert all(0.0 <= c <= 1.0 for c in out)
+
+    def test_jitter_is_small(self, rng):
+        base = (0.5, 0.5, 0.5)
+        out = jitter_color(base, rng, amount=0.02)
+        assert all(abs(a - b) <= 0.02 + 1e-12 for a, b in zip(out, base))
+
+    def test_mix_endpoints(self):
+        a, b = (0.0, 0.0, 0.0), (1.0, 1.0, 1.0)
+        assert mix(a, b, 0.0) == a
+        assert mix(a, b, 1.0) == b
+        assert mix(a, b, 0.5) == (0.5, 0.5, 0.5)
+
+
+class TestCanvas:
+    def test_initial_background(self):
+        c = Canvas(8, background=(0.2, 0.4, 0.6))
+        assert np.allclose(c.image()[0, 0], [0.2, 0.4, 0.6])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Canvas(2)
+
+    def test_fill(self):
+        img = Canvas(8).fill((1.0, 0.0, 0.0)).image()
+        assert np.allclose(img[..., 0], 1.0)
+        assert np.allclose(img[..., 1], 0.0)
+
+    def test_vertical_gradient_direction(self):
+        img = Canvas(16).vertical_gradient((0, 0, 0), (1, 1, 1)).image()
+        assert img[0, 8, 0] < img[15, 8, 0]
+
+    def test_horizontal_gradient_direction(self):
+        img = Canvas(16).horizontal_gradient((0, 0, 0), (1, 1, 1)).image()
+        assert img[8, 0, 0] < img[8, 15, 0]
+
+    def test_rectangle_covers_region(self):
+        img = Canvas(16).rectangle(0.25, 0.25, 0.75, 0.75,
+                                   (1, 1, 1)).image()
+        assert img[8, 8, 0] == 1.0
+        assert img[0, 0, 0] == 0.0
+
+    def test_rectangle_swapped_corners(self):
+        a = Canvas(16).rectangle(0.75, 0.75, 0.25, 0.25, (1, 1, 1)).image()
+        b = Canvas(16).rectangle(0.25, 0.25, 0.75, 0.75, (1, 1, 1)).image()
+        assert np.array_equal(a, b)
+
+    def test_circle_center_and_outside(self):
+        img = Canvas(32).circle(0.5, 0.5, 0.2, (0, 1, 0)).image()
+        assert img[16, 16, 1] == 1.0
+        assert img[0, 0, 1] == 0.0
+
+    def test_ellipse_rotation_changes_mask(self):
+        flat = Canvas(32).ellipse(0.5, 0.5, 0.4, 0.1, (1, 1, 1)).image()
+        rot = Canvas(32).ellipse(0.5, 0.5, 0.4, 0.1, (1, 1, 1),
+                                 angle=np.pi / 2).image()
+        assert not np.array_equal(flat, rot)
+
+    def test_polygon_triangle_contains_centroid(self):
+        img = Canvas(32).polygon(
+            [(0.2, 0.8), (0.8, 0.8), (0.5, 0.2)], (1, 0, 0)
+        ).image()
+        assert img[18, 16, 0] == 1.0  # near the centroid
+        assert img[2, 2, 0] == 0.0
+
+    def test_polygon_needs_three_points(self):
+        with pytest.raises(ConfigurationError):
+            Canvas(8).polygon([(0, 0), (1, 1)], (1, 1, 1))
+
+    def test_line_degenerate_draws_dot(self):
+        img = Canvas(32).line(0.5, 0.5, 0.5, 0.5, (1, 1, 1),
+                              width=0.05).image()
+        assert img[16, 16, 0] == 1.0
+
+    def test_line_connects_endpoints(self):
+        img = Canvas(32).line(0.1, 0.5, 0.9, 0.5, (1, 1, 1),
+                              width=0.03).image()
+        assert img[16, 5, 0] == 1.0
+        assert img[16, 28, 0] == 1.0
+        assert img[2, 16, 0] == 0.0
+
+    def test_alpha_blending(self):
+        img = Canvas(8, background=(0, 0, 0)).rectangle(
+            0, 0, 1, 1, (1, 1, 1), alpha=0.5
+        ).image()
+        assert np.allclose(img, 0.5)
+
+    def test_noise_bounded(self, rng):
+        img = Canvas(16, background=(0.5, 0.5, 0.5)).noise(
+            rng, amount=0.1
+        ).image()
+        assert img.min() >= 0.35 and img.max() <= 0.65
+
+    def test_smooth_noise_stays_valid(self, rng):
+        img = Canvas(16, background=(0.5, 0.5, 0.5)).smooth_noise(
+            rng, cells=4, amount=0.3
+        ).image()
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_stripes_alternate(self):
+        img = Canvas(16).stripes((1, 1, 1), count=4, alpha=1.0).image()
+        column = img[:, 8, 0]
+        assert column.min() == 0.0 and column.max() == 1.0
+
+    def test_checker_pattern(self):
+        img = Canvas(16).checker((1, 1, 1), count=2, alpha=1.0).image()
+        assert img[2, 2, 0] != img[2, 10, 0]
+
+    def test_speckle_density(self, rng):
+        img = Canvas(64).speckle(rng, (1, 1, 1), density=0.1).image()
+        frac = (img[..., 0] == 1.0).mean()
+        assert 0.03 < frac < 0.2
+
+    def test_image_values_clipped(self, rng):
+        c = Canvas(8, background=(0.9, 0.9, 0.9))
+        c.noise(rng, amount=0.5)
+        img = c.image()
+        assert img.max() <= 1.0 and img.min() >= 0.0
+
+
+class TestScenes:
+    @pytest.mark.parametrize("name", sorted(SCENE_RENDERERS))
+    def test_every_scene_renders_valid_image(self, name, rng):
+        img = render_scene(name, 32, rng)
+        assert img.shape == (32, 32, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert np.isfinite(img).all()
+
+    def test_unknown_scene_raises(self, rng):
+        with pytest.raises(DatasetError):
+            render_scene("no_such_scene", 32, rng)
+
+    def test_scene_respects_size(self, rng):
+        img = render_scene("bird_owl", 48, rng)
+        assert img.shape == (48, 48, 3)
+
+    def test_same_seed_same_image(self):
+        a = render_scene("rose_red", 32, np.random.default_rng(5))
+        b = render_scene("rose_red", 32, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_intra_category_jitter(self, rng):
+        a = render_scene("rose_red", 32, rng)
+        b = render_scene("rose_red", 32, rng)
+        assert not np.array_equal(a, b)
+
+    def test_sedan_pose_invalid_raises(self, rng):
+        with pytest.raises(DatasetError):
+            render_car_sedan(32, rng, pose="topdown")
+
+    def test_sedan_any_pose_renders(self, rng):
+        img = render_car_sedan(32, rng, pose="any")
+        assert img.shape == (32, 32, 3)
+
+    def test_sedan_poses_differ_visibly(self):
+        images = {
+            pose: render_car_sedan(32, np.random.default_rng(1), pose=pose)
+            for pose in ("side", "front", "back", "angle")
+        }
+        poses = list(images)
+        for i, a in enumerate(poses):
+            for b in poses[i + 1:]:
+                diff = np.abs(images[a] - images[b]).mean()
+                assert diff > 0.01, (a, b)
+
+
+class TestDistractors:
+    def test_renderer_produces_valid_images(self, rng):
+        render = make_distractor_renderer("warm", "blobs", 7)
+        img = render(32, rng)
+        assert img.shape == (32, 32, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    @pytest.mark.parametrize(
+        "style",
+        ["blobs", "stripes", "checker", "gradient", "rings", "polys",
+         "cloud"],
+    )
+    def test_all_styles_render(self, style, rng):
+        render = make_distractor_renderer("cool", style, 3)
+        assert render(32, rng).shape == (32, 32, 3)
+
+    def test_unknown_palette_raises(self):
+        with pytest.raises(DatasetError):
+            make_distractor_renderer("nope", "blobs", 1)
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(DatasetError):
+            make_distractor_renderer("warm", "nope", 1)
+
+    def test_category_layout_is_stable(self, rng):
+        """Same style seed → same layout, different fine detail."""
+        render = make_distractor_renderer("earth", "rings", 11)
+        a = render(32, np.random.default_rng(0))
+        b = render(32, np.random.default_rng(1))
+        # Images differ (noise) but correlate strongly (shared layout).
+        assert not np.array_equal(a, b)
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr > 0.8

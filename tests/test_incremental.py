@@ -1,0 +1,159 @@
+"""Tests for incremental RFS maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RFSConfig
+from repro.errors import NodeNotFoundError, QueryError
+from repro.index.incremental import IncrementalRFS
+from repro.index.rfs import RFSStructure
+
+
+def _fresh(n=200, d=8, seed=0):
+    base = np.random.default_rng(seed).normal(size=(n, d))
+    rfs = RFSStructure.build(
+        base,
+        RFSConfig(node_max_entries=40, node_min_entries=20,
+                  leaf_subclusters=3),
+        seed=seed,
+    )
+    return IncrementalRFS(rfs, seed=seed)
+
+
+class TestInsert:
+    def test_insert_returns_new_id_and_grows(self):
+        inc = _fresh()
+        new_id = inc.insert_image(np.zeros(8))
+        assert new_id == 200
+        assert inc.size == 201
+        assert inc.features.shape == (201, 8)
+
+    def test_inserted_image_findable(self):
+        inc = _fresh()
+        vec = np.full(8, 0.25)
+        new_id = inc.insert_image(vec)
+        leaf = inc.rfs.leaf_of_item(new_id)
+        got = inc.rfs.localized_knn(leaf, vec, 1)
+        assert got[0][1] == new_id
+
+    def test_wrong_dims_rejected(self):
+        inc = _fresh()
+        with pytest.raises(QueryError):
+            inc.insert_image(np.zeros(5))
+
+    def test_many_inserts_keep_invariants(self):
+        inc = _fresh()
+        rng = np.random.default_rng(3)
+        for _ in range(120):
+            inc.insert_image(rng.normal(size=8))
+        inc.validate()
+        assert inc.size == 320
+
+    def test_leaf_splits_on_overflow(self):
+        inc = _fresh()
+        rng = np.random.default_rng(4)
+        # Hammer one region so a single leaf overflows.
+        anchor = inc.features[0]
+        before_leaves = sum(
+            1 for n in inc.rfs.iter_nodes() if n.is_leaf
+        )
+        for _ in range(80):
+            inc.insert_image(anchor + rng.normal(0, 0.01, size=8))
+        after_leaves = sum(
+            1 for n in inc.rfs.iter_nodes() if n.is_leaf
+        )
+        assert after_leaves > before_leaves
+        for node in inc.rfs.iter_nodes():
+            if node.is_leaf:
+                assert node.size <= 40 + 1
+        inc.validate()
+
+    def test_inserts_route_to_nearby_cluster(self):
+        inc = _fresh()
+        target_leaf = inc.rfs.leaf_of_item(0)
+        new_id = inc.insert_image(inc.features[0] + 1e-6)
+        assert new_id in inc.rfs.leaf_of_item(new_id).item_ids
+        assert inc.rfs.leaf_of_item(new_id).node_id in {
+            target_leaf.node_id,
+            *(n.node_id for n in inc.rfs.iter_nodes()),
+        }
+
+
+class TestRemove:
+    def test_remove_detaches(self):
+        inc = _fresh()
+        inc.remove_image(5)
+        assert inc.size == 199
+        with pytest.raises(NodeNotFoundError):
+            inc.rfs.leaf_of_item(5)
+        inc.validate()
+
+    def test_remove_unknown_raises(self):
+        inc = _fresh()
+        with pytest.raises(NodeNotFoundError):
+            inc.remove_image(10**9)
+
+    def test_remove_then_reinsert_cycle(self):
+        inc = _fresh()
+        vec = inc.features[7].copy()
+        inc.remove_image(7)
+        new_id = inc.insert_image(vec)
+        leaf = inc.rfs.leaf_of_item(new_id)
+        assert new_id in leaf.item_ids
+        inc.validate()
+
+    def test_emptying_a_leaf_prunes_it(self):
+        inc = _fresh()
+        leaf = inc.rfs.leaf_of_item(0)
+        for image_id in list(leaf.item_ids):
+            inc.remove_image(int(image_id))
+        assert leaf.node_id not in inc.rfs.nodes
+        inc.validate()
+
+
+class TestLazyRefresh:
+    def test_representatives_stay_members(self):
+        inc = _fresh()
+        rng = np.random.default_rng(6)
+        for step in range(60):
+            if step % 3 == 2 and inc.size > 50:
+                victim = int(inc.rfs.root.item_ids[
+                    rng.integers(inc.rfs.root.size)
+                ])
+                inc.remove_image(victim)
+            else:
+                inc.insert_image(rng.normal(size=8))
+        inc.validate()  # includes the stale-representative check
+
+    def test_queries_work_throughout(self):
+        inc = _fresh()
+        rng = np.random.default_rng(777)  # distinct from the base data
+        for step in range(40):
+            new_id = inc.insert_image(rng.normal(size=8))
+            leaf = inc.rfs.leaf_of_item(new_id)
+            got = inc.rfs.localized_knn(
+                leaf, inc.features[new_id], 1
+            )
+            assert got[0][1] == new_id
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(0, 2), min_size=5, max_size=40))
+    @settings(max_examples=10, deadline=None)
+    def test_random_operation_sequences(self, ops):
+        inc = _fresh(n=120, seed=9)
+        rng = np.random.default_rng(11)
+        alive = set(range(120))
+        for op in ops:
+            if op in (0, 1) or len(alive) < 10:
+                new_id = inc.insert_image(rng.normal(size=8))
+                alive.add(new_id)
+            else:
+                victim = sorted(alive)[int(rng.integers(len(alive)))]
+                inc.remove_image(victim)
+                alive.discard(victim)
+        inc.validate()
+        assert inc.size == len(alive)
+        assert set(inc.rfs.root.item_ids.tolist()) == alive

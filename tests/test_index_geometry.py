@@ -1,0 +1,176 @@
+"""Tests for MBR geometry and the disk-access model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.geometry import MBR
+
+
+def box(lo, hi):
+    return MBR(np.asarray(lo, dtype=float), np.asarray(hi, dtype=float))
+
+
+class TestMBRConstruction:
+    def test_from_point_is_degenerate(self):
+        b = MBR.from_point(np.array([1.0, 2.0]))
+        assert np.array_equal(b.lo, b.hi)
+        assert b.area() == 0.0
+
+    def test_from_points_tight(self):
+        pts = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        b = MBR.from_points(pts)
+        assert np.array_equal(b.lo, [0.0, 1.0])
+        assert np.array_equal(b.hi, [2.0, 5.0])
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MBR.from_points(np.empty((0, 2)))
+
+    def test_lo_above_hi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            box([1.0, 0.0], [0.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MBR(np.zeros(2), np.zeros(3))
+
+    def test_union_of_list(self):
+        b = MBR.union_of([box([0, 0], [1, 1]), box([2, -1], [3, 0.5])])
+        assert np.array_equal(b.lo, [0, -1])
+        assert np.array_equal(b.hi, [3, 1])
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MBR.union_of([])
+
+
+class TestMBRGeometry:
+    def test_area_and_margin(self):
+        b = box([0, 0], [2, 3])
+        assert b.area() == pytest.approx(6.0)
+        assert b.margin() == pytest.approx(5.0)
+
+    def test_diagonal(self):
+        b = box([0, 0], [3, 4])
+        assert b.diagonal() == pytest.approx(5.0)
+
+    def test_center(self):
+        assert np.array_equal(box([0, 0], [2, 4]).center(), [1, 2])
+
+    def test_log_area_monotone_in_extent(self):
+        small = box([0, 0], [1, 1])
+        big = box([0, 0], [2, 2])
+        assert big.log_area() > small.log_area()
+
+    def test_enlargement_zero_for_contained(self):
+        outer = box([0, 0], [10, 10])
+        inner = box([2, 2], [3, 3])
+        assert outer.enlargement(inner) == pytest.approx(0.0)
+
+    def test_enlargement_positive_for_outside(self):
+        a = box([0, 0], [1, 1])
+        b = box([5, 5], [6, 6])
+        assert a.enlargement(b) > 0
+
+    def test_union_commutes(self):
+        a = box([0, 0], [1, 1])
+        b = box([2, 2], [3, 3])
+        assert a.union(b) == b.union(a)
+
+    def test_intersects_cases(self):
+        a = box([0, 0], [2, 2])
+        assert a.intersects(box([1, 1], [3, 3]))
+        assert a.intersects(box([2, 2], [3, 3]))  # touching counts
+        assert not a.intersects(box([3, 3], [4, 4]))
+
+    def test_overlap_measure_zero_when_disjoint(self):
+        assert box([0, 0], [1, 1]).overlap_measure(
+            box([2, 2], [3, 3])
+        ) == 0.0
+
+    def test_overlap_measure_positive_when_overlapping(self):
+        assert box([0, 0], [2, 2]).overlap_measure(
+            box([1, 1], [3, 3])
+        ) > 0.0
+
+    def test_contains_point(self):
+        b = box([0, 0], [1, 1])
+        assert b.contains_point(np.array([0.5, 0.5]))
+        assert b.contains_point(np.array([1.0, 1.0]))  # boundary
+        assert not b.contains_point(np.array([1.1, 0.5]))
+
+    def test_min_distance_inside_is_zero(self):
+        assert box([0, 0], [2, 2]).min_distance(
+            np.array([1.0, 1.0])
+        ) == 0.0
+
+    def test_min_distance_outside(self):
+        assert box([0, 0], [1, 1]).min_distance(
+            np.array([4.0, 5.0])
+        ) == pytest.approx(5.0)
+
+    def test_center_distance(self):
+        assert box([0, 0], [2, 2]).center_distance(
+            np.array([4.0, 5.0])
+        ) == pytest.approx(5.0)
+
+    def test_equality_and_hash(self):
+        a = box([0, 0], [1, 1])
+        b = box([0, 0], [1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != box([0, 0], [1, 2])
+
+
+class TestDiskAccessCounter:
+    def test_unbuffered_counts_every_access(self):
+        counter = DiskAccessCounter()
+        for _ in range(3):
+            counter.access(7)
+        assert counter.physical_reads == 3
+        assert counter.logical_reads == 3
+
+    def test_buffer_absorbs_repeats(self):
+        counter = DiskAccessCounter(buffer_pages=2)
+        counter.access(1)
+        counter.access(1)
+        counter.access(1)
+        assert counter.physical_reads == 1
+        assert counter.logical_reads == 3
+
+    def test_lru_eviction(self):
+        counter = DiskAccessCounter(buffer_pages=2)
+        counter.access(1)
+        counter.access(2)
+        counter.access(3)  # evicts 1
+        counter.access(1)  # miss again
+        assert counter.physical_reads == 4
+
+    def test_lru_touch_refreshes(self):
+        counter = DiskAccessCounter(buffer_pages=2)
+        counter.access(1)
+        counter.access(2)
+        counter.access(1)  # refresh 1
+        counter.access(3)  # evicts 2, not 1
+        assert counter.access(1) is False  # hit
+
+    def test_categories(self):
+        counter = DiskAccessCounter()
+        counter.access(1, "feedback")
+        counter.access(2, "feedback")
+        counter.access(3, "knn")
+        snap = counter.snapshot()
+        assert snap["reads[feedback]"] == 2
+        assert snap["reads[knn]"] == 1
+
+    def test_reset(self):
+        counter = DiskAccessCounter(buffer_pages=2)
+        counter.access(1)
+        counter.reset()
+        assert counter.physical_reads == 0
+        assert counter.logical_reads == 0
+        assert counter.snapshot() == {
+            "physical_reads": 0, "logical_reads": 0
+        }

@@ -1,0 +1,76 @@
+"""Tests for RFS structural statistics."""
+
+import numpy as np
+import pytest
+
+from repro.index.stats import compute_tree_stats
+
+
+class TestTreeStats:
+    @pytest.fixture(scope="class")
+    def stats(self, rfs, rendered_db):
+        return compute_tree_stats(rfs, labels=rendered_db.labels)
+
+    def test_counts_match_structure(self, stats, rfs):
+        assert stats.n_images == rfs.root.size
+        assert stats.n_nodes == len(rfs.nodes)
+        assert stats.height == rfs.height
+
+    def test_level_sizes_partition(self, stats):
+        """Each level's node sizes sum to the whole database (every
+        image appears exactly once per level it spans)."""
+        for lv in stats.levels:
+            total = lv.n_nodes * lv.mean_size
+            if lv.level == stats.levels[0].level:  # root level
+                assert total == pytest.approx(stats.n_images)
+
+    def test_root_level_is_first(self, stats):
+        assert stats.levels[0].n_nodes == 1
+        assert stats.levels[0].level == stats.height - 1
+
+    def test_leaf_level_present(self, stats):
+        assert stats.levels[-1].level == 0
+        assert stats.levels[-1].n_nodes > 1
+
+    def test_representatives_counted(self, stats):
+        for lv in stats.levels:
+            assert lv.mean_representatives >= 1.0
+
+    def test_purity_meaningful(self, stats):
+        """The rendered categories cluster well → high leaf purity."""
+        assert stats.label_purity is not None
+        assert 0.4 < stats.label_purity <= 1.0
+
+    def test_purity_optional(self, rfs):
+        stats = compute_tree_stats(rfs)
+        assert stats.label_purity is None
+
+    def test_min_max_bounds(self, stats):
+        for lv in stats.levels:
+            assert lv.min_size <= lv.mean_size <= lv.max_size
+
+    def test_format(self, stats):
+        text = stats.format()
+        assert "height" in text
+        assert "purity" in text
+        assert str(stats.n_images) in text
+
+    def test_overlap_nonnegative(self, stats):
+        for lv in stats.levels:
+            assert lv.mean_sibling_overlap >= 0.0
+
+    def test_synthetic_random_data_lower_purity(self):
+        """Unstructured labels give low purity — the metric
+        discriminates."""
+        from repro.config import RFSConfig
+        from repro.index.rfs import RFSStructure
+
+        rng = np.random.default_rng(0)
+        feats = rng.normal(size=(400, 8))
+        labels = rng.integers(0, 20, size=400)
+        rfs = RFSStructure.build(
+            feats, RFSConfig(node_max_entries=40, node_min_entries=20),
+            seed=0,
+        )
+        stats = compute_tree_stats(rfs, labels=labels)
+        assert stats.label_purity < 0.4

@@ -1,0 +1,93 @@
+"""Behavioural tests for the Multiple Viewpoints channel machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mv import Channel, MultipleViewpoints, default_channels
+from repro.datasets.queryset import get_query
+from repro.eval.oracle import SimulatedUser
+
+
+class TestChannelTransforms:
+    def test_color_channel_is_identity(self):
+        channel = default_channels()[0]
+        q = np.arange(37, dtype=float)
+        assert np.array_equal(channel.transform(q), q)
+
+    def test_bw_negative_flips_texture_only(self):
+        channels = {c.name: c for c in default_channels()}
+        q = np.ones(37)
+        out = channels["bw-negative"].transform(q)
+        assert np.all(out[9:19] == -1.0)
+        assert np.all(out[:9] == 1.0)
+        assert np.all(out[19:] == 1.0)
+
+    def test_channels_are_frozen(self):
+        channel = default_channels()[0]
+        with pytest.raises(AttributeError):
+            channel.name = "other"  # type: ignore[misc]
+
+
+class TestChannelBehaviour:
+    def test_color_channel_dominates_on_colorful_query(self, rendered_db):
+        """For a rose query the colour channel's list is far more
+        relevant than the negatives' lists."""
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        query = get_query("rose")
+        user = SimulatedUser(rendered_db, query, seed=0)
+        technique.begin([user.pick_example(subconcept_index=0)])
+        per_channel = technique.channel_results(30)
+        relevant = user.relevant_ids()
+
+        def hit_rate(name):
+            ids = per_channel[name].ids()
+            return sum(1 for i in ids if i in relevant) / len(ids)
+
+        assert hit_rate("color") > hit_rate("color-negative")
+
+    def test_single_channel_mv_equals_weighted_knn(self, rendered_db):
+        """With only the colour channel MV degenerates to plain k-NN."""
+        from repro.baselines.knn import GlobalKNN
+
+        color_only = MultipleViewpoints(
+            rendered_db, channels=default_channels()[:1], seed=0
+        )
+        knn = GlobalKNN(rendered_db, seed=0)
+        color_only.begin([5])
+        knn.begin([5])
+        assert color_only.retrieve(20).ids() == knn.retrieve(20).ids()
+
+    def test_custom_channel_weights_respected(self, rendered_db):
+        """A channel that zeroes everything ranks by nothing — every
+        distance collapses to zero and ids win ties."""
+        null_channel = Channel(
+            "null", np.ones(37), np.zeros(37)
+        )
+        technique = MultipleViewpoints(
+            rendered_db, channels=[null_channel], seed=0
+        )
+        technique.begin([0])
+        ids = technique.retrieve(5).ids()
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_share_allocation_across_channels(self, rendered_db):
+        """Each channel contributes roughly k/4 of the combined set."""
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        technique.begin([0])
+        k = 40
+        combined = technique.retrieve(k)
+        assert len(combined) == k
+        per_channel = technique.channel_results(k)
+        # Every combined result appears in some channel's top-k list.
+        union = set()
+        for ranked in per_channel.values():
+            union.update(ranked.ids())
+        assert set(combined.ids()) <= union
+
+    def test_feedback_moves_all_channels(self, rendered_db):
+        technique = MultipleViewpoints(rendered_db, seed=0)
+        technique.begin([0])
+        before = technique._query_point.copy()
+        far = int(rendered_db.ids_of_category("mountain_snow")[0])
+        technique.feedback([far])
+        assert not np.allclose(before, technique._query_point)

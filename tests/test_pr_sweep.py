@@ -1,0 +1,63 @@
+"""Unit tests for the precision/recall sweep experiment."""
+
+import pytest
+
+from repro.datasets.queryset import get_query
+from repro.errors import EvaluationError
+from repro.eval.experiments import run_pr_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(engine):
+    return run_pr_sweep(
+        engine,
+        queries=[get_query("bird"), get_query("rose")],
+        k_fractions=(0.5, 1.0, 2.0),
+        seed=3,
+    )
+
+
+class TestPrSweep:
+    def test_point_grid_complete(self, sweep):
+        assert len(sweep.points) == 2 * 3  # techniques x fractions
+        assert {p.technique for p in sweep.points} == {"MV", "QD"}
+
+    def test_recall_monotone_in_k(self, sweep):
+        for technique in ("MV", "QD"):
+            series = sweep.series(technique)
+            recalls = [p.recall for p in series]
+            assert recalls == sorted(recalls)
+
+    def test_metrics_bounded(self, sweep):
+        for p in sweep.points:
+            assert 0.0 <= p.precision <= 1.0
+            assert 0.0 <= p.recall <= 1.0
+
+    def test_precision_equals_recall_at_gt(self, sweep):
+        """At k = ground truth, precision == recall per query, and the
+        averages stay close."""
+        for technique in ("MV", "QD"):
+            point = next(
+                p for p in sweep.series(technique)
+                if p.k_fraction == 1.0
+            )
+            assert point.precision == pytest.approx(
+                point.recall, abs=0.05
+            )
+
+    def test_qd_dominates(self, sweep):
+        mv = {p.k_fraction: p for p in sweep.series("MV")}
+        qd = {p.k_fraction: p for p in sweep.series("QD")}
+        for fraction in qd:
+            assert qd[fraction].precision >= mv[fraction].precision - 0.05
+
+    def test_format(self, sweep):
+        text = sweep.format()
+        assert "Precision/recall" in text
+        assert "QD" in text
+
+    def test_invalid_fractions_rejected(self, engine):
+        with pytest.raises(EvaluationError):
+            run_pr_sweep(engine, k_fractions=(), seed=0)
+        with pytest.raises(EvaluationError):
+            run_pr_sweep(engine, k_fractions=(0.0,), seed=0)

@@ -1,0 +1,240 @@
+"""Tests for the video retrieval extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.video.keyframes import select_keyframes
+from repro.video.retrieval import VideoDatabase, VideoSearchEngine
+from repro.video.shots import detect_shot_boundaries, frame_differences
+from repro.video.synthesis import ShotSpec, SyntheticClip, render_clip
+
+
+@pytest.fixture(scope="module")
+def two_shot_clip():
+    return render_clip([("bird_owl", 10), ("rose_red", 8)], seed=0)
+
+
+class TestSynthesis:
+    def test_frame_count_and_boundaries(self, two_shot_clip):
+        assert two_shot_clip.n_frames == 18
+        assert two_shot_clip.shot_boundaries == [10]
+        assert two_shot_clip.shot_categories == ["bird_owl", "rose_red"]
+
+    def test_shot_ranges(self, two_shot_clip):
+        assert two_shot_clip.shot_ranges() == [(0, 10), (10, 18)]
+
+    def test_frames_valid(self, two_shot_clip):
+        frames = two_shot_clip.frames
+        assert frames.min() >= 0.0 and frames.max() <= 1.0
+        assert np.isfinite(frames).all()
+
+    def test_within_shot_frames_similar(self, two_shot_clip):
+        frames = two_shot_clip.frames
+        within = np.abs(frames[1] - frames[0]).mean()
+        across = np.abs(frames[10] - frames[9]).mean()
+        assert across > 3 * within
+
+    def test_deterministic(self):
+        a = render_clip([("bird_owl", 5)], seed=3)
+        b = render_clip([("bird_owl", 5)], seed=3)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_empty_clip_rejected(self):
+        with pytest.raises(DatasetError):
+            render_clip([], seed=0)
+
+    def test_zero_frame_shot_rejected(self):
+        with pytest.raises(DatasetError):
+            ShotSpec("bird_owl", 0)
+
+    def test_single_shot_has_no_boundaries(self):
+        clip = render_clip([("rose_red", 6)], seed=1)
+        assert clip.shot_boundaries == []
+        assert clip.n_shots == 1
+
+
+class TestShotDetection:
+    def test_frame_differences_shape(self, two_shot_clip):
+        diffs = frame_differences(two_shot_clip.frames)
+        assert diffs.shape == (17,)
+        assert np.all(diffs >= 0)
+
+    def test_cut_is_the_peak(self, two_shot_clip):
+        diffs = frame_differences(two_shot_clip.frames)
+        assert int(np.argmax(diffs)) == 9  # transition 9 -> 10
+
+    def test_detects_planted_cuts(self):
+        for seed in range(4):
+            clip = render_clip(
+                [("bird_owl", 9), ("computer_desktop", 11),
+                 ("mountain_snow", 8)],
+                seed=seed,
+            )
+            assert detect_shot_boundaries(clip.frames) == (
+                clip.shot_boundaries
+            ), seed
+
+    def test_static_clip_has_no_cuts(self):
+        clip = render_clip([("rose_red", 20)], seed=2)
+        assert detect_shot_boundaries(clip.frames) == []
+
+    def test_min_shot_length_suppression(self, two_shot_clip):
+        # An absurd minimum suppresses even real cuts.
+        assert detect_shot_boundaries(
+            two_shot_clip.frames, min_shot_length=100
+        ) in ([], [10])
+
+    def test_short_inputs(self):
+        single = np.zeros((1, 8, 8, 3))
+        assert frame_differences(single).shape == (0,)
+        assert detect_shot_boundaries(single) == []
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(DatasetError):
+            frame_differences(np.zeros((4, 8, 8)))
+
+    def test_invalid_params_rejected(self, two_shot_clip):
+        with pytest.raises(DatasetError):
+            detect_shot_boundaries(two_shot_clip.frames, sensitivity=0)
+        with pytest.raises(DatasetError):
+            detect_shot_boundaries(
+                two_shot_clip.frames, min_shot_length=0
+            )
+
+
+class TestKeyframes:
+    def test_one_or_more_per_shot(self, two_shot_clip):
+        keyframes = select_keyframes(
+            two_shot_clip.frames, two_shot_clip.shot_ranges(), seed=0
+        )
+        assert len(keyframes) == 2
+        for (start, end), frames in zip(
+            two_shot_clip.shot_ranges(), keyframes
+        ):
+            assert frames
+            assert all(start <= f < end for f in frames)
+
+    def test_respects_max_keyframes(self, two_shot_clip):
+        keyframes = select_keyframes(
+            two_shot_clip.frames,
+            two_shot_clip.shot_ranges(),
+            max_keyframes=1,
+            seed=0,
+        )
+        assert all(len(frames) == 1 for frames in keyframes)
+
+    def test_single_frame_shot(self):
+        clip = render_clip([("rose_red", 1)], seed=0)
+        keyframes = select_keyframes(
+            clip.frames, clip.shot_ranges(), seed=0
+        )
+        assert keyframes == [[0]]
+
+    def test_invalid_range_rejected(self, two_shot_clip):
+        with pytest.raises(DatasetError):
+            select_keyframes(
+                two_shot_clip.frames, [(0, 999)], seed=0
+            )
+
+    def test_invalid_max_rejected(self, two_shot_clip):
+        with pytest.raises(DatasetError):
+            select_keyframes(
+                two_shot_clip.frames,
+                two_shot_clip.shot_ranges(),
+                max_keyframes=0,
+            )
+
+
+@pytest.fixture(scope="module")
+def video_db():
+    cats = ["bird_owl", "rose_red", "computer_desktop",
+            "mountain_snow", "sport_sailing", "horse_polo"]
+    rng = np.random.default_rng(3)
+    clips = []
+    for i in range(14):
+        c1, c2 = rng.choice(cats, size=2, replace=False)
+        clips.append(
+            render_clip([(str(c1), 8), (str(c2), 8)], seed=100 + i)
+        )
+    return clips, VideoDatabase.ingest(clips, seed=5)
+
+
+class TestVideoDatabase:
+    def test_ingest_counts(self, video_db):
+        clips, db = video_db
+        assert db.size >= 2 * len(clips)  # >= one keyframe per shot
+        assert len(db.records) == db.size
+
+    def test_records_reference_real_frames(self, video_db):
+        clips, db = video_db
+        for record in db.records:
+            clip = clips[record.clip_id]
+            assert 0 <= record.frame_index < clip.n_frames
+
+    def test_keyframe_categories_match_ground_truth(self, video_db):
+        clips, db = video_db
+        correct = 0
+        for record in db.records:
+            clip = clips[record.clip_id]
+            for (start, end), category in zip(
+                clip.shot_ranges(), clip.shot_categories
+            ):
+                if start <= record.frame_index < end:
+                    correct += category == record.category
+                    break
+        assert correct / len(db.records) > 0.9
+
+    def test_ground_truth_shot_mode(self, video_db):
+        clips, _ = video_db
+        db = VideoDatabase.ingest(
+            clips[:3], use_ground_truth_shots=True, seed=1
+        )
+        assert db.size >= 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            VideoDatabase.ingest([])
+
+    def test_keyframes_of_category(self, video_db):
+        _, db = video_db
+        ids = db.keyframes_of_category("rose_red")
+        assert all(db.category_of(i) == "rose_red" for i in ids)
+
+
+class TestVideoSearch:
+    def test_search_finds_target_clips(self, video_db):
+        clips, db = video_db
+        engine = VideoSearchEngine(db, seed=6)
+        target = "rose_red"
+        truth = {
+            cid
+            for cid, clip in enumerate(clips)
+            if target in clip.shot_categories
+        }
+
+        def mark(shown):
+            return [i for i in shown if db.category_of(i) == target]
+
+        ranked = engine.search(mark, k=8, seed=7)
+        top = [cid for cid, _ in ranked[: len(truth)]]
+        hits = sum(1 for cid in top if cid in truth)
+        assert hits / max(1, len(top)) > 0.6
+
+    def test_results_sorted_by_score(self, video_db):
+        _, db = video_db
+        engine = VideoSearchEngine(db, seed=6)
+        target = "bird_owl"
+
+        def mark(shown):
+            return [i for i in shown if db.category_of(i) == target]
+
+        ranked = engine.search(mark, k=6, seed=8)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores)
+
+    def test_tiny_database_rejected(self):
+        clip = render_clip([("rose_red", 3)], seed=0)
+        db = VideoDatabase.ingest([clip], seed=0)
+        with pytest.raises(DatasetError):
+            VideoSearchEngine(db, seed=0)
