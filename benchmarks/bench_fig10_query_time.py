@@ -26,6 +26,12 @@ def test_fig10_overall_query_time(benchmark, scalability_result, report):
     benchmark.extra_info["times"] = [
         round(p.overall_query_time, 5) for p in result.points
     ]
+    benchmark.extra_info["times_p95"] = [
+        round(p.overall_query_time_p95, 5) for p in result.points
+    ]
+    # The p95 series (trace-derived) must bound the mean from above.
+    for point in result.points:
+        assert point.overall_query_time_p95 >= point.overall_query_time * 0.5
 
     # Paper shape: time increases with size, consistent with a linear
     # trend.

@@ -22,6 +22,9 @@ def test_fig11_iteration_time(benchmark, scalability_result, report):
     benchmark.extra_info["iteration_times"] = [
         round(p.iteration_time, 6) for p in result.points
     ]
+    benchmark.extra_info["iteration_times_p95"] = [
+        round(p.iteration_time_p95, 6) for p in result.points
+    ]
     benchmark.extra_info["global_knn_times"] = [
         round(p.global_knn_round_time, 6) for p in result.points
     ]

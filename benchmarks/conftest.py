@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.config import DatasetConfig
 from repro.core.engine import QueryDecompositionEngine
 from repro.datasets.build import build_rendered_database
@@ -58,8 +59,12 @@ _SCALABILITY_CACHE = {}
 
 
 @pytest.fixture(scope="session")
-def scalability_result():
-    """One shared Figure 10/11 sweep (both figures read the same runs)."""
+def scalability_result(obs_registry):
+    """One shared Figure 10/11 sweep (both figures read the same runs).
+
+    Phase timings (including the p95 columns) come from per-session
+    traces — see ``repro.obs.phase_durations`` — not TimingLog plumbing.
+    """
     from repro.eval.experiments import run_scalability
 
     if "result" not in _SCALABILITY_CACHE:
@@ -67,6 +72,24 @@ def scalability_result():
             SCALABILITY_SIZES, n_queries=100, seed=PAPER_SEED
         )
     return _SCALABILITY_CACHE["result"]
+
+
+@pytest.fixture(scope="session")
+def obs_registry():
+    """A metrics registry installed for the whole benchmark session.
+
+    Every instrumented layer (engine, session, index, retrieval) feeds
+    it; the teardown appends a Prometheus dump to
+    ``benchmarks/results/metrics.prom`` so a run's counters (distance
+    computations, page reads, splits) are inspectable after the fact.
+    """
+    registry = obs.MetricsRegistry()
+    with obs.use_metrics(registry):
+        yield registry
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "metrics.prom").write_text(
+        obs.prometheus_text(registry)
+    )
 
 
 @pytest.fixture(scope="session")

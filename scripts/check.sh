@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-merge gate: lint (when ruff is available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== pytest (tier 1) =="
+PYTHONPATH=src python -m pytest -x -q "$@"

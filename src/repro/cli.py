@@ -14,9 +14,11 @@ Provides the common workflows without writing Python::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
+from repro import obs
 from repro.config import DatasetConfig, RFSConfig
 from repro.core.engine import QueryDecompositionEngine
 from repro.datasets.build import build_rendered_database
@@ -73,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result size (0 = ground-truth size)")
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--rounds", type=int, default=3)
+    _add_obs_flags(p_query)
 
     p_info = sub.add_parser("info", help="describe a database file")
     p_info.add_argument("--db", required=True)
@@ -87,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_int.add_argument("--rounds", type=int, default=3)
     p_int.add_argument("--screens", type=int, default=2)
     p_int.add_argument("--seed", type=int, default=7)
+    _add_obs_flags(p_int)
 
     p_exp = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -98,8 +102,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--db", required=True)
     p_exp.add_argument("--seed", type=int, default=2006)
     p_exp.add_argument("--trials", type=int, default=3)
+    _add_obs_flags(p_exp)
 
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared observability flags (query/interactive/experiment)."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics summary and Prometheus text dump",
+    )
+
+
+@contextlib.contextmanager
+def _obs_scope(args: argparse.Namespace) -> Iterator[None]:
+    """Install tracing/metrics for a command when its flags ask for it.
+
+    On exit, writes the JSONL trace (``--trace FILE``) and prints the
+    console summary plus a Prometheus dump (``--metrics``).
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if not trace_path and not want_metrics:
+        yield
+        return
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    try:
+        with obs.use_tracer(tracer), obs.use_metrics(registry):
+            yield
+    finally:
+        # Flush even when the command dies mid-run (crash, Ctrl-C):
+        # a partial trace of a failed session is the one you want most.
+        if trace_path:
+            n_spans = obs.write_jsonl_trace(tracer, trace_path)
+            print(f"trace: {n_spans} span(s) -> {trace_path}")
+        if want_metrics:
+            summary = obs.console_summary(tracer, registry)
+            if summary:
+                print(summary)
+            print(obs.prometheus_text(registry), end="")
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
@@ -150,9 +199,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     k = args.k or database.ground_truth_size(
         sorted(query.relevant_categories())
     )
-    result = engine.run_scripted(
-        user.mark, k=k, rounds=args.rounds, seed=args.seed
-    )
+    with _obs_scope(args):
+        result = engine.run_scripted(
+            user.mark, k=k, rounds=args.rounds, seed=args.seed
+        )
     print(result.describe())
     ids = result.flatten(k)
     print(f"precision = {precision_at(ids, database, query):.3f}")
@@ -184,13 +234,14 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
         engine = QueryDecompositionEngine(database, rfs)
     else:
         engine = QueryDecompositionEngine.build(database, seed=args.seed)
-    run_console_session(
-        engine,
-        k=args.k,
-        rounds=args.rounds,
-        screens=args.screens,
-        seed=args.seed,
-    )
+    with _obs_scope(args):
+        run_console_session(
+            engine,
+            k=args.k,
+            rounds=args.rounds,
+            screens=args.screens,
+            seed=args.seed,
+        )
     return 0
 
 
@@ -198,31 +249,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval import experiments
 
     database = ImageDatabase.load(args.db)
-    if args.name == "fig1":
-        print(experiments.run_figure1(database).format())
-        return 0
-    if args.name == "scalability":
-        result = experiments.run_scalability(
-            (2000, 4000, 8000), n_queries=25, seed=args.seed
-        )
-        print(result.format_figure10())
-        print(result.format_figure11())
-        return 0
-    engine = QueryDecompositionEngine.build(database, seed=args.seed)
-    if args.name == "table1":
-        print(
-            experiments.run_table1(
-                engine, trials=args.trials, seed=args.seed
-            ).format()
-        )
-    elif args.name == "table2":
-        print(
-            experiments.run_table2(
-                engine, trials=args.trials, seed=args.seed
-            ).format()
-        )
-    elif args.name == "cases":
-        print(experiments.run_case_studies(engine, seed=args.seed).format())
+    with _obs_scope(args):
+        if args.name == "fig1":
+            print(experiments.run_figure1(database).format())
+            return 0
+        if args.name == "scalability":
+            result = experiments.run_scalability(
+                (2000, 4000, 8000), n_queries=25, seed=args.seed
+            )
+            print(result.format_figure10())
+            print(result.format_figure11())
+            return 0
+        engine = QueryDecompositionEngine.build(database, seed=args.seed)
+        if args.name == "table1":
+            print(
+                experiments.run_table1(
+                    engine, trials=args.trials, seed=args.seed
+                ).format()
+            )
+        elif args.name == "table2":
+            print(
+                experiments.run_table2(
+                    engine, trials=args.trials, seed=args.seed
+                ).format()
+            )
+        elif args.name == "cases":
+            print(
+                experiments.run_case_studies(engine, seed=args.seed).format()
+            )
     return 0
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.index.rfs import RFSStructure
+from repro.obs import get_metrics, get_tracer
 
 #: Bytes per float64 feature component.
 _FLOAT_BYTES = 8
@@ -145,29 +146,47 @@ def compare_deployments(
         Leaf pages a localized k-NN reads on average ("usually one",
         §5.2.2, plus occasional boundary expansions).
     """
-    n_images = rfs.root.size
-    leaves = [n for n in rfs.iter_nodes() if n.is_leaf]
-    mean_leaf_size = n_images / max(1, len(leaves))
+    with get_tracer().span(
+        "deployment_comparison", rounds=rounds, subqueries=n_subqueries
+    ) as span:
+        n_images = rfs.root.size
+        leaves = [n for n in rfs.iter_nodes() if n.is_leaf]
+        mean_leaf_size = n_images / max(1, len(leaves))
 
-    # QD: the server only executes the final localized subqueries.
-    scanned = int(
-        n_subqueries * mean_leaves_per_subquery * mean_leaf_size
-    )
-    qd = SessionCost(
-        distance_evaluations=scanned,
-        page_reads=int(n_subqueries * mean_leaves_per_subquery),
-        rounds_on_server=1,
-    )
+        # QD: the server only executes the final localized subqueries.
+        scanned = int(
+            n_subqueries * mean_leaves_per_subquery * mean_leaf_size
+        )
+        qd = SessionCost(
+            distance_evaluations=scanned,
+            page_reads=int(n_subqueries * mean_leaves_per_subquery),
+            rounds_on_server=1,
+        )
 
-    # Traditional RF: a global k-NN over all images, every round.
-    traditional = SessionCost(
-        distance_evaluations=rounds * n_images,
-        page_reads=rounds * len(leaves),
-        rounds_on_server=rounds,
-    )
-    del result_k  # k affects result transfer, not scan cost, in both
-    return DeploymentComparison(
-        payload=client_payload(rfs),
-        qd_session=qd,
-        traditional_session=traditional,
-    )
+        # Traditional RF: a global k-NN over all images, every round.
+        traditional = SessionCost(
+            distance_evaluations=rounds * n_images,
+            page_reads=rounds * len(leaves),
+            rounds_on_server=rounds,
+        )
+        del result_k  # k affects result transfer, not scan cost, in both
+        comparison = DeploymentComparison(
+            payload=client_payload(rfs),
+            qd_session=qd,
+            traditional_session=traditional,
+        )
+        span.set(
+            client_payload_bytes=comparison.payload.total_bytes,
+            capacity_multiplier=round(
+                comparison.server_capacity_multiplier, 2
+            ),
+        )
+    metrics = get_metrics()
+    metrics.gauge(
+        "qd_client_payload_bytes", "one-time client download size"
+    ).set(comparison.payload.total_bytes)
+    metrics.gauge(
+        "qd_server_capacity_multiplier",
+        "QD vs traditional concurrent-session capacity",
+    ).set(comparison.server_capacity_multiplier)
+    return comparison

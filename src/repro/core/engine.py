@@ -15,6 +15,7 @@ from repro.core.session import FeedbackSession
 from repro.datasets.database import ImageDatabase
 from repro.index.diskmodel import DiskAccessCounter
 from repro.index.rfs import RFSStructure
+from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.timing import TimingLog
 
@@ -121,20 +122,64 @@ class QueryDecompositionEngine:
         total_rounds = rounds if rounds is not None else self.config.max_rounds
         session = self.new_session(seed=derive_rng(rng, "session"))
         log = timing if timing is not None else TimingLog()
-        for round_no in range(1, total_rounds + 1):
-            phase = "initial" if round_no == 1 else "iteration"
-            with log.measure(phase):
-                shown = session.display(
-                    screens=_screens_for_round(screens_per_round, round_no)
-                )
-                session.submit(mark_fn(shown))
-            if round_callback is not None:
-                round_callback(round_no, session)
-        with log.measure("final_knn"):
-            result = session.finalize(k)
+        tracer = get_tracer()
+        io = self.io
+        physical_before = io.physical_reads
+        logical_before = io.logical_reads
+        category_before = dict(io.per_category)
+        with tracer.span("session", k=k, rounds=total_rounds) as root:
+            for round_no in range(1, total_rounds + 1):
+                phase = "initial" if round_no == 1 else "iteration"
+                with tracer.span(
+                    "round", round=round_no, phase=phase
+                ) as round_span, log.measure(phase):
+                    shown = session.display(
+                        screens=_screens_for_round(
+                            screens_per_round, round_no
+                        )
+                    )
+                    session.submit(mark_fn(shown))
+                    round_span.set(
+                        shown=len(shown),
+                        marked=len(session.marked_ids),
+                        subqueries=session.n_subqueries,
+                    )
+                if round_callback is not None:
+                    round_callback(round_no, session)
+            with log.measure("final_knn"):
+                result = session.finalize(k)
+            physical_delta = io.physical_reads - physical_before
+            logical_delta = io.logical_reads - logical_before
+            root.set(
+                rounds_used=result.rounds_used,
+                n_subqueries=result.n_groups,
+                disk_physical_reads=physical_delta,
+                disk_logical_reads=logical_delta,
+            )
         result.stats["time_initial"] = log.total("initial")
         result.stats["time_iteration"] = log.total("iteration")
         result.stats["time_final_knn"] = log.total("final_knn")
+        # Disk accounting for this session (deltas, so a shared counter
+        # across sessions still attributes correctly).
+        result.stats["disk_physical_reads"] = float(physical_delta)
+        result.stats["disk_logical_reads"] = float(logical_delta)
+        for category, total in io.per_category.items():
+            delta = total - category_before.get(category, 0)
+            if delta:
+                result.stats[f"disk_reads_{category}"] = float(delta)
+        metrics = get_metrics()
+        metrics.counter(
+            "qd_sessions_total", "completed QD sessions"
+        ).inc()
+        metrics.counter(
+            "qd_disk_physical_reads", "buffer-missing page reads"
+        ).inc(physical_delta)
+        metrics.counter(
+            "qd_disk_logical_reads", "page accesses incl. buffer hits"
+        ).inc(logical_delta)
+        metrics.histogram(
+            "qd_session_rounds", "feedback rounds to convergence"
+        ).observe(result.rounds_used)
         return result
 
 

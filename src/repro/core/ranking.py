@@ -26,6 +26,7 @@ from repro.config import QDConfig
 from repro.core.presentation import QueryResult, ResultGroup
 from repro.errors import QueryError
 from repro.index.rfs import RFSStructure
+from repro.obs import get_metrics, get_tracer
 from repro.retrieval.topk import RankedList, proportional_allocation
 
 
@@ -90,6 +91,11 @@ def execute_final_round(
         weights = [len(by_leaf[leaf_id]) for leaf_id in leaf_ids]
     allocation = proportional_allocation(weights, k)
 
+    tracer = get_tracer()
+    metrics = get_metrics()
+    merge_candidates = metrics.histogram(
+        "qd_merge_candidates", "candidates fetched per merge decision"
+    )
     groups: List[ResultGroup] = []
     claimed: Set[int] = set()
     payloads: List[dict] = []
@@ -98,80 +104,117 @@ def execute_final_round(
     order = sorted(
         range(len(leaf_ids)), key=lambda i: (-allocation[i], leaf_ids[i])
     )
-    for i in order:
-        leaf_id = leaf_ids[i]
-        quota = allocation[i]
-        if quota == 0:
-            continue
-        query_ids = by_leaf[leaf_id]
-        leaf = rfs.get_node(leaf_id)
-        query_points = rfs.features[np.asarray(query_ids, dtype=np.int64)]
-        search_node = rfs.expand_search_node(
-            leaf, query_points, config.boundary_threshold
-        )
-        centroid = query_points.mean(axis=0)
-        # Slight over-fetch absorbs most de-duplication against other
-        # groups; any residual shortfall is covered by the top-up pass.
-        fetch = min(search_node.size, quota + 16)
-        ranked = rfs.localized_knn(
-            search_node, centroid, fetch, weights=dim_weights
-        )
-        fresh = [
-            (dist, image_id)
-            for dist, image_id in ranked
-            if image_id not in claimed
-        ][:quota]
-        claimed.update(image_id for _, image_id in fresh)
-        payloads.append(
-            {
-                "leaf_id": leaf_id,
-                "search_node": search_node,
-                "centroid": centroid,
-                "query_ids": list(query_ids),
-                "results": fresh,
-            }
-        )
-
-    # Top-up passes: if duplicates or tiny subclusters left the total
-    # short of k, widen the groups' result lists; once a group's search
-    # node is exhausted, promote it to its parent (wider locality) and
-    # keep going — so a full k results are returned whenever the database
-    # holds that many images.
-    total = sum(len(p["results"]) for p in payloads)
-    while total < k:
-        added = 0
-        for payload in payloads:
-            if total >= k:
-                break
-            node = payload["search_node"]
-            have = {image_id for _, image_id in payload["results"]}
-            # Fetch just enough to cover this group's share of the
-            # deficit (plus what is already held and possibly claimed
-            # elsewhere) — never a full subtree ranking.
-            deficit = k - total
-            fetch = min(node.size, len(have) + deficit + 16)
-            ranked = rfs.localized_knn(
-                node, payload["centroid"], fetch, weights=dim_weights
+    merge_span = tracer.span(
+        "merge",
+        k=k,
+        groups=len(leaf_ids),
+        strategy="uniform" if uniform_merge else "proportional",
+    )
+    with merge_span:
+        for i in order:
+            leaf_id = leaf_ids[i]
+            quota = allocation[i]
+            if quota == 0:
+                continue
+            query_ids = by_leaf[leaf_id]
+            with tracer.span(
+                "subquery",
+                leaf=leaf_id,
+                quota=quota,
+                marks=len(query_ids),
+            ) as sub_span:
+                leaf = rfs.get_node(leaf_id)
+                query_points = rfs.features[
+                    np.asarray(query_ids, dtype=np.int64)
+                ]
+                search_node = rfs.expand_search_node(
+                    leaf, query_points, config.boundary_threshold
+                )
+                centroid = query_points.mean(axis=0)
+                # Slight over-fetch absorbs most de-duplication against
+                # other groups; any residual shortfall is covered by the
+                # top-up pass.
+                fetch = min(search_node.size, quota + 16)
+                ranked = rfs.localized_knn(
+                    search_node, centroid, fetch, weights=dim_weights
+                )
+                fresh = [
+                    (dist, image_id)
+                    for dist, image_id in ranked
+                    if image_id not in claimed
+                ][:quota]
+                claimed.update(image_id for _, image_id in fresh)
+                sub_span.set(
+                    search_node=search_node.node_id,
+                    fetched=len(ranked),
+                    taken=len(fresh),
+                )
+                merge_span.event(
+                    "merge_decision",
+                    leaf=leaf_id,
+                    quota=quota,
+                    fetched=len(ranked),
+                    taken=len(fresh),
+                    deduplicated=len(ranked) - len(fresh),
+                )
+                merge_candidates.observe(len(ranked))
+            payloads.append(
+                {
+                    "leaf_id": leaf_id,
+                    "search_node": search_node,
+                    "centroid": centroid,
+                    "query_ids": list(query_ids),
+                    "results": fresh,
+                }
             )
-            for dist, image_id in ranked:
+
+        # Top-up passes: if duplicates or tiny subclusters left the total
+        # short of k, widen the groups' result lists; once a group's
+        # search node is exhausted, promote it to its parent (wider
+        # locality) and keep going — so a full k results are returned
+        # whenever the database holds that many images.
+        total = sum(len(p["results"]) for p in payloads)
+        topup_passes = 0
+        topup_added = 0
+        while total < k:
+            added = 0
+            topup_passes += 1
+            for payload in payloads:
                 if total >= k:
                     break
-                if image_id in claimed or image_id in have:
-                    continue
-                payload["results"].append((dist, image_id))
-                claimed.add(image_id)
-                total += 1
-                added += 1
-        if total >= k:
-            break
-        promoted = False
-        for payload in payloads:
-            parent = payload["search_node"].parent
-            if parent is not None:
-                payload["search_node"] = parent
-                promoted = True
-        if added == 0 and not promoted:
-            break  # the whole database is smaller than k
+                node = payload["search_node"]
+                have = {image_id for _, image_id in payload["results"]}
+                # Fetch just enough to cover this group's share of the
+                # deficit (plus what is already held and possibly claimed
+                # elsewhere) — never a full subtree ranking.
+                deficit = k - total
+                fetch = min(node.size, len(have) + deficit + 16)
+                ranked = rfs.localized_knn(
+                    node, payload["centroid"], fetch, weights=dim_weights
+                )
+                for dist, image_id in ranked:
+                    if total >= k:
+                        break
+                    if image_id in claimed or image_id in have:
+                        continue
+                    payload["results"].append((dist, image_id))
+                    claimed.add(image_id)
+                    total += 1
+                    added += 1
+            topup_added += added
+            if total >= k:
+                break
+            promoted = False
+            for payload in payloads:
+                parent = payload["search_node"].parent
+                if parent is not None:
+                    payload["search_node"] = parent
+                    promoted = True
+            if added == 0 and not promoted:
+                break  # the whole database is smaller than k
+        merge_span.set(
+            total=total, topup_passes=topup_passes, topup_added=topup_added
+        )
 
     for payload in payloads:
         groups.append(

@@ -31,6 +31,7 @@ from repro.core.ranking import execute_final_round
 from repro.core.subquery import SubQuery
 from repro.errors import SessionStateError
 from repro.index.rfs import RFSStructure
+from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -105,22 +106,36 @@ class FeedbackSession:
         self._display_owner.clear()
         budget = screens * self.config.display_size
         shown: List[int] = []
-        for node_id in sorted(self._active):
-            sub = self._active[node_id]
-            self.rfs.io.access(node_id, "feedback")
-            unseen = sub.unseen_representatives()
-            if not unseen:
-                continue
-            take = min(budget, len(unseen))
-            picks = self._rng.choice(len(unseen), size=take, replace=False)
-            for idx in sorted(int(i) for i in picks):
-                rep = unseen[idx]
-                sub.shown.add(rep)
-                # A representative can appear in several ancestors'
-                # lists, but active nodes cover disjoint subtrees, so
-                # each rep has a single owner within a round.
-                self._display_owner[rep] = node_id
-                shown.append(rep)
+        io = self.rfs.io
+        physical_before = io.physical_reads
+        with get_tracer().span(
+            "display", round=self.round, nodes=len(self._active)
+        ) as span:
+            for node_id in sorted(self._active):
+                sub = self._active[node_id]
+                io.access(node_id, "feedback")
+                unseen = sub.unseen_representatives()
+                if not unseen:
+                    continue
+                take = min(budget, len(unseen))
+                picks = self._rng.choice(
+                    len(unseen), size=take, replace=False
+                )
+                for idx in sorted(int(i) for i in picks):
+                    rep = unseen[idx]
+                    sub.shown.add(rep)
+                    # A representative can appear in several ancestors'
+                    # lists, but active nodes cover disjoint subtrees, so
+                    # each rep has a single owner within a round.
+                    self._display_owner[rep] = node_id
+                    shown.append(rep)
+            span.set(
+                shown=len(shown),
+                pages_read=io.physical_reads - physical_before,
+            )
+        get_metrics().histogram(
+            "qd_representatives_shown", "images displayed per round"
+        ).observe(len(shown))
         self._awaiting_feedback = True
         return shown
 
@@ -137,40 +152,71 @@ class FeedbackSession:
             raise SessionStateError("session already finalized")
         if not self._awaiting_feedback:
             raise SessionStateError("display() a screen before submitting")
+        tracer = get_tracer()
+        metrics = get_metrics()
         new_active: Dict[int, SubQuery] = {}
-        for raw_id in relevant_ids:
-            image_id = int(raw_id)
-            owner_id = self._display_owner.get(image_id)
-            if owner_id is None:
-                raise SessionStateError(
-                    f"image {image_id} was not displayed this round"
-                )
-            self._marked.add(image_id)
-            owner = self._active[owner_id]
-            owner.marked.add(image_id)
-            if owner.is_leaf:
-                # Bottom of the hierarchy: the branch stays active so the
-                # user can keep refining until the final round.
-                new_active.setdefault(owner_id, owner)
-            else:
-                child = owner.node.child_of_representative(image_id)
-                existing = new_active.get(child.node_id)
-                if existing is None:
-                    new_active[child.node_id] = SubQuery(node=child)
-                new_active[child.node_id].marked.add(image_id)
-                # The marked cluster itself remains under exploration
-                # while it has representatives the user has not seen
-                # (§3.2: "this process can be repeated with additional
-                # rounds of random displays to select additional
-                # relevant images").
-                if owner.unseen_representatives():
+        n_marked_now = 0
+        n_splits = 0
+        with tracer.span("feedback", round=self.round) as span:
+            for raw_id in relevant_ids:
+                image_id = int(raw_id)
+                owner_id = self._display_owner.get(image_id)
+                if owner_id is None:
+                    raise SessionStateError(
+                        f"image {image_id} was not displayed this round"
+                    )
+                self._marked.add(image_id)
+                n_marked_now += 1
+                owner = self._active[owner_id]
+                owner.marked.add(image_id)
+                if owner.is_leaf:
+                    # Bottom of the hierarchy: the branch stays active so
+                    # the user can keep refining until the final round.
                     new_active.setdefault(owner_id, owner)
-        # Branches without any marks this round are discarded (§3.2:
-        # decomposition discards irrelevant subclusters); if nothing was
-        # marked at all, the current branches stay active so the user can
-        # browse more screens next round.
-        if new_active:
-            self._active = new_active
+                else:
+                    child = owner.node.child_of_representative(image_id)
+                    existing = new_active.get(child.node_id)
+                    if existing is None:
+                        new_active[child.node_id] = SubQuery(node=child)
+                        span.event(
+                            "subquery_split",
+                            parent=owner_id,
+                            child=child.node_id,
+                            image=image_id,
+                        )
+                        n_splits += 1
+                    new_active[child.node_id].marked.add(image_id)
+                    # The marked cluster itself remains under exploration
+                    # while it has representatives the user has not seen
+                    # (§3.2: "this process can be repeated with additional
+                    # rounds of random displays to select additional
+                    # relevant images").
+                    if owner.unseen_representatives():
+                        new_active.setdefault(owner_id, owner)
+            # Branches without any marks this round are discarded (§3.2:
+            # decomposition discards irrelevant subclusters); if nothing
+            # was marked at all, the current branches stay active so the
+            # user can browse more screens next round.
+            if new_active:
+                self._active = new_active
+            span.set(
+                marked=n_marked_now,
+                splits=n_splits,
+                subqueries=len(self._active),
+            )
+        metrics.counter(
+            "qd_feedback_rounds_total", "feedback rounds executed"
+        ).inc()
+        if n_splits:
+            metrics.counter(
+                "qd_subquery_splits_total", "query decompositions"
+            ).inc(n_splits)
+        metrics.histogram(
+            "qd_representatives_marked", "images marked per round"
+        ).observe(n_marked_now)
+        metrics.histogram(
+            "qd_subqueries_per_round", "active branches after feedback"
+        ).observe(len(self._active))
         self._awaiting_feedback = False
 
     def finalize(
@@ -197,15 +243,24 @@ class FeedbackSession:
                 "cannot finalize: no relevant images were marked"
             )
         self.finalized = True
-        result = execute_final_round(
-            self.rfs,
-            self.marked_ids,
-            k,
-            self.config,
-            rounds_used=self.round,
-            uniform_merge=uniform_merge,
-            dim_weights=dim_weights,
-        )
+        io = self.rfs.io
+        physical_before = io.physical_reads
+        with get_tracer().span(
+            "final_round", k=k, marked=len(self._marked)
+        ) as span:
+            result = execute_final_round(
+                self.rfs,
+                self.marked_ids,
+                k,
+                self.config,
+                rounds_used=self.round,
+                uniform_merge=uniform_merge,
+                dim_weights=dim_weights,
+            )
+            span.set(
+                groups=result.n_groups,
+                pages_read=io.physical_reads - physical_before,
+            )
         result.stats["n_marked"] = float(len(self._marked))
         result.stats["n_subqueries"] = float(result.n_groups)
         return result

@@ -15,6 +15,7 @@ from typing import Set
 import numpy as np
 
 from repro.index.rfs import RFSNode
+from repro.obs import get_metrics
 
 
 @dataclass
@@ -54,4 +55,7 @@ class SubQuery:
     def query_matrix(self, features: np.ndarray) -> np.ndarray:
         """Feature vectors of the marked relevant images."""
         ids = sorted(self.marked)
+        get_metrics().histogram(
+            "qd_subquery_points", "query points per localized subquery"
+        ).observe(len(ids))
         return features[np.asarray(ids, dtype=np.int64)]

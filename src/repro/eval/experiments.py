@@ -38,6 +38,7 @@ from repro.eval.protocol import (
     run_qd_session,
 )
 from repro.eval.reporting import format_series, format_table
+from repro.obs import Tracer, get_tracer, phase_durations, use_tracer
 from repro.utils.rng import RandomState, derive_rng, ensure_rng, spawn_seeds
 from repro.utils.timing import TimingLog
 
@@ -508,7 +509,11 @@ def run_case_studies(
 # ---------------------------------------------------------------------------
 @dataclass
 class ScalabilityPoint:
-    """Timing measurements at one database size."""
+    """Timing measurements at one database size.
+
+    Means describe the central trend the paper plots; the p95 fields
+    expose the boundary-expansion tail a mean hides.
+    """
 
     db_size: int
     overall_query_time: float
@@ -517,6 +522,8 @@ class ScalabilityPoint:
     global_knn_round_time: float
     feedback_page_reads: float
     localized_knn_page_reads: float
+    overall_query_time_p95: float = 0.0
+    iteration_time_p95: float = 0.0
 
 
 @dataclass
@@ -530,11 +537,14 @@ class ScalabilityResult:
         """Figure 10: overall query processing time vs database size."""
         return format_series(
             "db_size",
-            ["overall_query_time_s"],
-            [(p.db_size, p.overall_query_time) for p in self.points],
+            ["overall_query_time_s", "overall_query_time_p95_s"],
+            [
+                (p.db_size, p.overall_query_time, p.overall_query_time_p95)
+                for p in self.points
+            ],
             title=(
                 f"Figure 10. Overall query processing time "
-                f"(avg over {self.n_queries} simulated queries)"
+                f"(avg and p95 over {self.n_queries} simulated queries)"
             ),
         )
 
@@ -547,14 +557,23 @@ class ScalabilityResult:
         """
         return format_series(
             "db_size",
-            ["qd_iteration_time_s", "global_knn_round_time_s"],
             [
-                (p.db_size, p.iteration_time, p.global_knn_round_time)
+                "qd_iteration_time_s",
+                "qd_iteration_time_p95_s",
+                "global_knn_round_time_s",
+            ],
+            [
+                (
+                    p.db_size,
+                    p.iteration_time,
+                    p.iteration_time_p95,
+                    p.global_knn_round_time,
+                )
                 for p in self.points
             ],
             title=(
                 f"Figure 11. Average iteration processing time "
-                f"(avg over {self.n_queries} simulated queries)"
+                f"(avg and p95 over {self.n_queries} simulated queries)"
             ),
         )
 
@@ -718,12 +737,11 @@ def run_scalability(
             database, rfs_config, cfg, seed=seed
         )
         rng = ensure_rng(seed + size)
-        feedback_reads: List[int] = []
-        localized_reads: List[int] = []
-        overall_times: List[float] = []
-        iteration_times: List[float] = []
-        final_times: List[float] = []
+        feedback_reads: List[float] = []
+        localized_reads: List[float] = []
+        timing = TimingLog()  # phases: overall / iteration / final_knn
         target_rng = derive_rng(rng, "targets")
+        outer_tracer = get_tracer()
         for q in range(n_queries):
             # A random initial query: the user is after 1–3 random
             # categories.
@@ -742,38 +760,46 @@ def run_scalability(
                     if database.category_of(int(i)) in targets
                 ]
 
-            engine.io.reset()
-            session_timing = TimingLog()
+            # Phase timings are read from the session trace (one tracer
+            # per session, so sessions never share spans) instead of the
+            # old ad-hoc TimingLog plumbing.
+            tracer = Tracer()
             # The paper retrieves as many images as the ground truth
             # holds; ground-truth size scales with the database, so the
             # result size does too.
             k_result = max(10, size // 300)
             try:
-                engine.run_scripted(
-                    mark,
-                    k=k_result,
-                    rounds=rounds,
-                    screens_per_round=3,
-                    seed=int(target_rng.integers(2**31)),
-                    timing=session_timing,
-                )
+                with use_tracer(tracer):
+                    result = engine.run_scripted(
+                        mark,
+                        k=k_result,
+                        rounds=rounds,
+                        screens_per_round=3,
+                        seed=int(target_rng.integers(2**31)),
+                    )
             except Exception:
                 # A query whose targets never surfaced in the displays
                 # has no marks; skip it (the paper's random queries are
                 # implicitly answerable).
                 continue
-            overall_times.append(
-                session_timing.total("initial")
-                + session_timing.total("iteration")
-                + session_timing.total("final_knn")
+            if outer_tracer.enabled:
+                # Surface the session spans to an enclosing tracer (e.g.
+                # the CLI's --trace) instead of discarding them.
+                outer_tracer.spans.extend(tracer.spans)
+            phases = phase_durations(tracer)
+            timing.record("overall", sum(
+                sum(phases.get(p, ())) for p in
+                ("initial", "iteration", "final_knn")
+            ))
+            for sample in phases.get("iteration", ()):
+                timing.record("iteration", sample)
+            timing.record("final_knn", sum(phases.get("final_knn", ())))
+            feedback_reads.append(
+                result.stats.get("disk_reads_feedback", 0.0)
             )
-            iteration_times.extend(
-                session_timing.samples.get("iteration", [])
+            localized_reads.append(
+                result.stats.get("disk_reads_localized_knn", 0.0)
             )
-            final_times.append(session_timing.total("final_knn"))
-            snapshot = engine.io.per_category
-            feedback_reads.append(snapshot.get("feedback", 0))
-            localized_reads.append(snapshot.get("localized_knn", 0))
 
         # Cost of one traditional global k-NN feedback round at this
         # size: a full-database scan query (what QPM/MARS/MV pay every
@@ -792,9 +818,15 @@ def run_scalability(
         points.append(
             ScalabilityPoint(
                 db_size=size,
-                overall_query_time=_trimmed_mean(overall_times),
-                iteration_time=_trimmed_mean(iteration_times),
-                final_knn_time=_trimmed_mean(final_times),
+                overall_query_time=_trimmed_mean(
+                    timing.samples.get("overall", [])
+                ),
+                iteration_time=_trimmed_mean(
+                    timing.samples.get("iteration", [])
+                ),
+                final_knn_time=_trimmed_mean(
+                    timing.samples.get("final_knn", [])
+                ),
                 global_knn_round_time=global_round,
                 feedback_page_reads=(
                     float(np.mean(feedback_reads)) if feedback_reads else 0.0
@@ -804,6 +836,8 @@ def run_scalability(
                     if localized_reads
                     else 0.0
                 ),
+                overall_query_time_p95=timing.percentile("overall", 95),
+                iteration_time_p95=timing.percentile("iteration", 95),
             )
         )
     return ScalabilityResult(points=points, n_queries=n_queries)

@@ -33,6 +33,7 @@ from repro.errors import (
 from repro.index.diskmodel import DiskAccessCounter
 from repro.index.geometry import MBR
 from repro.index.rstar import Node, RStarTree
+from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.validation import check_vectors
 from repro.clustering.kmeans import kmeans
@@ -382,10 +383,12 @@ class RFSStructure:
             "query_points", query_points, dim=self.features.shape[1]
         )
         node = start
+        levels = 0
         while node.parent is not None:
             diag = node.diagonal()
             if diag <= 0:
                 node = node.parent
+                levels += 1
                 continue
             ratios = (
                 np.linalg.norm(points - node.center, axis=1) / diag
@@ -393,6 +396,14 @@ class RFSStructure:
             if float(ratios.max()) <= threshold:
                 break
             node = node.parent
+            levels += 1
+        if levels:
+            get_tracer().event(
+                "boundary_expansion",
+                start=start.node_id,
+                final=node.node_id,
+                levels=levels,
+            )
         return node
 
     def localized_knn(
@@ -441,22 +452,38 @@ class RFSStructure:
         take = min(k, node.size)
         best: List[tuple[float, int]] = []  # kept sorted ascending
         kth = np.inf
-        for leaf in leaves:
-            if len(best) >= take and leaf_mindist(leaf) > kth:
-                break
-            self.io.access(leaf.node_id, io_category)
-            members = self.features[leaf.item_ids]
-            diff = members - query
-            if weights is None:
-                dists = np.sqrt(np.sum(diff * diff, axis=1))
-            else:
-                dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
-            for dist, image_id in zip(dists, leaf.item_ids):
-                best.append((float(dist), int(image_id)))
-            best.sort(key=lambda pair: (pair[0], pair[1]))
-            del best[take:]
-            if len(best) >= take:
-                kth = best[-1][0]
+        leaves_read = 0
+        distance_evals = 0
+        physical_before = self.io.physical_reads
+        with get_tracer().span(
+            "localized_knn", node=node.node_id, k=int(k)
+        ) as span:
+            for leaf in leaves:
+                if len(best) >= take and leaf_mindist(leaf) > kth:
+                    break
+                self.io.access(leaf.node_id, io_category)
+                leaves_read += 1
+                members = self.features[leaf.item_ids]
+                distance_evals += members.shape[0]
+                diff = members - query
+                if weights is None:
+                    dists = np.sqrt(np.sum(diff * diff, axis=1))
+                else:
+                    dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
+                for dist, image_id in zip(dists, leaf.item_ids):
+                    best.append((float(dist), int(image_id)))
+                best.sort(key=lambda pair: (pair[0], pair[1]))
+                del best[take:]
+                if len(best) >= take:
+                    kth = best[-1][0]
+            span.set(
+                leaves_read=leaves_read,
+                distance_computations=distance_evals,
+                pages_read=self.io.physical_reads - physical_before,
+            )
+        get_metrics().counter(
+            "qd_distance_computations", "feature-vector distance evals"
+        ).inc(distance_evals)
         return best
 
     def _leaves_under(self, node: RFSNode) -> Iterator[RFSNode]:

@@ -1,0 +1,87 @@
+"""Observability: session tracing, metrics, and exporters.
+
+The three pieces, all behind zero-overhead no-op defaults:
+
+* **tracing** (:mod:`repro.obs.trace`) — nested spans covering every
+  feedback round, subquery split, boundary expansion, localized k-NN,
+  and merge decision of a QD session;
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms (distance computations, page reads, subqueries per round,
+  rounds to convergence, ...);
+* **exporters** (:mod:`repro.obs.export`) — JSONL trace writer,
+  Prometheus text dump, console summary — plus the
+  :func:`repro.obs.summarize` trace analysis helper.
+
+Quick start::
+
+    from repro import obs
+
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    with obs.use_tracer(tracer), obs.use_metrics(registry):
+        result = engine.run_scripted(mark_fn, k=100)
+    obs.write_jsonl_trace(tracer, "session.jsonl")
+    print(obs.summarize("session.jsonl").format())
+    print(obs.prometheus_text(registry))
+"""
+
+from repro.obs.export import (
+    console_summary,
+    load_jsonl_trace,
+    prometheus_text,
+    write_jsonl_trace,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.summarize import (
+    SpanStats,
+    TraceSummary,
+    iter_spans,
+    phase_durations,
+    summarize,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "SpanStats",
+    "TraceSummary",
+    "Tracer",
+    "console_summary",
+    "get_metrics",
+    "get_tracer",
+    "iter_spans",
+    "load_jsonl_trace",
+    "phase_durations",
+    "prometheus_text",
+    "set_metrics",
+    "set_tracer",
+    "summarize",
+    "use_metrics",
+    "use_tracer",
+    "write_jsonl_trace",
+]

@@ -1,0 +1,175 @@
+"""Exporters: JSONL trace files, Prometheus text, console summaries.
+
+The JSONL format is one span per line, depth-first, with explicit
+``span_id`` / ``parent_id`` links::
+
+    {"span_id": 1, "parent_id": null, "name": "session", "start": ...,
+     "duration": ..., "attributes": {"k": 100}}
+    {"span_id": 2, "parent_id": 1, "name": "round", ...}
+
+:func:`load_jsonl_trace` rebuilds the nested form (dicts with a
+``children`` list), which is what :func:`repro.obs.summarize` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+SpanDict = Dict[str, Any]
+TraceSource = Union[Tracer, Sequence[Span], Sequence[SpanDict]]
+
+
+def _as_span_dicts(trace: TraceSource) -> List[SpanDict]:
+    """Normalise a tracer / span list / dict list to nested dicts."""
+    if isinstance(trace, Tracer):
+        return trace.to_dicts()
+    out: List[SpanDict] = []
+    for span in trace:
+        out.append(span.to_dict() if isinstance(span, Span) else dict(span))
+    return out
+
+
+def write_jsonl_trace(trace: TraceSource, path: Union[str, Path]) -> int:
+    """Write a trace as JSONL; returns the number of lines written."""
+    roots = _as_span_dicts(trace)
+    lines: List[str] = []
+    next_id = 1
+
+    def emit(span: SpanDict, parent_id: int | None) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        record = {
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": span.get("name", ""),
+            "start": span.get("start", 0.0),
+            "duration": span.get("duration", 0.0),
+            "attributes": span.get("attributes", {}),
+        }
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+        for child in span.get("children", []):
+            emit(child, span_id)
+
+    for root in roots:
+        emit(root, None)
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_jsonl_trace(path: Union[str, Path]) -> List[SpanDict]:
+    """Read a JSONL trace back into nested span dictionaries."""
+    by_id: Dict[int, SpanDict] = {}
+    roots: List[SpanDict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        span: SpanDict = {
+            "name": record.get("name", ""),
+            "start": record.get("start", 0.0),
+            "duration": record.get("duration", 0.0),
+            "attributes": record.get("attributes", {}),
+            "children": [],
+        }
+        by_id[record["span_id"]] = span
+        parent_id = record.get("parent_id")
+        if parent_id is None:
+            roots.append(span)
+        else:
+            parent = by_id.get(parent_id)
+            if parent is None:  # orphan line: keep it visible
+                roots.append(span)
+            else:
+                parent["children"].append(span)
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _sanitise(name: str) -> str:
+    """Coerce a metric name into the Prometheus charset."""
+    return "".join(
+        c if c.isalnum() or c in "_:" else "_" for c in name
+    )
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Histograms are exported as summaries (p50/p95/p99 quantile series
+    plus ``_count`` and ``_sum``).
+    """
+    lines: List[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _sanitise(name)
+        if counter.help:
+            lines.append(f"# HELP {metric} {counter.help}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _sanitise(name)
+        if gauge.help:
+            lines.append(f"# HELP {metric} {gauge.help}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.value)}")
+    for name, hist in sorted(registry.histograms.items()):
+        metric = _sanitise(name)
+        if hist.help:
+            lines.append(f"# HELP {metric} {hist.help}")
+        lines.append(f"# TYPE {metric} summary")
+        for q in (50, 95, 99):
+            lines.append(
+                f'{metric}{{quantile="0.{q}"}} '
+                f"{_fmt(hist.percentile(q))}"
+            )
+        lines.append(f"{metric}_count {hist.count}")
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers bare, floats with precision."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# ---------------------------------------------------------------------------
+# Console summary
+# ---------------------------------------------------------------------------
+def console_summary(
+    trace: TraceSource | None = None,
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """Human-readable block: span timing table + headline metrics.
+
+    Reports p95 alongside the mean for every span kind, as the Figure
+    10/11 methodology requires.
+    """
+    from repro.obs.summarize import summarize
+
+    blocks: List[str] = []
+    if trace is not None:
+        blocks.append(summarize(_as_span_dicts(trace)).format())
+    if registry is not None and registry.enabled:
+        lines = ["Metrics"]
+        for name, counter in sorted(registry.counters.items()):
+            lines.append(f"  {name:32s} {_fmt(counter.value)}")
+        for name, gauge in sorted(registry.gauges.items()):
+            lines.append(f"  {name:32s} {_fmt(gauge.value)}")
+        for name, hist in sorted(registry.histograms.items()):
+            lines.append(
+                f"  {name:32s} count={hist.count} mean={hist.mean():.2f}"
+                f" p95={hist.percentile(95):.2f}"
+            )
+        if len(lines) > 1:
+            blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -1,0 +1,239 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Mirrors the Prometheus data model at the scale this project needs:
+instruments are created lazily by name, carry an optional help string,
+and are exported by :func:`repro.obs.export.prometheus_text`.  The
+default registry is a process-wide no-op returning shared null
+instruments, so unmetered runs pay only a dictionary-free method call at
+each instrumentation site.
+
+Canonical instrument names used by the built-in instrumentation:
+
+=============================== =========== ===============================
+name                            kind        meaning
+=============================== =========== ===============================
+``qd_sessions_total``           counter     completed QD sessions
+``qd_feedback_rounds_total``    counter     feedback rounds executed
+``qd_subquery_splits_total``    counter     query decompositions (§3.2)
+``qd_distance_computations``    counter     feature-vector distance evals
+``qd_disk_physical_reads``      counter     buffer-missing page reads
+``qd_disk_logical_reads``       counter     all page accesses, hits incl.
+``qd_session_rounds``           histogram   rounds to convergence
+``qd_subqueries_per_round``     histogram   active branches after submit
+``qd_representatives_shown``    histogram   images displayed per round
+``qd_representatives_marked``   histogram   images marked per round
+``qd_merge_candidates``         histogram   candidates fetched per merge
+``qd_client_payload_bytes``     gauge       client/server download size
+``qd_server_capacity_multiplier`` gauge     QD vs traditional capacity
+=============================== =========== ===============================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Sample distribution with percentile readout.
+
+    Stores raw samples (sessions record at most a few thousand
+    observations) and exports as a Prometheus summary: quantile lines
+    plus ``_count`` and ``_sum``.
+    """
+
+    __slots__ = ("name", "help", "samples")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded samples."""
+        return float(np.sum(self.samples)) if self.samples else 0.0
+
+    def mean(self) -> float:
+        """Mean sample (0.0 when empty)."""
+        return self.sum / self.count if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the samples, 0.0 if empty."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples), q))
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    name = ""
+    help = ""
+    value = 0.0
+    samples: List[float] = []
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def mean(self) -> float:
+        return 0.0
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The zero-overhead default registry: records nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get-or-create the counter ``name``."""
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name, help)
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get-or-create the gauge ``name``."""
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name, help)
+        return inst
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """Get-or-create the histogram ``name``."""
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name, help)
+        return inst
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name -> value view (histograms report count/sum/p95)."""
+        out: Dict[str, float] = {}
+        for name, counter in sorted(self.counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self.gauges.items()):
+            out[name] = gauge.value
+        for name, hist in sorted(self.histograms.items()):
+            out[f"{name}_count"] = float(hist.count)
+            out[f"{name}_sum"] = hist.sum
+            out[f"{name}_p95"] = hist.percentile(95)
+        return out
+
+
+MetricsLike = Union[MetricsRegistry, NullMetrics]
+
+_current_metrics: MetricsLike = NULL_METRICS
+
+
+def get_metrics() -> MetricsLike:
+    """The process-wide registry (the no-op singleton unless installed)."""
+    return _current_metrics
+
+
+def set_metrics(registry: Optional[MetricsLike]) -> MetricsLike:
+    """Install ``registry`` globally; returns the previous one.
+
+    ``None`` restores the no-op default.
+    """
+    global _current_metrics
+    previous = _current_metrics
+    _current_metrics = registry if registry is not None else NULL_METRICS
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsLike) -> Iterator[MetricsLike]:
+    """Context manager installing ``registry`` for the enclosed block."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

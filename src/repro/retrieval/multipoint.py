@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import get_metrics
 from repro.utils.validation import check_vector, check_vectors
 
 
@@ -81,6 +82,9 @@ class MultipointQuery:
         # (n, m) distance table.
         diff = matrix[:, None, :] - self.points[None, :, :]
         table = np.sqrt(np.sum(diff**2, axis=2))
+        get_metrics().counter(
+            "qd_distance_computations", "feature-vector distance evals"
+        ).inc(matrix.shape[0] * self.points.shape[0])
         return table @ self.weights
 
     def distance_one(self, candidate: np.ndarray) -> float:

@@ -66,6 +66,29 @@ class TimingLog:
         """Number of samples recorded for ``phase``."""
         return len(self.samples.get(phase, []))
 
+    def percentile(self, phase: str, q: float) -> float:
+        """The ``q``-th percentile (0-100) of ``phase`` samples.
+
+        Returns 0.0 when the phase was never recorded.  The Figure 10/11
+        reporting uses ``percentile(phase, 95)`` alongside the mean: the
+        occasional boundary expansion gives per-query cost a heavy right
+        tail that a mean alone hides.
+        """
+        vals = self.samples.get(phase, [])
+        if not vals:
+            return 0.0
+        return float(np.percentile(np.asarray(vals, dtype=np.float64), q))
+
+    def merge(self, other: "TimingLog") -> "TimingLog":
+        """Fold another log's samples into this one; returns ``self``.
+
+        Sample order within a phase is this log's samples followed by
+        ``other``'s, so repeated merges accumulate deterministically.
+        """
+        for phase, values in other.samples.items():
+            self.samples.setdefault(phase, []).extend(values)
+        return self
+
     def phases(self) -> Iterator[str]:
         """Iterate over recorded phase names."""
         return iter(self.samples.keys())

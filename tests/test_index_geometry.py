@@ -165,12 +165,30 @@ class TestDiskAccessCounter:
         assert snap["reads[feedback]"] == 2
         assert snap["reads[knn]"] == 1
 
+    def test_buffer_hits_attributed_per_category(self):
+        """Logical per-category counts include buffer hits; physical
+        counts do not."""
+        counter = DiskAccessCounter(buffer_pages=4)
+        counter.access(1, "feedback")
+        counter.access(1, "feedback")  # buffer hit
+        counter.access(1, "knn")       # hit, different category
+        assert counter.per_category == {"feedback": 1}
+        assert counter.per_category_logical == {
+            "feedback": 2, "knn": 1
+        }
+        snap = counter.snapshot()
+        assert snap["reads[feedback]"] == 1
+        assert snap["logical_reads[feedback]"] == 2
+        assert snap["logical_reads[knn]"] == 1
+
     def test_reset(self):
         counter = DiskAccessCounter(buffer_pages=2)
-        counter.access(1)
+        counter.access(1, "knn")
         counter.reset()
         assert counter.physical_reads == 0
         assert counter.logical_reads == 0
+        assert counter.per_category == {}
+        assert counter.per_category_logical == {}
         assert counter.snapshot() == {
             "physical_reads": 0, "logical_reads": 0
         }

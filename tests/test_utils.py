@@ -165,3 +165,30 @@ class TestTiming:
         log.record("a", 1.0)
         log.record("b", 1.0)
         assert sorted(log.phases()) == ["a", "b"]
+
+    def test_percentile(self):
+        log = TimingLog()
+        for v in range(1, 101):
+            log.record("phase", float(v))
+        assert log.percentile("phase", 50) == pytest.approx(50.5)
+        assert log.percentile("phase", 95) == pytest.approx(95.05)
+        assert log.percentile("phase", 100) == pytest.approx(100.0)
+
+    def test_percentile_unknown_phase_is_zero(self):
+        assert TimingLog().percentile("nope", 95) == 0.0
+
+    def test_merge_combines_samples(self):
+        a = TimingLog()
+        a.record("shared", 1.0)
+        a.record("only_a", 2.0)
+        b = TimingLog()
+        b.record("shared", 3.0)
+        b.record("only_b", 4.0)
+        merged = a.merge(b)
+        assert merged is a  # merges in place, returns self
+        assert a.count("shared") == 2
+        assert a.total("shared") == pytest.approx(4.0)
+        assert a.total("only_a") == pytest.approx(2.0)
+        assert a.total("only_b") == pytest.approx(4.0)
+        # The donor log is untouched.
+        assert b.count("shared") == 1
