@@ -1,0 +1,139 @@
+"""Extension — final-round speedup from the parallel subquery fan-out.
+
+The paper's §3.3 decomposition yields *independent* localized multipoint
+k-NN subqueries; ``repro.exec`` runs them concurrently.  This bench
+measures wall-clock speedup of ``execute_final_round`` versus worker
+count under the simulated disk-latency model (``page_read_latency_s``,
+§5.2.2): every leaf page a subquery scans charges a device sleep, and
+parallel workers overlap those sleeps exactly like independent disk
+requests — so the speedup is reproducible on any core count.
+
+``QD_BENCH_TINY=1`` shrinks the workload for CI smoke runs.
+
+Acceptance (ISSUE): >= 1.5x at 4 workers on a >= 8-subquery workload,
+with rankings bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.config import QDConfig, RFSConfig
+from repro.core.ranking import execute_final_round
+from repro.datasets.build import build_synthetic_database
+from repro.exec import (
+    ProcessSubqueryExecutor,
+    SerialSubqueryExecutor,
+    ThreadedSubqueryExecutor,
+)
+from repro.index.rfs import RFSStructure
+
+TINY = os.environ.get("QD_BENCH_TINY") == "1"
+N_IMAGES = 1_500 if TINY else 6_000
+N_SUBQUERIES = 8 if TINY else 10
+PAGE_LATENCY_S = 0.004  # one simulated device read (~ fast HDD seek)
+REPEATS = 3
+K = 60
+
+
+@pytest.fixture(scope="module")
+def speedup_workload():
+    """A synthetic database + RFS + marks spanning many leaves."""
+    database = build_synthetic_database(
+        N_IMAGES, n_categories=max(20, N_SUBQUERIES * 2), seed=42
+    )
+    rfs = RFSStructure.build(
+        database.features,
+        RFSConfig(
+            node_max_entries=60, node_min_entries=30, leaf_subclusters=4
+        ),
+        seed=42,
+    )
+    by_leaf: dict[int, list[int]] = {}
+    for image_id in range(0, N_IMAGES, 3):
+        leaf_id = rfs.leaf_of_item(image_id).node_id
+        bucket = by_leaf.setdefault(leaf_id, [])
+        if len(bucket) < 3:
+            bucket.append(image_id)
+    leaves = sorted(by_leaf)[:N_SUBQUERIES]
+    assert len(leaves) == N_SUBQUERIES
+    marks = [i for leaf_id in leaves for i in by_leaf[leaf_id]]
+    rfs.io.page_read_latency_s = PAGE_LATENCY_S
+    return rfs, marks
+
+
+def _signature(result):
+    return [
+        (
+            group.leaf_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+def _time_final_round(rfs, marks, executor) -> tuple[float, object]:
+    """Best-of-REPEATS wall time of one final round on ``executor``."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = execute_final_round(
+            rfs, marks, K, QDConfig(), rounds_used=3, executor=executor
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_parallel_speedup(speedup_workload, report, benchmark):
+    rfs, marks = speedup_workload
+
+    with SerialSubqueryExecutor() as serial:
+        serial_s, baseline = _time_final_round(rfs, marks, serial)
+    base_sig = _signature(baseline)
+    assert baseline.n_groups >= N_SUBQUERIES
+
+    rows = [
+        "Final-round speedup vs worker count "
+        f"({baseline.n_groups} subqueries, "
+        f"{PAGE_LATENCY_S * 1000:.0f} ms/page)",
+        f"  serial            {serial_s * 1000:8.1f} ms   1.00x",
+    ]
+    speedups = {}
+    for workers in (1, 2, 4):
+        with ThreadedSubqueryExecutor(workers) as threaded:
+            thread_s, result = _time_final_round(rfs, marks, threaded)
+        # Determinism first: the ranking must be bit-identical.
+        assert _signature(result) == base_sig
+        speedups[workers] = serial_s / thread_s
+        rows.append(
+            f"  thread x{workers}         {thread_s * 1000:8.1f} ms   "
+            f"{speedups[workers]:.2f}x"
+        )
+    report("\n".join(rows))
+    benchmark.extra_info["speedup_4_workers"] = round(speedups[4], 2)
+    benchmark.pedantic(
+        lambda: None, rounds=1, iterations=1
+    )  # timing captured manually above; keep the bench in the report
+
+    # Acceptance: overlapping the simulated page reads pays off.
+    assert speedups[4] >= 1.5
+    # More workers never makes it slower than the single-worker pool by
+    # more than scheduling noise.
+    assert speedups[4] >= speedups[1] * 0.8
+
+
+@pytest.mark.skipif(
+    not ProcessSubqueryExecutor.fork_available(),
+    reason="fork start method unavailable",
+)
+def test_process_executor_identical_at_bench_scale(speedup_workload):
+    rfs, marks = speedup_workload
+    with SerialSubqueryExecutor() as serial:
+        _, baseline = _time_final_round(rfs, marks, serial)
+    with ProcessSubqueryExecutor(4) as procs:
+        _, result = _time_final_round(rfs, marks, procs)
+    assert _signature(result) == _signature(baseline)

@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
-# Pre-merge gate: lint (when ruff is available) + the tier-1 test suite.
+# Pre-merge gate: lint (ruff) + the tier-1 test suite.
 #
-# Usage: scripts/check.sh [extra pytest args...]
+# Usage: scripts/check.sh [--cov] [extra pytest args...]
+#
+#   --cov   run pytest with coverage (pytest-cov) and, when running in a
+#           GitHub Actions job, append the coverage table to the
+#           workflow's step summary.
+#
+# Locally, missing tools degrade to a skip with a warning; under CI=1
+# (set by the workflow) a missing tool is a hard failure, so the gate
+# can never silently go soft on CI.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+WITH_COV=0
+if [[ "${1:-}" == "--cov" ]]; then
+    WITH_COV=1
+    shift
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
@@ -12,9 +26,36 @@ if command -v ruff >/dev/null 2>&1; then
 elif python -c "import ruff" >/dev/null 2>&1; then
     echo "== ruff (module) =="
     python -m ruff check src tests benchmarks
+elif [[ "${CI:-}" == "1" ]]; then
+    echo "== ruff not installed but CI=1; failing ==" >&2
+    exit 1
 else
     echo "== ruff not installed; skipping lint =="
 fi
 
+PYTEST_ARGS=(-x -q)
+if [[ "$WITH_COV" == "1" ]]; then
+    if python -c "import pytest_cov" >/dev/null 2>&1; then
+        PYTEST_ARGS+=(--cov=repro --cov-report=term)
+    elif [[ "${CI:-}" == "1" ]]; then
+        echo "== pytest-cov not installed but CI=1; failing ==" >&2
+        exit 1
+    else
+        echo "== pytest-cov not installed; running without coverage =="
+        WITH_COV=0
+    fi
+fi
+
 echo "== pytest (tier 1) =="
-PYTHONPATH=src python -m pytest -x -q "$@"
+if [[ "$WITH_COV" == "1" && -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    PYTHONPATH=src python -m pytest "${PYTEST_ARGS[@]}" "$@" \
+        | tee /tmp/qd-check-pytest.log
+    {
+        echo '### Coverage'
+        echo '```'
+        sed -n '/^---------- coverage/,/^TOTAL/p' /tmp/qd-check-pytest.log
+        echo '```'
+    } >> "$GITHUB_STEP_SUMMARY"
+else
+    PYTHONPATH=src python -m pytest "${PYTEST_ARGS[@]}" "$@"
+fi

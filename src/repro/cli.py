@@ -19,7 +19,7 @@ import sys
 from typing import Iterator, Optional, Sequence
 
 from repro import obs
-from repro.config import DatasetConfig, RFSConfig
+from repro.config import EXECUTOR_KINDS, DatasetConfig, QDConfig, RFSConfig
 from repro.core.engine import QueryDecompositionEngine
 from repro.datasets.build import build_rendered_database
 from repro.datasets.database import ImageDatabase
@@ -75,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result size (0 = ground-truth size)")
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--rounds", type=int, default=3)
+    _add_exec_flags(p_query)
     _add_obs_flags(p_query)
 
     p_info = sub.add_parser("info", help="describe a database file")
@@ -90,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_int.add_argument("--rounds", type=int, default=3)
     p_int.add_argument("--screens", type=int, default=2)
     p_int.add_argument("--seed", type=int, default=7)
+    _add_exec_flags(p_int)
     _add_obs_flags(p_int)
 
     p_exp = sub.add_parser(
@@ -102,9 +104,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--db", required=True)
     p_exp.add_argument("--seed", type=int, default=2006)
     p_exp.add_argument("--trials", type=int, default=3)
+    _add_exec_flags(p_exp)
     _add_obs_flags(p_exp)
 
     return parser
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared executor flags (query/interactive/experiment)."""
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="serial",
+        help="how the final-round subqueries run (ranking is identical)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker count for thread/process executors (0 = cpu count)",
+    )
+
+
+def _qd_config_from_args(args: argparse.Namespace) -> QDConfig:
+    """Build the session config from the executor flags."""
+    return QDConfig(
+        executor=getattr(args, "executor", "serial"),
+        workers=getattr(args, "workers", 0),
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -189,17 +216,20 @@ def _cmd_build_rfs(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     database = ImageDatabase.load(args.db)
+    qd_config = _qd_config_from_args(args)
     if args.rfs:
         rfs = load_rfs(args.rfs, database.features)
-        engine = QueryDecompositionEngine(database, rfs)
+        engine = QueryDecompositionEngine(database, rfs, qd_config)
     else:
-        engine = QueryDecompositionEngine.build(database, seed=args.seed)
+        engine = QueryDecompositionEngine.build(
+            database, qd_config=qd_config, seed=args.seed
+        )
     query = get_query(args.query)
     user = SimulatedUser(database, query, seed=args.seed)
     k = args.k or database.ground_truth_size(
         sorted(query.relevant_categories())
     )
-    with _obs_scope(args):
+    with _obs_scope(args), engine:
         result = engine.run_scripted(
             user.mark, k=k, rounds=args.rounds, seed=args.seed
         )
@@ -229,12 +259,15 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
     from repro.core.console import run_console_session
 
     database = ImageDatabase.load(args.db)
+    qd_config = _qd_config_from_args(args)
     if args.rfs:
         rfs = load_rfs(args.rfs, database.features)
-        engine = QueryDecompositionEngine(database, rfs)
+        engine = QueryDecompositionEngine(database, rfs, qd_config)
     else:
-        engine = QueryDecompositionEngine.build(database, seed=args.seed)
-    with _obs_scope(args):
+        engine = QueryDecompositionEngine.build(
+            database, qd_config=qd_config, seed=args.seed
+        )
+    with _obs_scope(args), engine:
         run_console_session(
             engine,
             k=args.k,
@@ -260,23 +293,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(result.format_figure10())
             print(result.format_figure11())
             return 0
-        engine = QueryDecompositionEngine.build(database, seed=args.seed)
-        if args.name == "table1":
-            print(
-                experiments.run_table1(
-                    engine, trials=args.trials, seed=args.seed
-                ).format()
-            )
-        elif args.name == "table2":
-            print(
-                experiments.run_table2(
-                    engine, trials=args.trials, seed=args.seed
-                ).format()
-            )
-        elif args.name == "cases":
-            print(
-                experiments.run_case_studies(engine, seed=args.seed).format()
-            )
+        engine = QueryDecompositionEngine.build(
+            database, qd_config=_qd_config_from_args(args), seed=args.seed
+        )
+        with engine:
+            if args.name == "table1":
+                print(
+                    experiments.run_table1(
+                        engine, trials=args.trials, seed=args.seed
+                    ).format()
+                )
+            elif args.name == "table2":
+                print(
+                    experiments.run_table2(
+                        engine, trials=args.trials, seed=args.seed
+                    ).format()
+                )
+            elif args.name == "cases":
+                print(
+                    experiments.run_case_studies(
+                        engine, seed=args.seed
+                    ).format()
+                )
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.config import QDConfig, RFSConfig
 from repro.core.presentation import QueryResult
 from repro.core.session import FeedbackSession
 from repro.datasets.database import ImageDatabase
+from repro.exec import SubqueryExecutor, resolve_executor
 from repro.index.diskmodel import DiskAccessCounter
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
@@ -51,10 +52,13 @@ class QueryDecompositionEngine:
         database: ImageDatabase,
         rfs: RFSStructure,
         config: Optional[QDConfig] = None,
+        *,
+        executor: Optional[SubqueryExecutor] = None,
     ) -> None:
         self.database = database
         self.rfs = rfs
         self.config = config or QDConfig()
+        self._executor = executor
 
     @classmethod
     def build(
@@ -77,9 +81,34 @@ class QueryDecompositionEngine:
         """The simulated disk-access counter shared with the RFS."""
         return self.rfs.io
 
+    @property
+    def executor(self) -> SubqueryExecutor:
+        """The engine's subquery executor (built from config on demand).
+
+        A single pool is shared by every session of this engine, so the
+        thread/process workers warm up once; :meth:`close` releases it.
+        """
+        if self._executor is None:
+            self._executor = resolve_executor(self.config)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the executor's worker pool (safe to call twice)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "QueryDecompositionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def new_session(self, *, seed: RandomState = None) -> FeedbackSession:
         """Start an interactive feedback session."""
-        return FeedbackSession(self.rfs, self.config, seed=seed)
+        return FeedbackSession(
+            self.rfs, self.config, seed=seed, executor=self.executor
+        )
 
     def run_scripted(
         self,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.config import QDConfig
 from repro.core.presentation import QueryResult, ResultGroup
 from repro.errors import QueryError
+from repro.exec import SubqueryExecutor, SubqueryTask, resolve_executor
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
 from repro.retrieval.topk import RankedList, proportional_allocation
@@ -50,8 +51,15 @@ def execute_final_round(
     rounds_used: int,
     uniform_merge: bool = False,
     dim_weights: Optional[np.ndarray] = None,
+    executor: Optional[SubqueryExecutor] = None,
 ) -> QueryResult:
     """Run the localized subqueries and merge their results.
+
+    The subqueries are independent, so their execution fans out through
+    a :class:`repro.exec.SubqueryExecutor` (serial, thread pool, or
+    process pool per ``config.executor``); the dedup/merge that follows
+    consumes the outcomes sequentially in a fixed order, so the final
+    ranking is bit-identical whichever executor computed them.
 
     Parameters
     ----------
@@ -62,7 +70,7 @@ def execute_final_round(
     k:
         Total number of result images to return.
     config:
-        QD parameters (boundary threshold).
+        QD parameters (boundary threshold, executor selection).
     rounds_used:
         Number of feedback rounds that preceded this computation (kept in
         the result for reporting).
@@ -75,6 +83,10 @@ def execute_final_round(
         :class:`repro.retrieval.weighting.FamilyWeights`) applied to the
         localized similarity computation — the paper's future-work
         user-defined feature importance.
+    executor:
+        Optional pre-built executor (e.g. an engine's persistent pool).
+        When omitted, one is built from ``config`` and closed before
+        returning.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -104,66 +116,59 @@ def execute_final_round(
     order = sorted(
         range(len(leaf_ids)), key=lambda i: (-allocation[i], leaf_ids[i])
     )
+    tasks = [
+        SubqueryTask(
+            leaf_id=leaf_ids[i],
+            quota=allocation[i],
+            query_ids=tuple(by_leaf[leaf_ids[i]]),
+        )
+        for i in order
+        if allocation[i] > 0
+    ]
+    owned_executor = executor is None
+    if owned_executor:
+        executor = resolve_executor(config)
     merge_span = tracer.span(
         "merge",
         k=k,
         groups=len(leaf_ids),
         strategy="uniform" if uniform_merge else "proportional",
+        executor=executor.name,
+        workers=executor.workers,
     )
     with merge_span:
-        for i in order:
-            leaf_id = leaf_ids[i]
-            quota = allocation[i]
-            if quota == 0:
-                continue
-            query_ids = by_leaf[leaf_id]
-            with tracer.span(
-                "subquery",
-                leaf=leaf_id,
-                quota=quota,
-                marks=len(query_ids),
-            ) as sub_span:
-                leaf = rfs.get_node(leaf_id)
-                query_points = rfs.features[
-                    np.asarray(query_ids, dtype=np.int64)
-                ]
-                search_node = rfs.expand_search_node(
-                    leaf, query_points, config.boundary_threshold
-                )
-                centroid = query_points.mean(axis=0)
-                # Slight over-fetch absorbs most de-duplication against
-                # other groups; any residual shortfall is covered by the
-                # top-up pass.
-                fetch = min(search_node.size, quota + 16)
-                ranked = rfs.localized_knn(
-                    search_node, centroid, fetch, weights=dim_weights
-                )
-                fresh = [
-                    (dist, image_id)
-                    for dist, image_id in ranked
-                    if image_id not in claimed
-                ][:quota]
-                claimed.update(image_id for _, image_id in fresh)
-                sub_span.set(
-                    search_node=search_node.node_id,
-                    fetched=len(ranked),
-                    taken=len(fresh),
-                )
-                merge_span.event(
-                    "merge_decision",
-                    leaf=leaf_id,
-                    quota=quota,
-                    fetched=len(ranked),
-                    taken=len(fresh),
-                    deduplicated=len(ranked) - len(fresh),
-                )
-                merge_candidates.observe(len(ranked))
+        try:
+            outcomes = executor.run_subqueries(
+                rfs, tasks, config, dim_weights=dim_weights
+            )
+        finally:
+            if owned_executor:
+                executor.close()
+        # Sequential, order-fixed dedup: later (smaller-quota) groups
+        # yield overlapping images to earlier ones, exactly as in the
+        # serial implementation.
+        for task, outcome in zip(tasks, outcomes):
+            fresh = [
+                (dist, image_id)
+                for dist, image_id in outcome.ranked
+                if image_id not in claimed
+            ][: task.quota]
+            claimed.update(image_id for _, image_id in fresh)
+            merge_span.event(
+                "merge_decision",
+                leaf=task.leaf_id,
+                quota=task.quota,
+                fetched=len(outcome.ranked),
+                taken=len(fresh),
+                deduplicated=len(outcome.ranked) - len(fresh),
+            )
+            merge_candidates.observe(len(outcome.ranked))
             payloads.append(
                 {
-                    "leaf_id": leaf_id,
-                    "search_node": search_node,
-                    "centroid": centroid,
-                    "query_ids": list(query_ids),
+                    "leaf_id": task.leaf_id,
+                    "search_node": rfs.get_node(outcome.search_node_id),
+                    "centroid": outcome.centroid,
+                    "query_ids": list(task.query_ids),
                     "results": fresh,
                 }
             )

@@ -30,6 +30,7 @@ from repro.core.presentation import QueryResult
 from repro.core.ranking import execute_final_round
 from repro.core.subquery import SubQuery
 from repro.errors import SessionStateError
+from repro.exec import SubqueryExecutor
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, ensure_rng
@@ -46,6 +47,10 @@ class FeedbackSession:
         QD parameters (display size, boundary threshold, round budget).
     seed:
         Randomness source for the "Random" browse function.
+    executor:
+        Optional :class:`repro.exec.SubqueryExecutor` for the final
+        subquery fan-out (e.g. the engine's persistent pool).  When
+        omitted, :meth:`finalize` builds one from ``config.executor``.
     """
 
     def __init__(
@@ -54,9 +59,11 @@ class FeedbackSession:
         config: Optional[QDConfig] = None,
         *,
         seed: RandomState = None,
+        executor: Optional[SubqueryExecutor] = None,
     ) -> None:
         self.rfs = rfs
         self.config = config or QDConfig()
+        self._executor = executor
         self._rng = ensure_rng(seed)
         root = rfs.root
         self._active: Dict[int, SubQuery] = {
@@ -228,7 +235,10 @@ class FeedbackSession:
     ) -> QueryResult:
         """Run the localized multipoint k-NN subqueries and merge.
 
-        Ends the session.  ``uniform_merge`` replaces the paper's
+        Ends the session.  The independent subqueries are dispatched
+        through the session's executor (``config.executor``: serial,
+        thread pool, or process pool — the ranking is bit-identical
+        either way).  ``uniform_merge`` replaces the paper's
         mark-proportional result allocation with equal shares (used by
         the merge-rule ablation); ``dim_weights`` applies user-defined
         per-dimension feature importance (see
@@ -256,6 +266,7 @@ class FeedbackSession:
                 rounds_used=self.round,
                 uniform_merge=uniform_merge,
                 dim_weights=dim_weights,
+                executor=self._executor,
             )
             span.set(
                 groups=result.n_groups,

@@ -1,0 +1,32 @@
+"""Parallel execution of the final-round subquery fan-out.
+
+See :mod:`repro.exec.executors` for the executor model and the
+determinism guarantee (serial, thread, and process execution return
+bit-identical rankings).
+"""
+
+from repro.exec.executors import (
+    ProcessSubqueryExecutor,
+    SerialSubqueryExecutor,
+    SubqueryExecutor,
+    SubqueryOutcome,
+    SubqueryTask,
+    ThreadedSubqueryExecutor,
+    build_executor,
+    default_worker_count,
+    resolve_executor,
+    run_subquery_task,
+)
+
+__all__ = [
+    "ProcessSubqueryExecutor",
+    "SerialSubqueryExecutor",
+    "SubqueryExecutor",
+    "SubqueryOutcome",
+    "SubqueryTask",
+    "ThreadedSubqueryExecutor",
+    "build_executor",
+    "default_worker_count",
+    "resolve_executor",
+    "run_subquery_task",
+]

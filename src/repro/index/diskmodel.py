@@ -6,18 +6,33 @@ localized k-NN usually reads a single leaf.  We model every tree node as
 one disk page and count page reads, with an optional LRU buffer pool so
 repeated reads of a hot node (e.g. the root) can be served from memory —
 mirroring how a real DBMS would behave.
+
+The counter is shared by every layer of one engine and, since the
+parallel subquery executors landed, by every worker thread of the final
+round — so all mutation happens under a lock, per-worker hit/miss
+accounting records which worker did the reading, and an optional
+``page_read_latency_s`` sleeps on each buffer miss to emulate a real
+device (this is what the parallel speedup benchmark overlaps).
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 
 @dataclass
 class DiskAccessCounter:
     """Counts simulated page reads, optionally through an LRU buffer.
+
+    Thread-safe: counters, the per-category/per-worker breakdowns, and
+    the LRU buffer all mutate under one internal lock, so concurrent
+    subquery workers never lose an update.  The simulated latency sleep
+    happens *outside* the lock, so parallel workers overlap their
+    "device time" exactly like independent disk requests would.
 
     Parameters
     ----------
@@ -25,6 +40,9 @@ class DiskAccessCounter:
         Size of the LRU buffer pool in pages.  ``0`` disables buffering,
         so every access is a physical read (the paper's conservative
         accounting).
+    page_read_latency_s:
+        Simulated device latency charged per physical read (buffer
+        miss).  ``0.0`` (default) keeps the model free.
 
     Attributes
     ----------
@@ -38,14 +56,32 @@ class DiskAccessCounter:
         All accesses per category label, buffer hits included.  Under a
         warm buffer the physical breakdown undercounts how often a phase
         *touches* pages; per-phase analyses should prefer this view.
+    per_worker:
+        ``{worker: {"hits": n, "misses": n}}`` keyed by thread name (or
+        a ``proc<pid>`` label merged from a process worker), so parallel
+        runs can attribute buffer behaviour to individual workers.
     """
 
     buffer_pages: int = 0
+    page_read_latency_s: float = 0.0
     physical_reads: int = 0
     logical_reads: int = 0
     per_category: Dict[str, int] = field(default_factory=dict)
     per_category_logical: Dict[str, int] = field(default_factory=dict)
+    per_worker: Dict[str, Dict[str, int]] = field(default_factory=dict)
     _buffer: "OrderedDict[int, None]" = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot be pickled
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_lock"] = threading.Lock()
 
     def access(self, page_id: int, category: str = "node") -> bool:
         """Record one access to ``page_id``.
@@ -56,37 +92,131 @@ class DiskAccessCounter:
         and buffer misses additionally count as physical reads for the
         category.
         """
-        self.logical_reads += 1
-        self.per_category_logical[category] = (
-            self.per_category_logical.get(category, 0) + 1
-        )
-        if self.buffer_pages > 0 and page_id in self._buffer:
-            self._buffer.move_to_end(page_id)
-            return False
-        self.physical_reads += 1
-        self.per_category[category] = self.per_category.get(category, 0) + 1
-        if self.buffer_pages > 0:
-            self._buffer[page_id] = None
-            if len(self._buffer) > self.buffer_pages:
-                self._buffer.popitem(last=False)
+        worker = threading.current_thread().name
+        with self._lock:
+            self.logical_reads += 1
+            self.per_category_logical[category] = (
+                self.per_category_logical.get(category, 0) + 1
+            )
+            stats = self.per_worker.setdefault(
+                worker, {"hits": 0, "misses": 0}
+            )
+            if self.buffer_pages > 0 and page_id in self._buffer:
+                self._buffer.move_to_end(page_id)
+                stats["hits"] += 1
+                return False
+            self.physical_reads += 1
+            self.per_category[category] = (
+                self.per_category.get(category, 0) + 1
+            )
+            stats["misses"] += 1
+            if self.buffer_pages > 0:
+                self._buffer[page_id] = None
+                if len(self._buffer) > self.buffer_pages:
+                    self._buffer.popitem(last=False)
+        if self.page_read_latency_s > 0:
+            time.sleep(self.page_read_latency_s)
         return True
 
     def reset(self) -> None:
         """Zero all counters and clear the buffer pool."""
-        self.physical_reads = 0
-        self.logical_reads = 0
-        self.per_category.clear()
-        self.per_category_logical.clear()
-        self._buffer.clear()
+        with self._lock:
+            self.physical_reads = 0
+            self.logical_reads = 0
+            self.per_category.clear()
+            self.per_category_logical.clear()
+            self.per_worker.clear()
+            self._buffer.clear()
 
     def snapshot(self) -> Dict[str, int]:
         """Current counters as a plain dictionary (for reports)."""
-        out = {
-            "physical_reads": self.physical_reads,
-            "logical_reads": self.logical_reads,
+        with self._lock:
+            out = {
+                "physical_reads": self.physical_reads,
+                "logical_reads": self.logical_reads,
+            }
+            for key, value in sorted(self.per_category.items()):
+                out[f"reads[{key}]"] = value
+            for key, value in sorted(self.per_category_logical.items()):
+                out[f"logical_reads[{key}]"] = value
+            return out
+
+    def worker_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker hit/miss counts (deep copy, safe to mutate)."""
+        with self._lock:
+            return {
+                worker: dict(stats)
+                for worker, stats in sorted(self.per_worker.items())
+            }
+
+    # ------------------------------------------------------------------
+    # Delta capture / merge — the process-pool executor runs against a
+    # forked copy of this counter, so its accesses must be shipped back
+    # and folded into the parent's counter.
+    # ------------------------------------------------------------------
+    def delta_marker(self) -> Dict[str, Any]:
+        """A snapshot marker for :meth:`delta_since`."""
+        with self._lock:
+            return {
+                "physical_reads": self.physical_reads,
+                "logical_reads": self.logical_reads,
+                "per_category": dict(self.per_category),
+                "per_category_logical": dict(self.per_category_logical),
+                "per_worker": {
+                    w: dict(s) for w, s in self.per_worker.items()
+                },
+            }
+
+    def delta_since(self, marker: Dict[str, Any]) -> Dict[str, Any]:
+        """Accesses recorded since ``marker`` (picklable plain dicts)."""
+        current = self.delta_marker()
+        delta: Dict[str, Any] = {
+            "physical_reads": (
+                current["physical_reads"] - marker["physical_reads"]
+            ),
+            "logical_reads": (
+                current["logical_reads"] - marker["logical_reads"]
+            ),
+            "per_category": {},
+            "per_category_logical": {},
+            "per_worker": {},
         }
-        for key, value in sorted(self.per_category.items()):
-            out[f"reads[{key}]"] = value
-        for key, value in sorted(self.per_category_logical.items()):
-            out[f"logical_reads[{key}]"] = value
-        return out
+        for key in ("per_category", "per_category_logical"):
+            before = marker[key]
+            for category, total in current[key].items():
+                diff = total - before.get(category, 0)
+                if diff:
+                    delta[key][category] = diff
+        before_workers = marker["per_worker"]
+        for worker, stats in current["per_worker"].items():
+            prior = before_workers.get(worker, {})
+            diff = {
+                k: stats[k] - prior.get(k, 0)
+                for k in stats
+                if stats[k] - prior.get(k, 0)
+            }
+            if diff:
+                delta["per_worker"][worker] = diff
+        return delta
+
+    def merge_delta(self, delta: Dict[str, Any]) -> None:
+        """Fold a :meth:`delta_since` dump (e.g. from a worker process)."""
+        with self._lock:
+            self.physical_reads += int(delta.get("physical_reads", 0))
+            self.logical_reads += int(delta.get("logical_reads", 0))
+            for category, diff in delta.get("per_category", {}).items():
+                self.per_category[category] = (
+                    self.per_category.get(category, 0) + diff
+                )
+            for category, diff in delta.get(
+                "per_category_logical", {}
+            ).items():
+                self.per_category_logical[category] = (
+                    self.per_category_logical.get(category, 0) + diff
+                )
+            for worker, stats in delta.get("per_worker", {}).items():
+                mine = self.per_worker.setdefault(
+                    worker, {"hits": 0, "misses": 0}
+                )
+                for key, diff in stats.items():
+                    mine[key] = mine.get(key, 0) + diff

@@ -55,6 +55,7 @@ from repro.obs.trace import (
     Tracer,
     get_tracer,
     set_tracer,
+    span_from_dict,
     use_tracer,
 )
 
@@ -80,6 +81,7 @@ __all__ = [
     "prometheus_text",
     "set_metrics",
     "set_tracer",
+    "span_from_dict",
     "summarize",
     "use_metrics",
     "use_tracer",

@@ -30,46 +30,57 @@ name                            kind        meaning
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
 
-    __slots__ = ("name", "help", "value")
+    Mutation is lock-protected so concurrent subquery workers never lose
+    an increment (``value += amount`` is a read-modify-write that is not
+    atomic across threads).
+    """
+
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative inc {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -77,19 +88,22 @@ class Histogram:
 
     Stores raw samples (sessions record at most a few thousand
     observations) and exports as a Prometheus summary: quantile lines
-    plus ``_count`` and ``_sum``.
+    plus ``_count`` and ``_sum``.  ``observe`` is lock-protected so
+    concurrent workers cannot drop samples.
     """
 
-    __slots__ = ("name", "help", "samples")
+    __slots__ = ("name", "help", "samples", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.samples: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self.samples.append(float(value))
+        with self._lock:
+            self.samples.append(float(value))
 
     @property
     def count(self) -> int:
@@ -164,7 +178,12 @@ NULL_METRICS = NullMetrics()
 
 
 class MetricsRegistry:
-    """Named instruments, created lazily on first use."""
+    """Named instruments, created lazily on first use.
+
+    Instrument creation and mutation are both thread-safe: get-or-create
+    holds a registry lock (so two threads racing on a new name share one
+    instrument) and each instrument locks its own state.
+    """
 
     enabled = True
 
@@ -172,27 +191,74 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get-or-create the counter ``name``."""
         inst = self.counters.get(name)
         if inst is None:
-            inst = self.counters[name] = Counter(name, help)
+            with self._lock:
+                inst = self.counters.get(name)
+                if inst is None:
+                    inst = self.counters[name] = Counter(name, help)
         return inst
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         """Get-or-create the gauge ``name``."""
         inst = self.gauges.get(name)
         if inst is None:
-            inst = self.gauges[name] = Gauge(name, help)
+            with self._lock:
+                inst = self.gauges.get(name)
+                if inst is None:
+                    inst = self.gauges[name] = Gauge(name, help)
         return inst
 
     def histogram(self, name: str, help: str = "") -> Histogram:
         """Get-or-create the histogram ``name``."""
         inst = self.histograms.get(name)
         if inst is None:
-            inst = self.histograms[name] = Histogram(name, help)
+            with self._lock:
+                inst = self.histograms.get(name)
+                if inst is None:
+                    inst = self.histograms[name] = Histogram(name, help)
         return inst
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Picklable dump of every instrument (for worker processes).
+
+        A process-pool worker records into its own registry (mutating
+        the forked copy of the parent's would be invisible), ships this
+        payload back, and the parent folds it in via
+        :meth:`merge_payload`.
+        """
+        return {
+            "counters": {
+                n: (c.help, c.value) for n, c in self.counters.items()
+            },
+            "gauges": {
+                n: (g.help, g.value) for n, g in self.gauges.items()
+            },
+            "histograms": {
+                n: (h.help, list(h.samples))
+                for n, h in self.histograms.items()
+            },
+        }
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold a worker's :meth:`to_payload` dump into this registry.
+
+        Counters add, histograms extend; gauges take the worker's last
+        value (point-in-time semantics).
+        """
+        for name, (help_, value) in payload.get("counters", {}).items():
+            if value:
+                self.counter(name, help_).inc(value)
+        for name, (help_, value) in payload.get("gauges", {}).items():
+            self.gauge(name, help_).set(value)
+        for name, (help_, samples) in payload.get("histograms", {}).items():
+            hist = self.histogram(name, help_)
+            for sample in samples:
+                hist.observe(sample)
 
     def snapshot(self) -> Dict[str, float]:
         """Flat name -> value view (histograms report count/sum/p95)."""

@@ -23,6 +23,7 @@ affects every layer (engine, session, index, retrieval).
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -115,6 +116,23 @@ class Span:
         )
 
 
+def span_from_dict(tracer: "Tracer", data: Dict[str, Any]) -> Span:
+    """Rebuild a finished :class:`Span` tree from its ``to_dict`` form.
+
+    Used to graft spans recorded in a worker process (where they cannot
+    attach to the parent's live tracer) back into the dispatching
+    session's trace, so traces still reconstruct the full session tree
+    under the process-pool executor.
+    """
+    span = Span(tracer, str(data.get("name", "")), data.get("attributes"))
+    span.start = float(data.get("start", 0.0))
+    span.duration = float(data.get("duration", 0.0))
+    span.children = [
+        span_from_dict(tracer, child) for child in data.get("children", [])
+    ]
+    return span
+
+
 class _NullSpan:
     """Shared do-nothing span returned by the no-op tracer."""
 
@@ -148,6 +166,7 @@ class NullTracer:
 
     enabled = False
     spans: List[Span] = []
+    current = None
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         """Return the shared no-op span (ignores all arguments)."""
@@ -157,6 +176,11 @@ class NullTracer:
         """No-op instantaneous event."""
         return _NULL_SPAN
 
+    @contextmanager
+    def adopt(self, parent: Optional[Span]) -> Iterator[None]:
+        """No-op parent adoption (matches :meth:`Tracer.adopt`)."""
+        yield
+
 
 NULL_TRACER = NullTracer()
 
@@ -164,19 +188,51 @@ NULL_TRACER = NullTracer()
 class Tracer:
     """Records a forest of spans for one traced run.
 
-    Thread-unsafe by design (sessions are single-threaded); install one
-    tracer per traced run via :func:`use_tracer`.
+    The open-span stack is *thread-local*: each worker thread nests its
+    own spans independently, and :meth:`adopt` seeds a worker's stack
+    with the dispatching span so subquery work recorded on a pool thread
+    still attaches under the session tree.  Attaching a finished span to
+    its parent is a single ``list.append`` (atomic under the GIL), so
+    concurrent workers can safely share one tracer; sibling order across
+    threads is completion order.
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self.spans: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Create a span; use as a context manager to time a region."""
         return Span(self, name, attributes)
+
+    @contextmanager
+    def adopt(self, parent: Optional[Span]) -> Iterator[None]:
+        """Parent this thread's spans under ``parent`` for the block.
+
+        Executors capture :attr:`current` on the dispatching thread and
+        adopt it inside each worker, so spans opened on the worker attach
+        to the dispatching span instead of becoming detached roots.
+        ``None`` is accepted and adopts nothing (untraced runs).
+        """
+        if parent is None:
+            yield
+            return
+        stack = self._stack
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
 
     def event(self, name: str, **attributes: Any) -> Span:
         """Record an instantaneous span under the innermost open span."""

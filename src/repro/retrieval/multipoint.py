@@ -76,12 +76,18 @@ class MultipointQuery:
         """Weighted aggregate distance of each candidate to the query.
 
         ``dist(x) = sum_i w_i * ||x - p_i||`` — the weighted combination
-        of individual distances described in the survey.
+        of individual distances described in the survey.  Computed one
+        representative at a time: an (n, d) scratch buffer instead of
+        the (n, m, d) broadcast tensor, so large candidate batches (the
+        parallel fan-out runs several at once) stay memory-lean.
         """
         matrix = check_vectors("candidates", candidates, dim=self.dims)
-        # (n, m) distance table.
-        diff = matrix[:, None, :] - self.points[None, :, :]
-        table = np.sqrt(np.sum(diff**2, axis=2))
+        table = np.empty(
+            (matrix.shape[0], self.points.shape[0]), dtype=np.float64
+        )
+        for j in range(self.points.shape[0]):
+            diff = matrix - self.points[j]
+            table[:, j] = np.sqrt(np.sum(diff**2, axis=1))
         get_metrics().counter(
             "qd_distance_computations", "feature-vector distance evals"
         ).inc(matrix.shape[0] * self.points.shape[0])

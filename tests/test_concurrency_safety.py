@@ -1,0 +1,170 @@
+"""Concurrency-safety stress tests for the shared mutable state.
+
+The thread executor mutates three things from worker threads: the
+simulated disk counter (buffer pool + accounting), the metrics registry,
+and the tracer.  These tests hammer each one from many threads and
+assert exact totals — a lost update anywhere shows up as an off-by-N.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.index.diskmodel import DiskAccessCounter
+
+N_THREADS = 8
+N_OPS = 1000
+
+
+def _hammer(fn) -> None:
+    """Run ``fn(worker_index)`` from N_THREADS threads simultaneously."""
+    start = threading.Barrier(N_THREADS)
+
+    def body(worker: int) -> None:
+        start.wait()
+        fn(worker)
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        for future in [pool.submit(body, w) for w in range(N_THREADS)]:
+            future.result()
+
+
+class TestDiskCounterUnderContention:
+    def test_no_lost_updates_unbuffered(self):
+        io = DiskAccessCounter()
+        _hammer(lambda w: [io.access(i, "knn") for i in range(N_OPS)])
+        total = N_THREADS * N_OPS
+        assert io.logical_reads == total
+        assert io.physical_reads == total
+        assert io.per_category["knn"] == total
+        assert io.per_category_logical["knn"] == total
+
+    def test_per_worker_accounting_is_exact(self):
+        io = DiskAccessCounter(buffer_pages=8)
+        # Cycle through 32 pages so both hits and misses occur.
+        _hammer(lambda w: [io.access(i % 32) for i in range(N_OPS)])
+        stats = io.worker_stats()
+        hits = sum(s["hits"] for s in stats.values())
+        misses = sum(s["misses"] for s in stats.values())
+        assert hits + misses == io.logical_reads == N_THREADS * N_OPS
+        assert misses == io.physical_reads
+        assert hits > 0 and misses > 0
+
+    def test_buffer_never_exceeds_capacity(self):
+        io = DiskAccessCounter(buffer_pages=8)
+        sizes: list[int] = []
+
+        def body(worker: int) -> None:
+            for i in range(N_OPS):
+                io.access((worker * N_OPS + i) % 64)
+                if i % 100 == 0:
+                    sizes.append(len(io._buffer))
+
+        _hammer(body)
+        assert len(io._buffer) <= 8
+        assert max(sizes) <= 8
+
+    def test_lru_eviction_order_single_thread(self):
+        io = DiskAccessCounter(buffer_pages=3)
+        for page in (1, 2, 3):
+            assert io.access(page)  # cold misses
+        assert not io.access(1)  # hit refreshes page 1
+        assert io.access(4)  # evicts 2 (LRU), not 1
+        assert not io.access(1)
+        assert not io.access(3)
+        assert not io.access(4)
+        assert io.access(2)  # 2 was the one evicted
+
+    def test_delta_round_trip_merges_exactly(self):
+        io = DiskAccessCounter(buffer_pages=4)
+        io.access(1, "feedback")
+        marker = io.delta_marker()
+        io.access(1, "knn")  # hit
+        io.access(2, "knn")  # miss
+        delta = io.delta_since(marker)
+        assert delta["logical_reads"] == 2
+        assert delta["physical_reads"] == 1
+        assert delta["per_category"] == {"knn": 1}
+        assert delta["per_category_logical"] == {"knn": 2}
+
+        other = DiskAccessCounter(buffer_pages=4)
+        other.merge_delta(delta)
+        assert other.logical_reads == 2
+        assert other.physical_reads == 1
+        assert other.per_category == {"knn": 1}
+        worker_totals = other.worker_stats()
+        assert sum(
+            s.get("hits", 0) + s.get("misses", 0)
+            for s in worker_totals.values()
+        ) == 2
+
+    def test_pickling_drops_and_restores_lock(self):
+        import pickle
+
+        io = DiskAccessCounter(buffer_pages=2)
+        io.access(1)
+        clone = pickle.loads(pickle.dumps(io))
+        assert clone.physical_reads == 1
+        clone.access(2)  # usable lock after unpickling
+        assert clone.logical_reads == 2
+
+
+class TestMetricsUnderContention:
+    def test_counter_exact_under_contention(self):
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("stress_total", "stress test")
+        _hammer(lambda w: [counter.inc() for _ in range(N_OPS)])
+        assert counter.value == N_THREADS * N_OPS
+
+    def test_histogram_exact_under_contention(self):
+        registry = obs.MetricsRegistry()
+        histogram = registry.histogram("stress_hist", "stress test")
+        _hammer(lambda w: [histogram.observe(1.0) for _ in range(N_OPS)])
+        assert histogram.count == N_THREADS * N_OPS
+
+    def test_get_or_create_race_yields_one_instrument(self):
+        registry = obs.MetricsRegistry()
+        _hammer(
+            lambda w: [
+                registry.counter("shared_total", "race test").inc()
+                for _ in range(N_OPS)
+            ]
+        )
+        assert registry.counter("shared_total", "race test").value == (
+            N_THREADS * N_OPS
+        )
+
+
+class TestTracerAcrossThreads:
+    def test_adopt_parents_worker_spans(self):
+        tracer = obs.Tracer()
+        with tracer.span("dispatch") as parent:
+
+            def worker(index: int) -> None:
+                with tracer.adopt(parent):
+                    with tracer.span("work", index=index):
+                        pass
+
+            _hammer(worker)
+        assert len(tracer.spans) == 1
+        children = [s for s in parent.children if s.name == "work"]
+        assert len(children) == N_THREADS
+
+    def test_unadopted_worker_span_is_a_root(self):
+        tracer = obs.Tracer()
+        with tracer.span("dispatch"):
+            done = threading.Event()
+
+            def worker() -> None:
+                with tracer.span("detached"):
+                    pass
+                done.set()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert done.is_set()
+        names = sorted(span.name for span in tracer.spans)
+        assert names == ["detached", "dispatch"]

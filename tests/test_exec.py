@@ -1,0 +1,252 @@
+"""Tests for the parallel subquery execution layer (:mod:`repro.exec`).
+
+The load-bearing property is *determinism*: serial, thread, and process
+execution of the final-round fan-out must return bit-identical ranked
+ids and scores, across seeds, subquery counts, and boundary-expansion
+settings.  The merge consumes outcomes in submission order and every
+executor funnels through the same ``run_subquery_task``, so any
+divergence here is a real bug, not float noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.config import QDConfig
+from repro.core.engine import QueryDecompositionEngine
+from repro.core.ranking import execute_final_round
+from repro.errors import ConfigurationError
+from repro.exec import (
+    ProcessSubqueryExecutor,
+    SerialSubqueryExecutor,
+    SubqueryTask,
+    ThreadedSubqueryExecutor,
+    build_executor,
+    resolve_executor,
+    run_subquery_task,
+)
+
+needs_fork = pytest.mark.skipif(
+    not ProcessSubqueryExecutor.fork_available(),
+    reason="fork start method unavailable on this platform",
+)
+
+
+def _marks_across_leaves(rfs, n_leaves: int, per_leaf: int = 2) -> list:
+    """Image ids spanning ``n_leaves`` distinct RFS leaves."""
+    by_leaf: dict[int, list[int]] = {}
+    for image_id in range(rfs.features.shape[0]):
+        leaf_id = rfs.leaf_of_item(image_id).node_id
+        bucket = by_leaf.setdefault(leaf_id, [])
+        if len(bucket) < per_leaf:
+            bucket.append(image_id)
+    leaves = sorted(by_leaf)[:n_leaves]
+    assert len(leaves) == n_leaves, "database has too few leaves"
+    return [i for leaf_id in leaves for i in by_leaf[leaf_id]]
+
+
+def _signature(result):
+    """Everything rank-relevant about a result, exactly."""
+    return [
+        (
+            group.leaf_node_id,
+            group.search_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+class TestExecutorConstruction:
+    def test_build_by_kind(self):
+        assert isinstance(build_executor("serial"), SerialSubqueryExecutor)
+        assert isinstance(build_executor("thread", 2), ThreadedSubqueryExecutor)
+        assert isinstance(
+            build_executor("process", 2), ProcessSubqueryExecutor
+        )
+
+    def test_build_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_executor("gpu")
+
+    def test_bad_config_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            QDConfig(executor="gpu")
+        with pytest.raises(ConfigurationError):
+            QDConfig(workers=-1)
+
+    def test_resolve_from_config(self):
+        executor = resolve_executor(QDConfig(executor="thread", workers=3))
+        assert isinstance(executor, ThreadedSubqueryExecutor)
+        assert executor.workers == 3
+
+    def test_serial_is_single_worker(self):
+        assert SerialSubqueryExecutor().workers == 1
+
+    def test_close_is_idempotent(self):
+        executor = ThreadedSubqueryExecutor(2)
+        executor.close()
+        executor.close()
+
+    def test_context_manager_closes_pool(self, rfs):
+        tasks = [
+            SubqueryTask(leaf_id=rfs.leaf_of_item(0).node_id, quota=3,
+                         query_ids=(0,)),
+            SubqueryTask(leaf_id=rfs.leaf_of_item(0).node_id, quota=3,
+                         query_ids=(0,)),
+        ]
+        with ThreadedSubqueryExecutor(2) as executor:
+            executor.run_subqueries(rfs, tasks, QDConfig())
+            assert executor._pool is not None
+        assert executor._pool is None
+
+
+class TestRunSubqueryTask:
+    def test_single_task_matches_direct_knn(self, rfs):
+        marks = _marks_across_leaves(rfs, 1, per_leaf=3)
+        leaf_id = rfs.leaf_of_item(marks[0]).node_id
+        task = SubqueryTask(
+            leaf_id=leaf_id, quota=5, query_ids=tuple(marks)
+        )
+        outcome = run_subquery_task(rfs, QDConfig(), task)
+        assert outcome.leaf_id == leaf_id
+        assert len(outcome.ranked) >= 5
+        scores = [dist for dist, _ in outcome.ranked]
+        assert scores == sorted(scores)
+        assert outcome.duration_s >= 0.0
+
+    def test_threaded_single_task_runs_inline(self, rfs):
+        marks = _marks_across_leaves(rfs, 1)
+        task = SubqueryTask(
+            leaf_id=rfs.leaf_of_item(marks[0]).node_id,
+            quota=4,
+            query_ids=tuple(marks),
+        )
+        executor = ThreadedSubqueryExecutor(2)
+        try:
+            outcomes = executor.run_subqueries(rfs, [task], QDConfig())
+            assert len(outcomes) == 1
+            assert executor._pool is None  # <=1 task: no pool spun up
+        finally:
+            executor.close()
+
+
+class TestDeterminism:
+    """Serial vs thread vs process: bit-identical final rankings."""
+
+    @pytest.mark.parametrize("n_leaves", [2, 5, 9])
+    @pytest.mark.parametrize("boundary", [0.0, 0.4, 1.0])
+    def test_thread_matches_serial(self, rfs, n_leaves, boundary):
+        marks = _marks_across_leaves(rfs, n_leaves)
+        config = QDConfig(boundary_threshold=boundary)
+        k = 6 * n_leaves
+        with SerialSubqueryExecutor() as serial:
+            baseline = execute_final_round(
+                rfs, marks, k, config, rounds_used=1, executor=serial
+            )
+        with ThreadedSubqueryExecutor(4) as threaded:
+            parallel = execute_final_round(
+                rfs, marks, k, config, rounds_used=1, executor=threaded
+            )
+        assert _signature(parallel) == _signature(baseline)
+
+    @needs_fork
+    @pytest.mark.parametrize("n_leaves", [2, 6])
+    def test_process_matches_serial(self, rfs, n_leaves):
+        marks = _marks_across_leaves(rfs, n_leaves)
+        config = QDConfig()
+        k = 6 * n_leaves
+        with SerialSubqueryExecutor() as serial:
+            baseline = execute_final_round(
+                rfs, marks, k, config, rounds_used=1, executor=serial
+            )
+        with ProcessSubqueryExecutor(2) as procs:
+            parallel = execute_final_round(
+                rfs, marks, k, config, rounds_used=1, executor=procs
+            )
+        assert _signature(parallel) == _signature(baseline)
+
+    @pytest.mark.parametrize("seed", [0, 7, 2006])
+    def test_full_session_identical_across_executors(
+        self, rendered_db, rfs, seed
+    ):
+        from repro.datasets.queryset import get_query
+        from repro.eval.oracle import SimulatedUser
+
+        query = get_query("bird")
+        signatures = []
+        for kind in ("serial", "thread"):
+            engine = QueryDecompositionEngine(
+                rendered_db, rfs, QDConfig(executor=kind, workers=4)
+            )
+            user = SimulatedUser(rendered_db, query, seed=seed)
+            with engine:
+                result = engine.run_scripted(
+                    user.mark, k=60, rounds=3, seed=seed
+                )
+            signatures.append(_signature(result))
+        assert signatures[0] == signatures[1]
+
+
+class TestObservabilityAcrossWorkers:
+    def test_thread_spans_attach_to_session_tree(self, rendered_db, rfs):
+        from repro.datasets.queryset import get_query
+        from repro.eval.oracle import SimulatedUser
+        from repro.obs.summarize import summarize
+
+        tracer = obs.Tracer()
+        engine = QueryDecompositionEngine(
+            rendered_db, rfs, QDConfig(executor="thread", workers=4)
+        )
+        user = SimulatedUser(rendered_db, get_query("bird"), seed=3)
+        with obs.use_tracer(tracer), engine:
+            result = engine.run_scripted(user.mark, k=60, rounds=3, seed=3)
+        # One root; every subquery span landed inside it, none detached.
+        assert len(tracer.spans) == 1
+        summary = summarize(tracer)
+        assert summary.n_localized_knn >= result.n_groups
+
+    @needs_fork
+    def test_process_spans_and_metrics_graft(self, rfs):
+        marks = _marks_across_leaves(rfs, 4)
+        tracer = obs.Tracer()
+        registry = obs.MetricsRegistry()
+        io = rfs.io
+        logical_before = io.logical_reads
+        with obs.use_tracer(tracer), obs.use_metrics(registry):
+            with ProcessSubqueryExecutor(2) as procs:
+                execute_final_round(
+                    rfs, marks, 24, QDConfig(), rounds_used=1,
+                    executor=procs,
+                )
+        # Worker page reads were folded back into the parent counter.
+        assert io.logical_reads > logical_before
+        # Worker distance computations were merged into the registry.
+        dumped = registry.to_payload()
+        assert dumped["counters"]["qd_distance_computations"][1] > 0
+        # Subquery spans were grafted under the live merge span.
+        merge_spans = [
+            span
+            for root in tracer.spans
+            for span in _walk(root)
+            if span.name == "merge"
+        ]
+        assert merge_spans
+        grafted = [
+            child
+            for span in merge_spans
+            for child in span.children
+            if child.name == "subquery"
+        ]
+        assert len(grafted) == 4
+        # Per-worker accounting now carries process-labelled entries.
+        assert any(
+            key.startswith("proc") for key in io.worker_stats()
+        )
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
