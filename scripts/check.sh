@@ -59,3 +59,19 @@ if [[ "$WITH_COV" == "1" && -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
 else
     PYTHONPATH=src python -m pytest "${PYTEST_ARGS[@]}" "$@"
 fi
+
+# The feature-store roundtrip tests guard the on-disk format; they must
+# actually run (a skip — e.g. a collection filter or a platform guard
+# someone adds later — would let format breaks through silently).
+echo "== store roundtrip gate =="
+ROUNDTRIP_LOG=/tmp/qd-check-roundtrip.log
+PYTHONPATH=src python -m pytest tests/test_store.py -k Roundtrip \
+    -q -rs | tee "$ROUNDTRIP_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$ROUNDTRIP_LOG"; then
+    echo "== no store roundtrip test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$ROUNDTRIP_LOG"; then
+    echo "== store roundtrip tests were skipped; failing ==" >&2
+    exit 1
+fi

@@ -2,11 +2,14 @@
 
 Provides the common workflows without writing Python::
 
-    repro-cbir build-db  --images 3000 --categories 60 --out db.npz
-    repro-cbir build-rfs --db db.npz --out rfs.npz
-    repro-cbir query     --db db.npz --query bird --seed 7
-    repro-cbir info      --db db.npz
-    repro-cbir experiment table1 --db db.npz
+    repro-cbir build-db    --images 3000 --categories 60 --out db.npz
+    repro-cbir build-rfs   --db db.npz --out rfs.npz
+    repro-cbir build-store --db db.npz --out store_dir
+    repro-cbir query       --db db.npz --query bird --seed 7
+    repro-cbir query       --db db.npz --query bird --store memmap \
+                           --store-path store_dir
+    repro-cbir info        --db db.npz
+    repro-cbir experiment  table1 --db db.npz
 
 ``python -m repro.cli`` works identically.
 """
@@ -19,7 +22,13 @@ import sys
 from typing import Iterator, Optional, Sequence
 
 from repro import obs
-from repro.config import EXECUTOR_KINDS, DatasetConfig, QDConfig, RFSConfig
+from repro.config import (
+    EXECUTOR_KINDS,
+    STORE_KINDS,
+    DatasetConfig,
+    QDConfig,
+    RFSConfig,
+)
 from repro.core.engine import QueryDecompositionEngine
 from repro.datasets.build import build_rendered_database
 from repro.datasets.database import ImageDatabase
@@ -63,6 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("rstar", "hkmeans"), default="rstar"
     )
 
+    p_store = sub.add_parser(
+        "build-store",
+        help="build and persist the leaf-contiguous feature store",
+    )
+    p_store.add_argument("--db", required=True, help="database .npz path")
+    p_store.add_argument(
+        "--rfs", help="pre-built RFS .npz (else built from --seed)"
+    )
+    p_store.add_argument(
+        "--out", required=True, help="output store directory"
+    )
+    p_store.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float32"
+    )
+    p_store.add_argument("--seed", type=int, default=2006)
+
     p_query = sub.add_parser(
         "query", help="run one oracle-driven QD session"
     )
@@ -76,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--rounds", type=int, default=3)
     _add_exec_flags(p_query)
+    _add_store_flags(p_query)
     _add_obs_flags(p_query)
 
     p_info = sub.add_parser("info", help="describe a database file")
@@ -92,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_int.add_argument("--screens", type=int, default=2)
     p_int.add_argument("--seed", type=int, default=7)
     _add_exec_flags(p_int)
+    _add_store_flags(p_int)
     _add_obs_flags(p_int)
 
     p_exp = sub.add_parser(
@@ -105,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seed", type=int, default=2006)
     p_exp.add_argument("--trials", type=int, default=3)
     _add_exec_flags(p_exp)
+    _add_store_flags(p_exp)
     _add_obs_flags(p_exp)
 
     return parser
@@ -124,6 +152,46 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="worker count for thread/process executors (0 = cpu count)",
     )
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared feature-store flags (query/interactive/experiment)."""
+    parser.add_argument(
+        "--store",
+        choices=STORE_KINDS,
+        default=None,
+        help=(
+            "attach a leaf-contiguous feature store: 'inmem' builds one "
+            "on the fly, 'memmap' maps a saved --store-path directory "
+            "(default: no store, original in-memory path)"
+        ),
+    )
+    parser.add_argument(
+        "--store-path",
+        metavar="DIR",
+        help="saved store directory (required with --store memmap)",
+    )
+
+
+def _attach_store_from_args(
+    rfs: RFSStructure, args: argparse.Namespace
+) -> None:
+    """Attach the feature store the ``--store`` flags ask for, if any."""
+    kind = getattr(args, "store", None)
+    if kind is None:
+        return
+    from repro.store import FeatureStore
+
+    if kind == "inmem":
+        rfs.attach_store(FeatureStore.build(rfs), validate=False)
+        return
+    path = getattr(args, "store_path", None)
+    if not path:
+        raise ReproError(
+            "--store memmap needs --store-path (a directory written by "
+            "'build-store')"
+        )
+    rfs.attach_store(FeatureStore.open(path, mode="memmap"))
 
 
 def _qd_config_from_args(args: argparse.Namespace) -> QDConfig:
@@ -214,6 +282,24 @@ def _cmd_build_rfs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_store(args: argparse.Namespace) -> int:
+    from repro.store import FeatureStore
+
+    database = ImageDatabase.load(args.db)
+    if args.rfs:
+        rfs = load_rfs(args.rfs, database.features)
+    else:
+        rfs = RFSStructure.build(database.features, seed=args.seed)
+    store = FeatureStore.build(rfs, dtype=args.dtype)
+    store.save(args.out)
+    print(
+        f"built store: {store.n_rows} rows x {store.dims} dims "
+        f"({store.dtype.name}, {store.nbytes / 1e6:.1f} MB, "
+        f"{len(store.spans)} node spans) -> {args.out}"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     database = ImageDatabase.load(args.db)
     qd_config = _qd_config_from_args(args)
@@ -224,6 +310,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         engine = QueryDecompositionEngine.build(
             database, qd_config=qd_config, seed=args.seed
         )
+    _attach_store_from_args(engine.rfs, args)
     query = get_query(args.query)
     user = SimulatedUser(database, query, seed=args.seed)
     k = args.k or database.ground_truth_size(
@@ -267,6 +354,7 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
         engine = QueryDecompositionEngine.build(
             database, qd_config=qd_config, seed=args.seed
         )
+    _attach_store_from_args(engine.rfs, args)
     with _obs_scope(args), engine:
         run_console_session(
             engine,
@@ -296,6 +384,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         engine = QueryDecompositionEngine.build(
             database, qd_config=_qd_config_from_args(args), seed=args.seed
         )
+        _attach_store_from_args(engine.rfs, args)
         with engine:
             if args.name == "table1":
                 print(
@@ -321,6 +410,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "build-db": _cmd_build_db,
     "build-rfs": _cmd_build_rfs,
+    "build-store": _cmd_build_store,
     "query": _cmd_query,
     "info": _cmd_info,
     "interactive": _cmd_interactive,

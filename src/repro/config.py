@@ -176,6 +176,51 @@ class QDConfig:
             )
 
 
+#: Feature-store backings accepted by :attr:`StoreConfig.kind` and the
+#: CLI ``--store`` flag (see :mod:`repro.store`).
+STORE_KINDS: tuple[str, ...] = ("inmem", "memmap")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Parameters of the leaf-contiguous feature store.
+
+    Attributes
+    ----------
+    kind:
+        Backing for the permuted feature matrix — ``"inmem"`` (RAM) or
+        ``"memmap"`` (read-only mapping of a saved store directory,
+        shared zero-copy across worker processes).  Both hold identical
+        bytes, so rankings never depend on the choice.
+    dtype:
+        Storage dtype: ``"float32"`` (default; halves kernel memory
+        traffic) or ``"float64"`` (bit-exact with the raw matrix).
+    path:
+        Store directory for ``memmap`` stores (where ``features.bin`` /
+        ``meta.npz`` live); empty for never-saved in-RAM stores.
+    """
+
+    kind: str = "inmem"
+    dtype: str = "float32"
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORE_KINDS:
+            raise ConfigurationError(
+                f"store kind must be one of {STORE_KINDS}, got "
+                f"{self.kind!r}"
+            )
+        if self.dtype not in ("float32", "float64"):
+            raise ConfigurationError(
+                "store dtype must be 'float32' or 'float64', got "
+                f"{self.dtype!r}"
+            )
+        if self.kind == "memmap" and not self.path:
+            raise ConfigurationError(
+                "a memmap store needs a path (saved store directory)"
+            )
+
+
 @dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of the synthetic Corel-like dataset.
@@ -214,3 +259,4 @@ class SystemConfig:
     rfs: RFSConfig = field(default_factory=RFSConfig)
     qd: QDConfig = field(default_factory=QDConfig)
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    store: StoreConfig = field(default_factory=StoreConfig)

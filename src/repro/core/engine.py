@@ -7,9 +7,10 @@ users, which the evaluation harness and the examples build on.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.config import QDConfig, RFSConfig
+from repro.errors import ConfigurationError
 from repro.core.presentation import QueryResult
 from repro.core.session import FeedbackSession
 from repro.datasets.database import ImageDatabase
@@ -19,6 +20,9 @@ from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.timing import TimingLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.store import FeatureStore
 
 # A scripted user: receives the displayed image ids, returns the relevant
 # ones (any iterable of ids).
@@ -54,11 +58,14 @@ class QueryDecompositionEngine:
         config: Optional[QDConfig] = None,
         *,
         executor: Optional[SubqueryExecutor] = None,
+        store: Optional["FeatureStore"] = None,
     ) -> None:
         self.database = database
         self.rfs = rfs
         self.config = config or QDConfig()
         self._executor = executor
+        if store is not None:
+            self.rfs.attach_store(store)
 
     @classmethod
     def build(
@@ -69,17 +76,50 @@ class QueryDecompositionEngine:
         *,
         seed: RandomState = None,
         io: Optional[DiskAccessCounter] = None,
+        store: Optional[str] = None,
+        store_dtype: str = "float32",
     ) -> "QueryDecompositionEngine":
-        """Construct the RFS structure for ``database`` and wrap it."""
+        """Construct the RFS structure for ``database`` and wrap it.
+
+        ``store="inmem"`` additionally builds a leaf-contiguous
+        :class:`~repro.store.FeatureStore` over the fresh structure and
+        attaches it (enabling the batched block-scan path).  A
+        ``"memmap"`` store needs an on-disk directory, so it cannot be
+        produced here — save one (``FeatureStore.save`` or the CLI
+        ``build-store`` command), then ``attach_store(FeatureStore.open
+        (dir))`` or pass ``store=`` to the constructor.  The default
+        (``None``) keeps the original in-memory path untouched.
+        """
         rfs = RFSStructure.build(
             database.features, rfs_config, seed=seed, io=io
         )
+        if store is not None:
+            from repro.store import FeatureStore
+
+            if store != "inmem":
+                raise ConfigurationError(
+                    "build() can only create an 'inmem' store; open a "
+                    "saved store directory for 'memmap'"
+                )
+            rfs.attach_store(
+                FeatureStore.build(rfs, dtype=store_dtype),
+                validate=False,
+            )
         return cls(database, rfs, qd_config)
 
     @property
     def io(self) -> DiskAccessCounter:
         """The simulated disk-access counter shared with the RFS."""
         return self.rfs.io
+
+    @property
+    def store(self) -> Optional["FeatureStore"]:
+        """The attached feature store, if any."""
+        return self.rfs.store
+
+    def attach_store(self, store: "FeatureStore") -> None:
+        """Attach a feature store to the underlying RFS structure."""
+        self.rfs.attach_store(store)
 
     @property
     def executor(self) -> SubqueryExecutor:

@@ -135,6 +135,7 @@ def execute_final_round(
         strategy="uniform" if uniform_merge else "proportional",
         executor=executor.name,
         workers=executor.workers,
+        store=rfs.store.kind if rfs.store is not None else "none",
     )
     with merge_span:
         try:

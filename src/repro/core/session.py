@@ -256,7 +256,12 @@ class FeedbackSession:
         io = self.rfs.io
         physical_before = io.physical_reads
         with get_tracer().span(
-            "final_round", k=k, marked=len(self._marked)
+            "final_round",
+            k=k,
+            marked=len(self._marked),
+            store=(
+                self.rfs.store.kind if self.rfs.store is not None else "none"
+            ),
         ) as span:
             result = execute_final_round(
                 self.rfs,

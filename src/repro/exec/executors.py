@@ -119,6 +119,11 @@ def run_subquery_task(
     feature matrix, mutates only the shared I/O counter and the obs
     layer (both thread-safe).  All executors funnel through this one
     function, which is what makes their outputs bit-identical.
+
+    Query points come from :meth:`RFSStructure.vectors_for`: with a
+    memory-mapped feature store attached, a forked or reopened worker
+    gathers them from the shared mapping instead of a per-process copy
+    of the feature matrix.
     """
     t0 = time.perf_counter()
     with get_tracer().span(
@@ -128,9 +133,9 @@ def run_subquery_task(
         marks=len(task.query_ids),
     ) as span:
         leaf = rfs.get_node(task.leaf_id)
-        query_points = rfs.features[
+        query_points = rfs.vectors_for(
             np.asarray(task.query_ids, dtype=np.int64)
-        ]
+        )
         search_node = rfs.expand_search_node(
             leaf, query_points, config.boundary_threshold
         )

@@ -60,12 +60,18 @@ class DiskAccessCounter:
         ``{worker: {"hits": n, "misses": n}}`` keyed by thread name (or
         a ``proc<pid>`` label merged from a process worker), so parallel
         runs can attribute buffer behaviour to individual workers.
+    bytes_read:
+        Feature bytes charged to physical reads.  Callers that know a
+        page's payload size (the leaf-contiguous feature store does)
+        pass it via ``access(..., nbytes=...)``; accesses without a size
+        contribute zero, so the gauge measures store traffic.
     """
 
     buffer_pages: int = 0
     page_read_latency_s: float = 0.0
     physical_reads: int = 0
     logical_reads: int = 0
+    bytes_read: int = 0
     per_category: Dict[str, int] = field(default_factory=dict)
     per_category_logical: Dict[str, int] = field(default_factory=dict)
     per_worker: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -83,14 +89,17 @@ class DiskAccessCounter:
         self.__dict__.update(state)
         self.__dict__["_lock"] = threading.Lock()
 
-    def access(self, page_id: int, category: str = "node") -> bool:
+    def access(
+        self, page_id: int, category: str = "node", *, nbytes: int = 0
+    ) -> bool:
         """Record one access to ``page_id``.
 
         Returns ``True`` if the access was a physical read (buffer miss).
         ``category`` labels the access for per-phase breakdowns
         ("feedback", "knn", ...); every access is attributed logically,
         and buffer misses additionally count as physical reads for the
-        category.
+        category.  ``nbytes`` (the page's payload size, when the caller
+        knows it) is charged to :attr:`bytes_read` on a miss.
         """
         worker = threading.current_thread().name
         with self._lock:
@@ -106,6 +115,7 @@ class DiskAccessCounter:
                 stats["hits"] += 1
                 return False
             self.physical_reads += 1
+            self.bytes_read += int(nbytes)
             self.per_category[category] = (
                 self.per_category.get(category, 0) + 1
             )
@@ -123,6 +133,7 @@ class DiskAccessCounter:
         with self._lock:
             self.physical_reads = 0
             self.logical_reads = 0
+            self.bytes_read = 0
             self.per_category.clear()
             self.per_category_logical.clear()
             self.per_worker.clear()
@@ -134,6 +145,7 @@ class DiskAccessCounter:
             out = {
                 "physical_reads": self.physical_reads,
                 "logical_reads": self.logical_reads,
+                "bytes_read": self.bytes_read,
             }
             for key, value in sorted(self.per_category.items()):
                 out[f"reads[{key}]"] = value
@@ -160,6 +172,7 @@ class DiskAccessCounter:
             return {
                 "physical_reads": self.physical_reads,
                 "logical_reads": self.logical_reads,
+                "bytes_read": self.bytes_read,
                 "per_category": dict(self.per_category),
                 "per_category_logical": dict(self.per_category_logical),
                 "per_worker": {
@@ -176,6 +189,9 @@ class DiskAccessCounter:
             ),
             "logical_reads": (
                 current["logical_reads"] - marker["logical_reads"]
+            ),
+            "bytes_read": (
+                current["bytes_read"] - marker["bytes_read"]
             ),
             "per_category": {},
             "per_category_logical": {},
@@ -204,6 +220,7 @@ class DiskAccessCounter:
         with self._lock:
             self.physical_reads += int(delta.get("physical_reads", 0))
             self.logical_reads += int(delta.get("logical_reads", 0))
+            self.bytes_read += int(delta.get("bytes_read", 0))
             for category, diff in delta.get("per_category", {}).items():
                 self.per_category[category] = (
                     self.per_category.get(category, 0) + diff

@@ -157,19 +157,32 @@ class MBR:
         p = np.asarray(point, dtype=np.float64)
         return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
 
-    def min_distance(self, point: np.ndarray) -> float:
+    def min_distance(self, point: np.ndarray) -> float | np.ndarray:
         """MINDIST: Euclidean distance from ``point`` to the box (0 inside).
 
-        The standard lower bound driving best-first k-NN search.
+        The standard lower bound driving best-first k-NN search.  Also
+        accepts an (n, d) batch of points, returning the (n,) MINDIST
+        vector in one vectorized pass.
         """
         p = np.asarray(point, dtype=np.float64)
         below = np.maximum(self.lo - p, 0.0)
         above = np.maximum(p - self.hi, 0.0)
-        return float(np.linalg.norm(below + above))
+        gap = below + above
+        if p.ndim == 1:
+            return float(np.linalg.norm(gap))
+        return np.linalg.norm(gap, axis=-1)
 
-    def center_distance(self, point: np.ndarray) -> float:
-        """Euclidean distance from ``point`` to the box centre."""
-        return float(np.linalg.norm(self.center() - np.asarray(point)))
+    def center_distance(self, point: np.ndarray) -> float | np.ndarray:
+        """Euclidean distance from ``point`` to the box centre.
+
+        Accepts a single (d,) point or an (n, d) batch (returning the
+        (n,) distance vector).
+        """
+        p = np.asarray(point, dtype=np.float64)
+        diff = self.center() - p
+        if p.ndim == 1:
+            return float(np.linalg.norm(diff))
+        return np.linalg.norm(diff, axis=-1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MBR(dims={self.dims}, margin={self.margin():.3f})"
@@ -184,3 +197,27 @@ class MBR:
 
     def __hash__(self) -> int:
         return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+
+def stacked_min_distances(
+    los: np.ndarray,
+    his: np.ndarray,
+    point: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """MINDIST from one point to many boxes, vectorized across boxes.
+
+    ``los``/``his`` are (n, d) stacks of box bounds (e.g. every leaf
+    under a search node — see
+    :meth:`repro.index.rfs.RFSStructure.localized_knn`, which uses this
+    to prune leaves without a per-leaf Python call).  ``weights``
+    optionally applies the per-dimension weighted metric so the bound
+    stays consistent with a weighted scan.
+    """
+    p = np.asarray(point, dtype=np.float64)
+    below = np.maximum(los - p, 0.0)
+    above = np.maximum(p - his, 0.0)
+    gap = below + above
+    if weights is None:
+        return np.linalg.norm(gap, axis=1)
+    return np.sqrt(np.sum(weights * gap * gap, axis=1))

@@ -84,6 +84,9 @@ class IncrementalRFS:
             )
         image_id = self.rfs.features.shape[0]
         self.rfs.features = np.vstack([self.rfs.features, vec[None, :]])
+        # Leaf membership is about to change: cached leaf geometry and
+        # any attached feature store no longer match the tree.
+        self.rfs.invalidate_caches()
 
         node = self.rfs.root
         path: List[RFSNode] = [node]
@@ -109,6 +112,7 @@ class IncrementalRFS:
         Raises :class:`NodeNotFoundError` when the id is not indexed.
         """
         leaf = self.rfs.leaf_of_item(int(image_id))
+        self.rfs.invalidate_caches()
         path: List[RFSNode] = []
         node: Optional[RFSNode] = leaf
         while node is not None:

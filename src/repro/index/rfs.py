@@ -20,7 +20,7 @@ feedback rounds never touch raw image data or perform k-NN computation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,12 +31,15 @@ from repro.errors import (
     NodeNotFoundError,
 )
 from repro.index.diskmodel import DiskAccessCounter
-from repro.index.geometry import MBR
+from repro.index.geometry import MBR, stacked_min_distances
 from repro.index.rstar import Node, RStarTree
 from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.validation import check_vectors
 from repro.clustering.kmeans import kmeans
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.store.feature_store import FeatureStore
 
 
 class RFSNode:
@@ -143,6 +146,78 @@ class RFSStructure:
         self.nodes = nodes
         self.config = config
         self.io = io
+        # Optional leaf-contiguous feature store (see repro.store); when
+        # attached, localized_knn and gathers use its batched kernels.
+        self.store: Optional["FeatureStore"] = None
+        # node_id -> (leaves, stacked lo bounds, stacked hi bounds)
+        self._leaf_geometry_cache: Dict[
+            int, Tuple[List[RFSNode], np.ndarray, np.ndarray]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Feature store attachment
+    # ------------------------------------------------------------------
+    def attach_store(
+        self, store: "FeatureStore", *, validate: bool = True
+    ) -> None:
+        """Attach a leaf-contiguous :class:`~repro.store.FeatureStore`.
+
+        Once attached, :meth:`localized_knn` scans the store's contiguous
+        per-leaf blocks with the batched kernels and
+        :meth:`vectors_for` gathers rows from the store matrix, so worker
+        processes can share the pages zero-copy when the store is
+        memory-mapped.  ``validate`` cross-checks shape and per-leaf
+        membership against this structure (skip only for stores freshly
+        built from the same structure).
+        """
+        if validate:
+            if store.dims != self.features.shape[1]:
+                raise ConfigurationError(
+                    f"store has {store.dims} dims, structure has "
+                    f"{self.features.shape[1]}"
+                )
+            if store.n_rows != self.root.size:
+                raise ConfigurationError(
+                    f"store holds {store.n_rows} rows, structure covers "
+                    f"{self.root.size} images"
+                )
+            for leaf in self._leaves_under(self.root):
+                start, stop = store.span_of(leaf.node_id)
+                ids = np.sort(store.id_of_row[start:stop])
+                if not np.array_equal(ids, leaf.item_ids):
+                    raise ConfigurationError(
+                        f"store span for leaf {leaf.node_id} does not "
+                        "match its member ids; rebuild the store"
+                    )
+        self.store = store
+
+    def detach_store(self) -> None:
+        """Detach the feature store (fall back to the in-memory path)."""
+        self.store = None
+
+    def invalidate_caches(self) -> None:
+        """Drop derived scan state after a structural mutation.
+
+        Incremental insert/remove changes leaf membership and bounding
+        boxes, so the cached leaf geometry is stale and any attached
+        store's row layout no longer matches the tree.  The store is
+        detached (rebuild it via ``FeatureStore.build``); queries keep
+        working through the in-memory path meanwhile.
+        """
+        self._leaf_geometry_cache.clear()
+        self.store = None
+
+    def vectors_for(self, item_ids: Sequence[int]) -> np.ndarray:
+        """Feature vectors for ``item_ids`` (store-backed when attached).
+
+        With a memory-mapped store attached this gathers from the shared
+        mapping — worker processes touch the same page-cache pages
+        instead of each holding a pickled copy of the feature matrix.
+        """
+        ids = np.asarray(item_ids, dtype=np.int64)
+        if self.store is not None:
+            return self.store.vectors_for(ids)
+        return self.features[ids]
 
     # ------------------------------------------------------------------
     # Construction
@@ -350,7 +425,18 @@ class RFSStructure:
         return len(self.all_representatives()) / max(1, self.root.size)
 
     def leaf_of_item(self, item_id: int) -> RFSNode:
-        """The leaf whose subtree contains ``item_id``."""
+        """The leaf whose subtree contains ``item_id``.
+
+        With a feature store attached this is a single binary search over
+        the leaf span starts instead of a per-level tree descent.
+        """
+        if self.store is not None:
+            try:
+                return self.nodes[self.store.leaf_node_of(int(item_id))]
+            except (IndexError, KeyError, NodeNotFoundError) as exc:
+                raise NodeNotFoundError(
+                    f"item {item_id} not present in the structure"
+                ) from exc
         node = self.root
         while not node.is_leaf:
             for child in node.children:
@@ -428,6 +514,13 @@ class RFSStructure:
         metric (e.g. from
         :class:`repro.retrieval.weighting.FamilyWeights`); the leaf
         MINDIST bound is weighted consistently, so pruning stays exact.
+
+        Leaf MINDIST pruning is vectorized: the leaves' stacked bounding
+        boxes are cached per search node and all bounds come from one
+        :func:`~repro.index.geometry.stacked_min_distances` call.  When a
+        feature store is attached the per-leaf scan additionally runs the
+        batched store kernels over contiguous blocks instead of the
+        gather-then-loop path.
         """
         if node.size == 0:
             raise EmptyIndexError(f"node {node.node_id} covers no images")
@@ -440,51 +533,160 @@ class RFSStructure:
                     f"{query.shape}"
                 )
 
-        def leaf_mindist(leaf: RFSNode) -> float:
-            if weights is None:
-                return leaf.mbr.min_distance(query)
-            below = np.maximum(leaf.mbr.lo - query, 0.0)
-            above = np.maximum(query - leaf.mbr.hi, 0.0)
-            gap = below + above
-            return float(np.sqrt(np.sum(weights * gap * gap)))
-
-        leaves = sorted(self._leaves_under(node), key=leaf_mindist)
+        leaves, los, his = self._leaf_geometry(node)
+        mindists = stacked_min_distances(los, his, query, weights)
+        order = np.argsort(mindists, kind="stable")
         take = min(k, node.size)
+        with get_tracer().span(
+            "localized_knn",
+            node=node.node_id,
+            k=int(k),
+            store=self.store.kind if self.store is not None else "none",
+        ) as span:
+            if self.store is not None:
+                return self._scan_leaves_store(
+                    leaves, mindists, order, query, take,
+                    weights=weights, io_category=io_category, span=span,
+                )
+            return self._scan_leaves(
+                leaves, mindists, order, query, take,
+                weights=weights, io_category=io_category, span=span,
+            )
+
+    def _scan_leaves(
+        self,
+        leaves: List[RFSNode],
+        mindists: np.ndarray,
+        order: np.ndarray,
+        query: np.ndarray,
+        take: int,
+        *,
+        weights: Optional[np.ndarray],
+        io_category: str,
+        span,
+    ) -> List[tuple[float, int]]:
+        """In-memory leaf scan (the original gather-then-loop path)."""
         best: List[tuple[float, int]] = []  # kept sorted ascending
         kth = np.inf
         leaves_read = 0
         distance_evals = 0
         physical_before = self.io.physical_reads
-        with get_tracer().span(
-            "localized_knn", node=node.node_id, k=int(k)
-        ) as span:
-            for leaf in leaves:
-                if len(best) >= take and leaf_mindist(leaf) > kth:
-                    break
-                self.io.access(leaf.node_id, io_category)
-                leaves_read += 1
-                members = self.features[leaf.item_ids]
-                distance_evals += members.shape[0]
-                diff = members - query
-                if weights is None:
-                    dists = np.sqrt(np.sum(diff * diff, axis=1))
-                else:
-                    dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
-                for dist, image_id in zip(dists, leaf.item_ids):
-                    best.append((float(dist), int(image_id)))
-                best.sort(key=lambda pair: (pair[0], pair[1]))
-                del best[take:]
-                if len(best) >= take:
-                    kth = best[-1][0]
-            span.set(
-                leaves_read=leaves_read,
-                distance_computations=distance_evals,
-                pages_read=self.io.physical_reads - physical_before,
-            )
+        for pos in order:
+            leaf = leaves[pos]
+            if len(best) >= take and mindists[pos] > kth:
+                break
+            self.io.access(leaf.node_id, io_category)
+            leaves_read += 1
+            members = self.features[leaf.item_ids]
+            distance_evals += members.shape[0]
+            diff = members - query
+            if weights is None:
+                dists = np.sqrt(np.sum(diff * diff, axis=1))
+            else:
+                dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
+            for dist, image_id in zip(dists, leaf.item_ids):
+                best.append((float(dist), int(image_id)))
+            best.sort(key=lambda pair: (pair[0], pair[1]))
+            del best[take:]
+            if len(best) >= take:
+                kth = best[-1][0]
+        span.set(
+            leaves_read=leaves_read,
+            distance_computations=distance_evals,
+            pages_read=self.io.physical_reads - physical_before,
+        )
         get_metrics().counter(
             "qd_distance_computations", "feature-vector distance evals"
         ).inc(distance_evals)
         return best
+
+    def _scan_leaves_store(
+        self,
+        leaves: List[RFSNode],
+        mindists: np.ndarray,
+        order: np.ndarray,
+        query: np.ndarray,
+        take: int,
+        *,
+        weights: Optional[np.ndarray],
+        io_category: str,
+        span,
+    ) -> List[tuple[float, int]]:
+        """Store-backed leaf scan over contiguous blocks.
+
+        Each leaf is one zero-copy slice of the store matrix; distances
+        come from the batched kernels (with cached squared norms), and the
+        top-``take`` selection is a single vectorized partition + lexsort
+        over the accumulated candidates instead of a per-member Python
+        loop.  Ties are broken by ascending id, matching the in-memory
+        path's ``(score, id)`` ordering.
+        """
+        from repro.store.kernels import (
+            point_distances,
+            weighted_point_distances,
+        )
+
+        store = self.store
+        assert store is not None
+        from repro.retrieval.topk import top_pairs
+
+        dist_parts: List[np.ndarray] = []
+        id_parts: List[np.ndarray] = []
+        count = 0
+        kth = np.inf
+        leaves_read = 0
+        distance_evals = 0
+        physical_before = self.io.physical_reads
+        for pos in order:
+            leaf = leaves[pos]
+            if count >= take and mindists[pos] > kth:
+                break
+            miss = self.io.access(
+                leaf.node_id,
+                io_category,
+                nbytes=store.block_nbytes(leaf.node_id),
+            )
+            store.record_block_access(leaf.node_id, miss)
+            leaves_read += 1
+            block, ids, sqnorms = store.node_block(leaf.node_id)
+            distance_evals += block.shape[0]
+            if weights is None:
+                dists = point_distances(
+                    block, query, block_sqnorms=sqnorms
+                )
+            else:
+                dists = weighted_point_distances(block, query, weights)
+            dist_parts.append(dists)
+            id_parts.append(ids)
+            count += dists.shape[0]
+            if count >= take:
+                pool = (
+                    dist_parts[0]
+                    if len(dist_parts) == 1
+                    else np.concatenate(dist_parts)
+                )
+                kth = float(np.partition(pool, take - 1)[take - 1])
+        span.set(
+            leaves_read=leaves_read,
+            distance_computations=distance_evals,
+            pages_read=self.io.physical_reads - physical_before,
+        )
+        return top_pairs(
+            np.concatenate(dist_parts), np.concatenate(id_parts), take
+        )
+
+    def _leaf_geometry(
+        self, node: RFSNode
+    ) -> Tuple[List[RFSNode], np.ndarray, np.ndarray]:
+        """Leaves under ``node`` with their stacked MBR bounds (cached)."""
+        cached = self._leaf_geometry_cache.get(node.node_id)
+        if cached is not None:
+            return cached
+        leaves = list(self._leaves_under(node))
+        los = np.stack([leaf.mbr.lo for leaf in leaves])
+        his = np.stack([leaf.mbr.hi for leaf in leaves])
+        self._leaf_geometry_cache[node.node_id] = (leaves, los, his)
+        return leaves, los, his
 
     def _leaves_under(self, node: RFSNode) -> Iterator[RFSNode]:
         if node.is_leaf:

@@ -28,13 +28,30 @@ from repro.index.rfs import RFSNode, RFSStructure
 _FORMAT_VERSION = 1
 
 
-def save_rfs(rfs: RFSStructure, path: str | Path) -> None:
+def save_rfs(
+    rfs: RFSStructure,
+    path: str | Path,
+    *,
+    store_dir: str | Path | None = None,
+) -> None:
     """Serialise an RFS structure to ``path`` (``.npz``).
 
     Stores per-node: id, level, parent id, item-id span, bounding box,
     centre, and representative list.  Item ids are stored as one flat
     array plus offsets; likewise representatives.
+
+    ``store_dir`` additionally persists the structure's attached
+    :class:`~repro.store.FeatureStore` (built on the fly when none is
+    attached) next to the tree, so :func:`load_rfs` can reopen it as a
+    memory map.
     """
+    if store_dir is not None:
+        from repro.store import FeatureStore
+
+        store = rfs.store
+        if store is None:
+            store = FeatureStore.build(rfs)
+        store.save(store_dir)
     nodes = list(rfs.iter_nodes())
     node_ids = np.array([n.node_id for n in nodes], dtype=np.int64)
     levels = np.array([n.level for n in nodes], dtype=np.int64)
@@ -91,11 +108,17 @@ def load_rfs(
     features: np.ndarray,
     *,
     io: DiskAccessCounter | None = None,
+    store_dir: str | Path | None = None,
+    store_mode: str = "memmap",
 ) -> RFSStructure:
     """Restore an RFS structure saved with :func:`save_rfs`.
 
     ``features`` must be the same matrix the structure was built over
     (checked by size and dimensionality against the stored boxes).
+
+    ``store_dir`` opens a feature store saved next to the tree (see
+    :func:`save_rfs`) in ``store_mode`` (``"memmap"`` or ``"inmem"``)
+    and attaches it, enabling the batched block-scan path.
     """
     source = Path(path)
     if not source.exists():
@@ -170,10 +193,17 @@ def load_rfs(
         representative_fraction=float(cfg_floats[0]),
         reinsert_fraction=float(cfg_floats[1]),
     )
-    return RFSStructure(
+    structure = RFSStructure(
         features=features,
         root=root,
         nodes=registry,
         config=config,
         io=io if io is not None else DiskAccessCounter(),
     )
+    if store_dir is not None:
+        from repro.store import FeatureStore
+
+        structure.attach_store(
+            FeatureStore.open(store_dir, mode=store_mode)
+        )
+    return structure

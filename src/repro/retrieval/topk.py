@@ -83,6 +83,40 @@ def top_k(
     )
 
 
+def top_pairs(
+    scores: np.ndarray, ids: np.ndarray, k: int
+) -> List[Tuple[float, int]]:
+    """Lowest-``k`` ``(score, id)`` pairs, ties broken by ascending id.
+
+    Fully vectorized (partition + lexsort) — the store-backed localized
+    k-NN uses it instead of the per-member Python append/sort loop.
+    Ties that straddle the ``k``-th score are resolved by id, exactly
+    matching a stable ``(score, id)`` sort of the full input.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    scores = np.asarray(scores)
+    ids = np.asarray(ids)
+    n = scores.shape[0]
+    take = min(k, n)
+    if take == 0:
+        return []
+    if n > take:
+        # Keep everything at or below the k-th score so boundary ties
+        # survive into the id tie-break.
+        kth = np.partition(scores, take - 1)[take - 1]
+        keep = scores <= kth
+        scores = scores[keep]
+        ids = ids[keep]
+    order = np.lexsort((ids, scores))[:take]
+    return list(
+        zip(
+            scores[order].astype(np.float64).tolist(),
+            ids[order].tolist(),
+        )
+    )
+
+
 def merge_ranked_lists(
     lists: Sequence[RankedList], k: int, dedupe: bool = True
 ) -> RankedList:

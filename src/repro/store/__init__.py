@@ -1,0 +1,52 @@
+"""Leaf-contiguous columnar feature store (perf layer over the RFS).
+
+The final round of Query Decomposition reduces to *localized* multipoint
+k-NN inside a handful of RFS leaves (§3.4).  The stock layout keeps the
+feature matrix in image-id order, so every leaf scan gathers its members
+via fancy indexing — a row-by-row copy — before any distance math runs.
+This package reorders the database once, at store-build time, into
+**leaf-contiguous blocks**: a permutation of the feature matrix such
+that every RFS node's vectors occupy one contiguous slice.  Leaf scans
+then serve zero-copy read-only views, the distance kernels fuse the
+whole block × representative computation into one pass, and the blocks
+persist via ``np.memmap`` so worker processes share the bytes through
+the page cache instead of pickled arrays.
+
+Pieces:
+
+* :class:`~repro.store.feature_store.FeatureStore` — the permuted
+  matrix, id↔row maps both ways, per-node spans, persistence
+  (``save`` / ``open_store``), and block-read accounting;
+* :mod:`repro.store.kernels` — fused batched distance kernels
+  (:func:`~repro.store.kernels.multipoint_distances` and friends) built
+  on the ``‖x‖² + ‖q‖² − 2·x·q`` expansion with cached row norms.
+
+Attach a store with :meth:`repro.index.rfs.RFSStructure.attach_store`;
+`localized_knn`, the final-round subqueries, and mark grouping all pick
+it up transparently, and rankings are bit-identical between the
+``inmem`` and ``memmap`` backings (same bytes, same kernel).
+"""
+
+from repro.store.feature_store import (
+    STORE_DTYPES,
+    STORE_FORMAT_VERSION,
+    FeatureStore,
+    open_store,
+)
+from repro.store.kernels import (
+    multipoint_distances,
+    pairwise_distances,
+    point_distances,
+    weighted_point_distances,
+)
+
+__all__ = [
+    "FeatureStore",
+    "STORE_DTYPES",
+    "STORE_FORMAT_VERSION",
+    "open_store",
+    "multipoint_distances",
+    "pairwise_distances",
+    "point_distances",
+    "weighted_point_distances",
+]

@@ -1,0 +1,426 @@
+"""The leaf-contiguous feature store.
+
+A :class:`FeatureStore` is a permuted copy of the database feature
+matrix in which every RFS node's member vectors form one contiguous
+block.  Leaves are laid out in tree (depth-first) order; since every
+internal node's member set is the concatenation of its children's, the
+contiguity property holds at *every* level — one ``(start, stop)`` span
+per node is enough to serve any subtree as a single slice.
+
+Two backings share the exact same bytes and code paths:
+
+``inmem``
+    The permuted matrix lives in RAM (built from the RFS, or loaded
+    from a saved store directory).
+``memmap``
+    The matrix is an ``np.memmap`` over ``features.bin`` opened
+    read-only; the OS page cache shares the mapping across every
+    process that opens (or forks with) it — zero copies, no pickling.
+
+Because both backings hold identical bytes and the same kernels consume
+them, rankings are bit-identical between the two (the store parity
+tests assert this under the serial, thread, and process executors).
+
+Disk layout of a saved store directory::
+
+    <dir>/features.bin   raw C-order matrix bytes (np.memmap target)
+    <dir>/meta.npz       permutation maps, node spans, shape, dtype
+
+Pickling contract (zero-copy worker sharing): a ``memmap`` store
+serialises only its metadata and path — unpickling reopens the mapping,
+so shipping a store (or an RFS holding one) to a worker process moves
+kilobytes of maps, never the feature matrix itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DatasetError, NodeNotFoundError
+from repro.obs import get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.index.rfs import RFSNode, RFSStructure
+
+STORE_FORMAT_VERSION = 1
+
+#: Dtypes a store may hold.  float32 halves memory traffic through the
+#: distance kernels; float64 matches the in-memory matrix bit-for-bit.
+STORE_DTYPES: Tuple[str, ...] = ("float32", "float64")
+
+_FEATURES_FILE = "features.bin"
+_META_FILE = "meta.npz"
+
+
+def _dfs_leaves(node: "RFSNode") -> Iterator["RFSNode"]:
+    """Leaves of a subtree in depth-first order (the layout order)."""
+    if not node.children:
+        yield node
+        return
+    for child in node.children:
+        yield from _dfs_leaves(child)
+
+
+class FeatureStore:
+    """Leaf-contiguous permuted feature matrix with per-node spans.
+
+    Parameters
+    ----------
+    matrix:
+        (n, d) permuted feature matrix (read-only, C-contiguous).
+    id_of_row:
+        (n,) image id stored at each row.
+    row_of_id:
+        (n,) row index holding each image id (inverse permutation).
+    spans:
+        ``node_id -> (start, stop)`` row span of every RFS node.
+    kind:
+        ``"inmem"`` or ``"memmap"``.
+    path:
+        Directory the store was opened from (memmap stores reopen from
+        it on unpickling); ``None`` for never-saved in-RAM stores.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        id_of_row: np.ndarray,
+        row_of_id: np.ndarray,
+        spans: Dict[int, Tuple[int, int]],
+        *,
+        kind: str = "inmem",
+        path: Optional[Path] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.id_of_row = id_of_row
+        self.row_of_id = row_of_id
+        self.spans = spans
+        self.kind = kind
+        self.path = Path(path) if path is not None else None
+        self._sqnorms: Optional[np.ndarray] = None
+        self._leaf_starts: Optional[np.ndarray] = None
+        self._leaf_node_ids: Optional[np.ndarray] = None
+        self.stats: Dict[str, int] = {
+            "block_reads": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "bytes_read": 0,
+        }
+        get_metrics().gauge(
+            "qd_store_bytes_mapped", "bytes of feature data backing the store"
+        ).set(float(matrix.nbytes))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        rfs: "RFSStructure",
+        *,
+        dtype: str | np.dtype = "float32",
+    ) -> "FeatureStore":
+        """Build a store from a built RFS structure.
+
+        Walks the leaves in depth-first order, concatenates their member
+        ids into the row permutation, and registers one contiguous span
+        per node (leaves *and* internal nodes — DFS order makes every
+        subtree contiguous).
+        """
+        dt = np.dtype(dtype)
+        if dt.name not in STORE_DTYPES:
+            raise ConfigurationError(
+                f"store dtype must be one of {STORE_DTYPES}, got {dt.name!r}"
+            )
+        leaves = list(_dfs_leaves(rfs.root))
+        id_of_row = np.concatenate(
+            [leaf.item_ids for leaf in leaves]
+        ).astype(np.int64, copy=False)
+        n = id_of_row.shape[0]
+        if n != rfs.root.size:
+            raise DatasetError(
+                f"leaf layout covers {n} rows but the root claims "
+                f"{rfs.root.size} images"
+            )
+        row_of_id = np.empty(n, dtype=np.int64)
+        row_of_id[id_of_row] = np.arange(n, dtype=np.int64)
+        spans: Dict[int, Tuple[int, int]] = {}
+        for node in rfs.iter_nodes():
+            rows = row_of_id[node.item_ids]
+            start = int(rows.min())
+            stop = int(rows.max()) + 1
+            if stop - start != node.size:
+                raise DatasetError(
+                    f"node {node.node_id} is not contiguous under the "
+                    f"leaf layout ({stop - start} rows for {node.size} "
+                    "members)"
+                )
+            spans[node.node_id] = (start, stop)
+        matrix = np.ascontiguousarray(rfs.features[id_of_row], dtype=dt)
+        matrix.setflags(write=False)
+        id_of_row.setflags(write=False)
+        row_of_id.setflags(write=False)
+        return cls(matrix, id_of_row, row_of_id, spans, kind="inmem")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of stored vectors."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def dims(self) -> int:
+        """Feature dimensionality."""
+        return int(self.matrix.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the matrix."""
+        return self.matrix.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of feature data backing the store."""
+        return int(self.matrix.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeatureStore(kind={self.kind!r}, shape="
+            f"{self.matrix.shape}, dtype={self.dtype.name}, "
+            f"nodes={len(self.spans)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Zero-copy access
+    # ------------------------------------------------------------------
+    def span_of(self, node_id: int) -> Tuple[int, int]:
+        """The ``(start, stop)`` row span of a node."""
+        try:
+            return self.spans[node_id]
+        except KeyError as exc:
+            raise NodeNotFoundError(
+                f"store holds no span for node {node_id}"
+            ) from exc
+
+    def node_block(
+        self, node_id: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(vectors, ids, sqnorms)`` views of a node's block.
+
+        All three are zero-copy slices of store-owned arrays (read-only;
+        for a memmap store the vectors live in the page cache).  The
+        squared row norms feed the fused kernels' distance expansion.
+        """
+        start, stop = self.span_of(node_id)
+        return (
+            self.matrix[start:stop],
+            self.id_of_row[start:stop],
+            self.sqnorms[start:stop],
+        )
+
+    def block_nbytes(self, node_id: int) -> int:
+        """Bytes of feature data in a node's block."""
+        start, stop = self.span_of(node_id)
+        return (stop - start) * self.dims * self.dtype.itemsize
+
+    @property
+    def sqnorms(self) -> np.ndarray:
+        """Cached per-row squared norms (computed once, lazily)."""
+        if self._sqnorms is None:
+            m = self.matrix
+            sq = np.einsum("ij,ij->i", m, m)
+            sq.setflags(write=False)
+            self._sqnorms = sq
+        return self._sqnorms
+
+    def vectors_for(self, ids: np.ndarray) -> np.ndarray:
+        """Gather the vectors of arbitrary image ids (small copies)."""
+        rows = self.row_of_id[np.asarray(ids, dtype=np.int64)]
+        return self.matrix[rows]
+
+    def leaf_node_of(self, image_id: int) -> int:
+        """Leaf node id containing ``image_id`` (binary-search lookup).
+
+        Replaces the per-item tree descent of
+        :meth:`repro.index.rfs.RFSStructure.leaf_of_item` with one
+        ``searchsorted`` over the leaf span starts.
+        """
+        if not 0 <= image_id < self.n_rows:
+            raise NodeNotFoundError(
+                f"item {image_id} not present in the store"
+            )
+        if self._leaf_starts is None:
+            # Leaves are exactly the spans that partition [0, n): an
+            # inner node's span strictly contains its children's, so
+            # the minimal-width span starting at each leaf start is the
+            # leaf.  Collect spans, keep the narrowest per start.
+            narrowest: Dict[int, Tuple[int, int]] = {}
+            for node_id, (start, stop) in self.spans.items():
+                held = narrowest.get(start)
+                if held is None or (stop - start) < (held[1] - held[0]):
+                    narrowest[start] = (stop, node_id)
+            starts = np.array(sorted(narrowest), dtype=np.int64)
+            self._leaf_starts = starts
+            self._leaf_node_ids = np.array(
+                [narrowest[int(s)][1] for s in starts], dtype=np.int64
+            )
+        row = int(self.row_of_id[image_id])
+        idx = int(
+            np.searchsorted(self._leaf_starts, row, side="right") - 1
+        )
+        return int(self._leaf_node_ids[idx])
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def record_block_access(self, node_id: int, physical: bool) -> None:
+        """Account one block read against the store's cache counters.
+
+        ``physical`` comes from the disk model
+        (:meth:`repro.index.diskmodel.DiskAccessCounter.access` returns
+        whether the page missed the buffer pool), so the store's
+        hit/miss split mirrors the paged-I/O simulation.
+        """
+        self.stats["block_reads"] += 1
+        metrics = get_metrics()
+        if physical:
+            nbytes = self.block_nbytes(node_id)
+            self.stats["cache_misses"] += 1
+            self.stats["bytes_read"] += nbytes
+            metrics.counter(
+                "qd_store_block_misses",
+                "store block reads that missed the buffer pool",
+            ).inc()
+            metrics.counter(
+                "qd_store_bytes_read",
+                "feature bytes paged in by store block misses",
+            ).inc(nbytes)
+        else:
+            self.stats["cache_hits"] += 1
+            metrics.counter(
+                "qd_store_block_hits",
+                "store block reads served from the buffer pool",
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist the store to ``directory`` (created if missing)."""
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        np.ascontiguousarray(self.matrix).tofile(target / _FEATURES_FILE)
+        node_ids = np.array(sorted(self.spans), dtype=np.int64)
+        starts = np.array(
+            [self.spans[int(i)][0] for i in node_ids], dtype=np.int64
+        )
+        stops = np.array(
+            [self.spans[int(i)][1] for i in node_ids], dtype=np.int64
+        )
+        np.savez_compressed(
+            target / _META_FILE,
+            format_version=np.int64(STORE_FORMAT_VERSION),
+            shape=np.array(self.matrix.shape, dtype=np.int64),
+            dtype=np.array(self.dtype.name),
+            id_of_row=self.id_of_row,
+            row_of_id=self.row_of_id,
+            span_node_ids=node_ids,
+            span_starts=starts,
+            span_stops=stops,
+        )
+        self.path = target
+        return target
+
+    @classmethod
+    def open(
+        cls, directory: str | Path, *, mode: str = "memmap"
+    ) -> "FeatureStore":
+        """Open a saved store; ``mode`` is ``"memmap"`` or ``"inmem"``.
+
+        ``memmap`` maps ``features.bin`` read-only (cold start: nothing
+        is read until a block is touched); ``inmem`` reads the same
+        bytes fully into RAM.  Either way the matrix holds identical
+        bits, so rankings cannot differ between the two modes.
+        """
+        if mode not in ("memmap", "inmem"):
+            raise ConfigurationError(
+                f"store mode must be 'memmap' or 'inmem', got {mode!r}"
+            )
+        source = Path(directory)
+        meta_path = source / _META_FILE
+        bin_path = source / _FEATURES_FILE
+        if not meta_path.exists() or not bin_path.exists():
+            raise DatasetError(f"no feature store at {source}")
+        with np.load(meta_path) as meta:
+            version = int(meta["format_version"])
+            if version != STORE_FORMAT_VERSION:
+                raise DatasetError(
+                    f"unsupported store format version {version}"
+                )
+            shape = tuple(int(v) for v in meta["shape"])
+            dtype = np.dtype(str(meta["dtype"]))
+            id_of_row = meta["id_of_row"].copy()
+            row_of_id = meta["row_of_id"].copy()
+            spans = {
+                int(node_id): (int(start), int(stop))
+                for node_id, start, stop in zip(
+                    meta["span_node_ids"],
+                    meta["span_starts"],
+                    meta["span_stops"],
+                )
+            }
+        expected = shape[0] * shape[1] * dtype.itemsize
+        actual = bin_path.stat().st_size
+        if actual != expected:
+            raise DatasetError(
+                f"store data file holds {actual} bytes, expected "
+                f"{expected} for shape {shape} {dtype.name}"
+            )
+        if mode == "memmap":
+            matrix: np.ndarray = np.memmap(
+                bin_path, dtype=dtype, mode="r", shape=shape
+            )
+        else:
+            matrix = np.fromfile(bin_path, dtype=dtype).reshape(shape)
+            matrix.setflags(write=False)
+        id_of_row.setflags(write=False)
+        row_of_id.setflags(write=False)
+        return cls(
+            matrix, id_of_row, row_of_id, spans, kind=mode, path=source
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling — the zero-copy worker-sharing contract
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_sqnorms"] = None
+        state["_leaf_starts"] = None
+        state["_leaf_node_ids"] = None
+        if self.kind == "memmap" and self.path is not None:
+            # Ship the path, not the bytes: the worker reopens the
+            # mapping and shares pages through the OS cache.
+            state["matrix"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        if self.matrix is None:
+            if self.path is None:  # pragma: no cover - defensive
+                raise DatasetError(
+                    "cannot reopen a memmap store without a path"
+                )
+            reopened = FeatureStore.open(self.path, mode="memmap")
+            self.matrix = reopened.matrix
+
+
+def open_store(
+    directory: str | Path, *, mode: str = "memmap"
+) -> FeatureStore:
+    """Module-level alias for :meth:`FeatureStore.open`."""
+    return FeatureStore.open(directory, mode=mode)

@@ -190,5 +190,5 @@ class TestDiskAccessCounter:
         assert counter.per_category == {}
         assert counter.per_category_logical == {}
         assert counter.snapshot() == {
-            "physical_reads": 0, "logical_reads": 0
+            "physical_reads": 0, "logical_reads": 0, "bytes_read": 0
         }
