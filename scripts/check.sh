@@ -75,3 +75,19 @@ if grep -qE '[1-9][0-9]* skipped' "$ROUNDTRIP_LOG"; then
     echo "== store roundtrip tests were skipped; failing ==" >&2
     exit 1
 fi
+
+# The cache-invalidation tests guard the staleness contract (a cached
+# subquery served across an incremental mutation or a store swap would
+# silently corrupt rankings); like the roundtrip gate, they must run.
+echo "== cache invalidation gate =="
+INVALIDATION_LOG=/tmp/qd-check-invalidation.log
+PYTHONPATH=src python -m pytest tests/test_cache.py -k Invalidation \
+    -q -rs | tee "$INVALIDATION_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$INVALIDATION_LOG"; then
+    echo "== no cache invalidation test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$INVALIDATION_LOG"; then
+    echo "== cache invalidation tests were skipped; failing ==" >&2
+    exit 1
+fi

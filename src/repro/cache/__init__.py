@@ -1,0 +1,17 @@
+"""Cross-session result caching for the QD serving path.
+
+See :mod:`repro.cache.result_cache` for the cache design (canonical
+subquery digests, RFS structure versioning, byte-capped LRU).
+"""
+
+from repro.cache.result_cache import (
+    CachedSubquery,
+    SubqueryResultCache,
+    subquery_cache_key,
+)
+
+__all__ = [
+    "CachedSubquery",
+    "SubqueryResultCache",
+    "subquery_cache_key",
+]

@@ -1,0 +1,276 @@
+"""Cross-session subquery result cache with versioned invalidation.
+
+Under a many-user workload the final-round localized k-NN subqueries are
+highly repetitive: popular semantic regions (the same RFS leaf, the same
+relevant-representative sets) are hit by many independent sessions, yet
+each session recomputes the same block scans from scratch.  The
+:class:`SubqueryResultCache` eliminates that redundancy: a thread-safe,
+byte-capped LRU keyed by a canonical digest of everything the subquery's
+answer depends on —
+
+* the RFS node the marks grouped into,
+* the query-point matrix (actual bytes, so a float32 store and the raw
+  float64 matrix can never alias),
+* the per-dimension feature weights (or their absence),
+* the requested result count, and
+* the boundary-expansion threshold.
+
+Every entry is stamped with the **RFS structure version**
+(:attr:`repro.index.rfs.RFSStructure.structure_version`) current at
+write time.  Incremental insert/remove and store attach/detach bump the
+version, so stale entries are rejected at *read* time — no global flush,
+no invalidation fan-out: an entry written against an old tree simply
+stops matching and is dropped on its next lookup (or evicted by LRU
+pressure, whichever comes first).
+
+A hit returns the subquery's search node, centroid, and ranked list —
+the boundary expansion and the block scan are skipped entirely.  Because
+every executor path funnels through the same computation, a cached entry
+is interchangeable between the serial, thread, process, and batched
+serving paths (process-pool caveat: workers run against a forked
+snapshot of the cache, so their insertions stay in the child — hits
+still work for entries warm at fork time).
+
+Metrics: ``qd_cache_hits`` / ``qd_cache_misses`` / ``qd_cache_evictions``
+counters and the ``qd_cache_bytes`` gauge mirror the ``stats`` dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs import get_metrics
+
+#: Fixed per-entry bookkeeping charge (key, dict slot, dataclass) added
+#: to the measured payload size when accounting against the byte cap.
+ENTRY_OVERHEAD_BYTES = 256
+
+#: Bytes charged per ``(score, id)`` pair of a cached ranked list (two
+#: boxed numbers plus the tuple holding them).
+RANKED_PAIR_BYTES = 88
+
+
+def subquery_cache_key(
+    node_id: int,
+    query_points: np.ndarray,
+    requested: int,
+    boundary_threshold: float,
+    weights: Optional[np.ndarray] = None,
+) -> str:
+    """Canonical digest of one localized subquery.
+
+    ``query_points`` is digested as raw bytes together with its shape and
+    dtype, so the same marks gathered from a float32 feature store and
+    from the float64 in-memory matrix produce *different* keys (their
+    distances differ in the last bits, so their results must too).
+    ``requested`` is the uncapped fetch size (quota + over-fetch); the
+    cap against the search-node size is deterministic given the
+    structure version, so it does not belong in the key.
+    """
+    points = np.ascontiguousarray(query_points)
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(
+        struct.pack("<qqqd", int(node_id), int(requested),
+                    points.shape[0], float(boundary_threshold))
+    )
+    digest.update(str(points.dtype).encode())
+    digest.update(struct.pack("<q", points.shape[1] if points.ndim > 1 else 1))
+    digest.update(points.tobytes())
+    if weights is None:
+        digest.update(b"\x00no-weights")
+    else:
+        w = np.ascontiguousarray(weights)
+        digest.update(b"\x01" + str(w.dtype).encode())
+        digest.update(w.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedSubquery:
+    """One cached subquery answer.
+
+    ``ranked`` is stored as an immutable tuple; readers receive a fresh
+    list copy so downstream merge code can never corrupt the cache.
+    """
+
+    search_node_id: int
+    centroid: np.ndarray
+    ranked: Tuple[Tuple[float, int], ...]
+    version: int
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory charged against the cache's byte cap."""
+        return (
+            ENTRY_OVERHEAD_BYTES
+            + int(self.centroid.nbytes)
+            + RANKED_PAIR_BYTES * len(self.ranked)
+        )
+
+
+class SubqueryResultCache:
+    """Thread-safe byte-capped LRU over :class:`CachedSubquery` entries.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total payload budget.  Inserting past it evicts least-recently
+        used entries; an entry larger than the whole budget is simply
+        not cached.
+
+    Attributes
+    ----------
+    stats:
+        ``hits`` / ``misses`` / ``evictions`` / ``stale_evictions`` /
+        ``inserts`` counters plus the live ``bytes`` and ``entries``
+        occupancy.  ``stale_evictions`` (entries dropped because their
+        structure version no longer matched) are also included in
+        ``evictions``.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[str, CachedSubquery]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "stale_evictions": 0,
+            "inserts": 0,
+            "bytes": 0,
+            "entries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, version: int) -> Optional[CachedSubquery]:
+        """Look up ``key``; entries from another structure version miss.
+
+        A version mismatch drops the entry immediately (it can never
+        become valid again — versions only move forward) and counts as
+        both a miss and a stale eviction.
+        """
+        metrics = get_metrics()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.version != version:
+                del self._entries[key]
+                self.stats["bytes"] -= entry.nbytes
+                self.stats["entries"] -= 1
+                self.stats["evictions"] += 1
+                self.stats["stale_evictions"] += 1
+                entry = None
+                metrics.counter(
+                    "qd_cache_evictions", "cache entries dropped"
+                ).inc()
+            if entry is None:
+                self.stats["misses"] += 1
+                metrics.counter(
+                    "qd_cache_misses", "subquery cache misses"
+                ).inc()
+                self._set_bytes_gauge(metrics)
+                return None
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+            metrics.counter("qd_cache_hits", "subquery cache hits").inc()
+            return entry
+
+    def put(
+        self,
+        key: str,
+        version: int,
+        search_node_id: int,
+        centroid: np.ndarray,
+        ranked: List[Tuple[float, int]],
+    ) -> None:
+        """Insert (or refresh) one subquery answer at ``version``."""
+        frozen = np.array(centroid, dtype=np.float64, copy=True)
+        frozen.setflags(write=False)
+        entry = CachedSubquery(
+            search_node_id=int(search_node_id),
+            centroid=frozen,
+            ranked=tuple(
+                (float(score), int(image_id)) for score, image_id in ranked
+            ),
+            version=int(version),
+        )
+        if entry.nbytes > self.capacity_bytes:
+            return  # would evict the whole cache for one oversized entry
+        metrics = get_metrics()
+        with self._lock:
+            held = self._entries.pop(key, None)
+            if held is not None:
+                self.stats["bytes"] -= held.nbytes
+                self.stats["entries"] -= 1
+            self._entries[key] = entry
+            self.stats["bytes"] += entry.nbytes
+            self.stats["entries"] += 1
+            self.stats["inserts"] += 1
+            evicted = 0
+            while self.stats["bytes"] > self.capacity_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self.stats["bytes"] -= victim.nbytes
+                self.stats["entries"] -= 1
+                self.stats["evictions"] += 1
+                evicted += 1
+            if evicted:
+                metrics.counter(
+                    "qd_cache_evictions", "cache entries dropped"
+                ).inc(evicted)
+            self._set_bytes_gauge(metrics)
+
+    def _set_bytes_gauge(self, metrics) -> None:
+        metrics.gauge(
+            "qd_cache_bytes", "bytes held by the subquery result cache"
+        ).set(float(self.stats["bytes"]))
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (occupancy stats reset, counters kept)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats["bytes"] = 0
+            self.stats["entries"] = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of ``stats`` (safe for delta arithmetic)."""
+        with self._lock:
+            return dict(self.stats)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubqueryResultCache(entries={self.stats['entries']}, "
+            f"bytes={self.stats['bytes']}/{self.capacity_bytes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling: a forked/pickled copy gets a fresh lock (the cache rides
+    # inside an RFSStructure that fork-based workers inherit).
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_entries"] = OrderedDict(self._entries)
+            state["stats"] = dict(self.stats)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_lock"] = threading.Lock()

@@ -102,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--rounds", type=int, default=3)
     _add_exec_flags(p_query)
     _add_store_flags(p_query)
+    _add_cache_flags(p_query)
     _add_obs_flags(p_query)
 
     p_info = sub.add_parser("info", help="describe a database file")
@@ -119,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_int.add_argument("--seed", type=int, default=7)
     _add_exec_flags(p_int)
     _add_store_flags(p_int)
+    _add_cache_flags(p_int)
     _add_obs_flags(p_int)
 
     p_exp = sub.add_parser(
@@ -133,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--trials", type=int, default=3)
     _add_exec_flags(p_exp)
     _add_store_flags(p_exp)
+    _add_cache_flags(p_exp)
     _add_obs_flags(p_exp)
 
     return parser
@@ -171,6 +174,40 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="saved store directory (required with --store memmap)",
     )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared result-cache flags (query/interactive/experiment)."""
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "attach a cross-session subquery result cache (repeat "
+            "queries skip block scans; invalidated by structure version)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="result-cache LRU budget in MiB (default: 64)",
+    )
+
+
+def _attach_cache_from_args(
+    rfs: RFSStructure, args: argparse.Namespace
+) -> None:
+    """Attach the subquery result cache ``--cache`` asks for, if any."""
+    if not getattr(args, "cache", False):
+        return
+    from repro.cache import SubqueryResultCache
+    from repro.config import CacheConfig
+
+    config = CacheConfig(
+        enabled=True, capacity_mb=getattr(args, "cache_mb", 64.0)
+    )
+    rfs.attach_cache(SubqueryResultCache(config.capacity_bytes))
 
 
 def _attach_store_from_args(
@@ -311,6 +348,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             database, qd_config=qd_config, seed=args.seed
         )
     _attach_store_from_args(engine.rfs, args)
+    _attach_cache_from_args(engine.rfs, args)
     query = get_query(args.query)
     user = SimulatedUser(database, query, seed=args.seed)
     k = args.k or database.ground_truth_size(
@@ -355,6 +393,7 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
             database, qd_config=qd_config, seed=args.seed
         )
     _attach_store_from_args(engine.rfs, args)
+    _attach_cache_from_args(engine.rfs, args)
     with _obs_scope(args), engine:
         run_console_session(
             engine,
@@ -385,6 +424,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             database, qd_config=_qd_config_from_args(args), seed=args.seed
         )
         _attach_store_from_args(engine.rfs, args)
+        _attach_cache_from_args(engine.rfs, args)
         with engine:
             if args.name == "table1":
                 print(

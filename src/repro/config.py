@@ -222,6 +222,41 @@ class StoreConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Parameters of the cross-session subquery result cache.
+
+    Attributes
+    ----------
+    enabled:
+        Whether an engine built from a :class:`SystemConfig` (or the
+        CLI ``--cache`` flag) attaches a
+        :class:`repro.cache.SubqueryResultCache` to its RFS structure.
+        Disabled by default — caching only pays off when sessions
+        repeat subqueries (concurrent traffic over hot neighborhoods).
+    capacity_mb:
+        Byte budget of the cache's LRU, in mebibytes (CLI
+        ``--cache-mb``).  Least-recently-used entries are evicted past
+        it; entries stamped with an outdated RFS structure version are
+        dropped on lookup regardless of the budget.
+    """
+
+    enabled: bool = False
+    capacity_mb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ConfigurationError(
+                f"cache capacity_mb must be positive, got "
+                f"{self.capacity_mb}"
+            )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """The LRU byte budget (``capacity_mb`` converted to bytes)."""
+        return int(self.capacity_mb * 1024 * 1024)
+
+
+@dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of the synthetic Corel-like dataset.
 
@@ -260,3 +295,4 @@ class SystemConfig:
     qd: QDConfig = field(default_factory=QDConfig)
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)

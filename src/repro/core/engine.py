@@ -9,12 +9,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.config import QDConfig, RFSConfig
+from repro.config import CacheConfig, QDConfig, RFSConfig
 from repro.errors import ConfigurationError
 from repro.core.presentation import QueryResult
 from repro.core.session import FeedbackSession
 from repro.datasets.database import ImageDatabase
-from repro.exec import SubqueryExecutor, resolve_executor
+from repro.exec import (
+    BatchQuery,
+    SubqueryExecutor,
+    resolve_executor,
+    run_final_round_batch,
+)
 from repro.index.diskmodel import DiskAccessCounter
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
@@ -22,6 +27,7 @@ from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.timing import TimingLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.cache import SubqueryResultCache
     from repro.store import FeatureStore
 
 # A scripted user: receives the displayed image ids, returns the relevant
@@ -78,6 +84,7 @@ class QueryDecompositionEngine:
         io: Optional[DiskAccessCounter] = None,
         store: Optional[str] = None,
         store_dtype: str = "float32",
+        cache: Optional[CacheConfig] = None,
     ) -> "QueryDecompositionEngine":
         """Construct the RFS structure for ``database`` and wrap it.
 
@@ -89,6 +96,10 @@ class QueryDecompositionEngine:
         ``build-store`` command), then ``attach_store(FeatureStore.open
         (dir))`` or pass ``store=`` to the constructor.  The default
         (``None``) keeps the original in-memory path untouched.
+
+        ``cache`` optionally attaches a cross-session subquery result
+        cache (see :mod:`repro.cache`) sized by
+        :attr:`CacheConfig.capacity_mb` when ``cache.enabled`` is true.
         """
         rfs = RFSStructure.build(
             database.features, rfs_config, seed=seed, io=io
@@ -105,6 +116,10 @@ class QueryDecompositionEngine:
                 FeatureStore.build(rfs, dtype=store_dtype),
                 validate=False,
             )
+        if cache is not None and cache.enabled:
+            from repro.cache import SubqueryResultCache
+
+            rfs.attach_cache(SubqueryResultCache(cache.capacity_bytes))
         return cls(database, rfs, qd_config)
 
     @property
@@ -122,6 +137,15 @@ class QueryDecompositionEngine:
         self.rfs.attach_store(store)
 
     @property
+    def result_cache(self) -> Optional["SubqueryResultCache"]:
+        """The attached subquery result cache, if any."""
+        return self.rfs.result_cache
+
+    def attach_cache(self, cache: "SubqueryResultCache") -> None:
+        """Attach a subquery result cache to the RFS structure."""
+        self.rfs.attach_cache(cache)
+
+    @property
     def executor(self) -> SubqueryExecutor:
         """The engine's subquery executor (built from config on demand).
 
@@ -133,10 +157,21 @@ class QueryDecompositionEngine:
         return self._executor
 
     def close(self) -> None:
-        """Release the executor's worker pool (safe to call twice)."""
+        """Release the engine's pooled resources (safe to call twice).
+
+        Closes the executor's worker pool and, when a memory-mapped
+        feature store is attached, detaches it and closes the mapping —
+        a long-running server that cycles engines would otherwise leak
+        one file handle per engine.  In-RAM stores are left attached
+        (they hold no OS resources and may be shared).
+        """
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        store = self.rfs.store
+        if store is not None and store.kind == "memmap":
+            self.rfs.detach_store()
+            store.close()
 
     def __enter__(self) -> "QueryDecompositionEngine":
         return self
@@ -148,6 +183,32 @@ class QueryDecompositionEngine:
         """Start an interactive feedback session."""
         return FeedbackSession(
             self.rfs, self.config, seed=seed, executor=self.executor
+        )
+
+    def run_batch(
+        self,
+        queries: Sequence[BatchQuery | tuple],
+        *,
+        rounds_used: int = 0,
+    ) -> list[QueryResult]:
+        """Serve many sessions' final rounds as one coalesced batch.
+
+        Each entry of ``queries`` is a :class:`repro.exec.BatchQuery`
+        (or a ``(marked_ids, k)`` tuple).  Subqueries are first resolved
+        against the attached result cache; the remaining misses are
+        grouped by search node and executed with one block read per
+        leaf per group (see :mod:`repro.exec.batch`).  Results come
+        back in submission order, each bit-identical to running that
+        session's :meth:`FeedbackSession.finalize` alone.
+        """
+        normalized = [
+            query
+            if isinstance(query, BatchQuery)
+            else BatchQuery(marked_ids=tuple(query[0]), k=int(query[1]))
+            for query in queries
+        ]
+        return run_final_round_batch(
+            self.rfs, normalized, self.config, rounds_used=rounds_used
         )
 
     def run_scripted(

@@ -18,14 +18,20 @@ Implements §3.3 and §3.4 of the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config import QDConfig
 from repro.core.presentation import QueryResult, ResultGroup
 from repro.errors import QueryError
-from repro.exec import SubqueryExecutor, SubqueryTask, resolve_executor
+from repro.exec import (
+    SubqueryExecutor,
+    SubqueryOutcome,
+    SubqueryTask,
+    resolve_executor,
+)
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
 from repro.retrieval.topk import RankedList, proportional_allocation
@@ -40,6 +46,201 @@ def group_marks_by_leaf(
         leaf = rfs.leaf_of_item(image_id)
         groups.setdefault(leaf.node_id, []).append(image_id)
     return groups
+
+
+@dataclass(frozen=True)
+class FinalRoundPlan:
+    """The deterministic task list of one final round.
+
+    Produced by :func:`plan_final_round`, consumed by
+    :func:`execute_final_round` (serial/thread/process fan-out) and by
+    the batch scheduler (:func:`repro.exec.run_final_round_batch`),
+    which coalesces the tasks of many sessions.  The task order — larger
+    allocations first, ties by leaf id — is part of the ranking
+    contract: the sequential dedup consumes outcomes in this order, so
+    any executor that preserves it reproduces the serial merge exactly.
+    """
+
+    k: int
+    tasks: Tuple[SubqueryTask, ...]
+    uniform_merge: bool
+
+
+def plan_final_round(
+    rfs: RFSStructure,
+    marked_ids: Sequence[int],
+    k: int,
+    *,
+    uniform_merge: bool = False,
+) -> FinalRoundPlan:
+    """Group the marks, allocate result quotas, and order the tasks."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    by_leaf = group_marks_by_leaf(rfs, marked_ids)
+    if not by_leaf:
+        raise QueryError(
+            "no relevant images were identified; cannot run the final "
+            "localized queries"
+        )
+    leaf_ids = sorted(by_leaf)
+    if uniform_merge:
+        weights = [1] * len(leaf_ids)
+    else:
+        weights = [len(by_leaf[leaf_id]) for leaf_id in leaf_ids]
+    allocation = proportional_allocation(weights, k)
+    # Process larger allocations first so overlap after boundary expansion
+    # resolves in favour of the more heavily marked subquery.
+    order = sorted(
+        range(len(leaf_ids)), key=lambda i: (-allocation[i], leaf_ids[i])
+    )
+    tasks = tuple(
+        SubqueryTask(
+            leaf_id=leaf_ids[i],
+            quota=allocation[i],
+            query_ids=tuple(by_leaf[leaf_ids[i]]),
+        )
+        for i in order
+        if allocation[i] > 0
+    )
+    return FinalRoundPlan(k=k, tasks=tasks, uniform_merge=uniform_merge)
+
+
+def merge_outcomes(
+    rfs: RFSStructure,
+    plan: FinalRoundPlan,
+    outcomes: Sequence[SubqueryOutcome],
+    *,
+    rounds_used: int,
+    dim_weights: Optional[np.ndarray] = None,
+    merge_span=None,
+) -> QueryResult:
+    """Sequential dedup/merge + top-up over already-executed outcomes.
+
+    ``outcomes`` must align with ``plan.tasks`` (submission order).
+    This is the single merge implementation shared by the serial path
+    and the batch scheduler, so a coalesced batch cannot drift from the
+    per-session result byte-for-byte.  ``merge_span`` is an *already
+    active* span to record into (:func:`execute_final_round` passes the
+    span that also wrapped the fan-out); when omitted a fresh ``merge``
+    span is opened.
+    """
+    if merge_span is None:
+        with get_tracer().span(
+            "merge",
+            k=plan.k,
+            groups=len(plan.tasks),
+            strategy="uniform" if plan.uniform_merge else "proportional",
+        ) as span:
+            payloads = _merge_into_payloads(
+                rfs, plan, outcomes, dim_weights, span
+            )
+    else:
+        payloads = _merge_into_payloads(
+            rfs, plan, outcomes, dim_weights, merge_span
+        )
+    groups = [
+        ResultGroup(
+            leaf_node_id=payload["leaf_id"],
+            search_node_id=payload["search_node"].node_id,
+            query_image_ids=payload["query_ids"],
+            items=RankedList.from_pairs(payload["results"]),
+        )
+        for payload in payloads
+    ]
+    return QueryResult(groups=groups, rounds_used=rounds_used)
+
+
+def _merge_into_payloads(
+    rfs: RFSStructure,
+    plan: FinalRoundPlan,
+    outcomes: Sequence[SubqueryOutcome],
+    dim_weights: Optional[np.ndarray],
+    span,
+) -> List[dict]:
+    """The dedup + top-up body, recording into an active span."""
+    merge_candidates = get_metrics().histogram(
+        "qd_merge_candidates", "candidates fetched per merge decision"
+    )
+    k = plan.k
+    claimed: Set[int] = set()
+    payloads: List[dict] = []
+    # Sequential, order-fixed dedup: later (smaller-quota) groups
+    # yield overlapping images to earlier ones, exactly as in the
+    # serial implementation.
+    for task, outcome in zip(plan.tasks, outcomes):
+        fresh = [
+            (dist, image_id)
+            for dist, image_id in outcome.ranked
+            if image_id not in claimed
+        ][: task.quota]
+        claimed.update(image_id for _, image_id in fresh)
+        span.event(
+            "merge_decision",
+            leaf=task.leaf_id,
+            quota=task.quota,
+            fetched=len(outcome.ranked),
+            taken=len(fresh),
+            deduplicated=len(outcome.ranked) - len(fresh),
+        )
+        merge_candidates.observe(len(outcome.ranked))
+        payloads.append(
+            {
+                "leaf_id": task.leaf_id,
+                "search_node": rfs.get_node(outcome.search_node_id),
+                "centroid": outcome.centroid,
+                "query_ids": list(task.query_ids),
+                "results": fresh,
+            }
+        )
+
+    # Top-up passes: if duplicates or tiny subclusters left the total
+    # short of k, widen the groups' result lists; once a group's
+    # search node is exhausted, promote it to its parent (wider
+    # locality) and keep going — so a full k results are returned
+    # whenever the database holds that many images.
+    total = sum(len(p["results"]) for p in payloads)
+    topup_passes = 0
+    topup_added = 0
+    while total < k:
+        added = 0
+        topup_passes += 1
+        for payload in payloads:
+            if total >= k:
+                break
+            node = payload["search_node"]
+            have = {image_id for _, image_id in payload["results"]}
+            # Fetch just enough to cover this group's share of the
+            # deficit (plus what is already held and possibly claimed
+            # elsewhere) — never a full subtree ranking.
+            deficit = k - total
+            fetch = min(node.size, len(have) + deficit + 16)
+            ranked = rfs.localized_knn(
+                node, payload["centroid"], fetch, weights=dim_weights
+            )
+            for dist, image_id in ranked:
+                if total >= k:
+                    break
+                if image_id in claimed or image_id in have:
+                    continue
+                payload["results"].append((dist, image_id))
+                claimed.add(image_id)
+                total += 1
+                added += 1
+        topup_added += added
+        if total >= k:
+            break
+        promoted = False
+        for payload in payloads:
+            parent = payload["search_node"].parent
+            if parent is not None:
+                payload["search_node"] = parent
+                promoted = True
+        if added == 0 and not promoted:
+            break  # the whole database is smaller than k
+    span.set(
+        total=total, topup_passes=topup_passes, topup_added=topup_added
+    )
+    return payloads
 
 
 def execute_final_round(
@@ -88,147 +289,48 @@ def execute_final_round(
         When omitted, one is built from ``config`` and closed before
         returning.
     """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    by_leaf = group_marks_by_leaf(rfs, marked_ids)
-    if not by_leaf:
-        raise QueryError(
-            "no relevant images were identified; cannot run the final "
-            "localized queries"
-        )
-    leaf_ids = sorted(by_leaf)
-    if uniform_merge:
-        weights = [1] * len(leaf_ids)
-    else:
-        weights = [len(by_leaf[leaf_id]) for leaf_id in leaf_ids]
-    allocation = proportional_allocation(weights, k)
-
-    tracer = get_tracer()
-    metrics = get_metrics()
-    merge_candidates = metrics.histogram(
-        "qd_merge_candidates", "candidates fetched per merge decision"
-    )
-    groups: List[ResultGroup] = []
-    claimed: Set[int] = set()
-    payloads: List[dict] = []
-    # Process larger allocations first so overlap after boundary expansion
-    # resolves in favour of the more heavily marked subquery.
-    order = sorted(
-        range(len(leaf_ids)), key=lambda i: (-allocation[i], leaf_ids[i])
-    )
-    tasks = [
-        SubqueryTask(
-            leaf_id=leaf_ids[i],
-            quota=allocation[i],
-            query_ids=tuple(by_leaf[leaf_ids[i]]),
-        )
-        for i in order
-        if allocation[i] > 0
-    ]
+    plan = plan_final_round(rfs, marked_ids, k, uniform_merge=uniform_merge)
     owned_executor = executor is None
     if owned_executor:
         executor = resolve_executor(config)
-    merge_span = tracer.span(
+    cache = rfs.result_cache
+    cache_before = cache.snapshot() if cache is not None else None
+    merge_span = get_tracer().span(
         "merge",
         k=k,
-        groups=len(leaf_ids),
+        groups=len(plan.tasks),
         strategy="uniform" if uniform_merge else "proportional",
         executor=executor.name,
         workers=executor.workers,
         store=rfs.store.kind if rfs.store is not None else "none",
+        cache="on" if cache is not None else "off",
     )
     with merge_span:
         try:
             outcomes = executor.run_subqueries(
-                rfs, tasks, config, dim_weights=dim_weights
+                rfs, plan.tasks, config, dim_weights=dim_weights
             )
         finally:
             if owned_executor:
                 executor.close()
-        # Sequential, order-fixed dedup: later (smaller-quota) groups
-        # yield overlapping images to earlier ones, exactly as in the
-        # serial implementation.
-        for task, outcome in zip(tasks, outcomes):
-            fresh = [
-                (dist, image_id)
-                for dist, image_id in outcome.ranked
-                if image_id not in claimed
-            ][: task.quota]
-            claimed.update(image_id for _, image_id in fresh)
-            merge_span.event(
-                "merge_decision",
-                leaf=task.leaf_id,
-                quota=task.quota,
-                fetched=len(outcome.ranked),
-                taken=len(fresh),
-                deduplicated=len(outcome.ranked) - len(fresh),
-            )
-            merge_candidates.observe(len(outcome.ranked))
-            payloads.append(
-                {
-                    "leaf_id": task.leaf_id,
-                    "search_node": rfs.get_node(outcome.search_node_id),
-                    "centroid": outcome.centroid,
-                    "query_ids": list(task.query_ids),
-                    "results": fresh,
-                }
-            )
-
-        # Top-up passes: if duplicates or tiny subclusters left the total
-        # short of k, widen the groups' result lists; once a group's
-        # search node is exhausted, promote it to its parent (wider
-        # locality) and keep going — so a full k results are returned
-        # whenever the database holds that many images.
-        total = sum(len(p["results"]) for p in payloads)
-        topup_passes = 0
-        topup_added = 0
-        while total < k:
-            added = 0
-            topup_passes += 1
-            for payload in payloads:
-                if total >= k:
-                    break
-                node = payload["search_node"]
-                have = {image_id for _, image_id in payload["results"]}
-                # Fetch just enough to cover this group's share of the
-                # deficit (plus what is already held and possibly claimed
-                # elsewhere) — never a full subtree ranking.
-                deficit = k - total
-                fetch = min(node.size, len(have) + deficit + 16)
-                ranked = rfs.localized_knn(
-                    node, payload["centroid"], fetch, weights=dim_weights
-                )
-                for dist, image_id in ranked:
-                    if total >= k:
-                        break
-                    if image_id in claimed or image_id in have:
-                        continue
-                    payload["results"].append((dist, image_id))
-                    claimed.add(image_id)
-                    total += 1
-                    added += 1
-            topup_added += added
-            if total >= k:
-                break
-            promoted = False
-            for payload in payloads:
-                parent = payload["search_node"].parent
-                if parent is not None:
-                    payload["search_node"] = parent
-                    promoted = True
-            if added == 0 and not promoted:
-                break  # the whole database is smaller than k
-        merge_span.set(
-            total=total, topup_passes=topup_passes, topup_added=topup_added
+        result = merge_outcomes(
+            rfs,
+            plan,
+            outcomes,
+            rounds_used=rounds_used,
+            dim_weights=dim_weights,
+            merge_span=merge_span,
         )
-
-    for payload in payloads:
-        groups.append(
-            ResultGroup(
-                leaf_node_id=payload["leaf_id"],
-                search_node_id=payload["search_node"].node_id,
-                query_image_ids=payload["query_ids"],
-                items=RankedList.from_pairs(payload["results"]),
-            )
+    if cache is not None:
+        # Warm-vs-cold accounting for this round (deltas, so a cache
+        # shared across concurrent sessions still attributes roughly;
+        # the process executor resolves hits in forked children, whose
+        # counters do not reach this parent-side snapshot).
+        after = cache.snapshot()
+        result.stats["cache_hits"] = float(
+            after["hits"] - cache_before["hits"]
         )
-    return QueryResult(groups=groups, rounds_used=rounds_used)
+        result.stats["cache_misses"] = float(
+            after["misses"] - cache_before["misses"]
+        )
+    return result

@@ -2,9 +2,11 @@
 
 See :mod:`repro.exec.executors` for the executor model and the
 determinism guarantee (serial, thread, and process execution return
-bit-identical rankings).
+bit-identical rankings), and :mod:`repro.exec.batch` for the coalescing
+batch scheduler serving many sessions' final rounds at once.
 """
 
+from repro.exec.batch import BatchQuery, run_final_round_batch
 from repro.exec.executors import (
     ProcessSubqueryExecutor,
     SerialSubqueryExecutor,
@@ -19,7 +21,9 @@ from repro.exec.executors import (
 )
 
 __all__ = [
+    "BatchQuery",
     "ProcessSubqueryExecutor",
+    "run_final_round_batch",
     "SerialSubqueryExecutor",
     "SubqueryExecutor",
     "SubqueryOutcome",

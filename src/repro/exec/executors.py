@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import subquery_cache_key
 from repro.config import EXECUTOR_KINDS, QDConfig
 from repro.errors import ConfigurationError
 from repro.index.rfs import RFSStructure
@@ -124,6 +125,14 @@ def run_subquery_task(
     memory-mapped feature store attached, a forked or reopened worker
     gathers them from the shared mapping instead of a per-process copy
     of the feature matrix.
+
+    When the structure carries a :class:`repro.cache.SubqueryResultCache`
+    the task is first looked up by its canonical digest (keyed *before*
+    boundary expansion, so a hit skips the expansion and the block scan
+    entirely); a miss computes as usual and publishes the result for
+    later identical subqueries of any session.  A cached answer was
+    produced by this very function under the same structure version, so
+    serving it cannot change any ranking.
     """
     t0 = time.perf_counter()
     with get_tracer().span(
@@ -136,17 +145,49 @@ def run_subquery_task(
         query_points = rfs.vectors_for(
             np.asarray(task.query_ids, dtype=np.int64)
         )
+        # Slight over-fetch absorbs most de-duplication against other
+        # groups; any residual shortfall is covered by the top-up pass.
+        requested = task.quota + task.fetch_extra
+        cache = rfs.result_cache
+        key = None
+        version = rfs.structure_version
+        if cache is not None:
+            key = subquery_cache_key(
+                leaf.node_id,
+                query_points,
+                requested,
+                config.boundary_threshold,
+                dim_weights,
+            )
+            entry = cache.get(key, version)
+            if entry is not None:
+                span.set(
+                    search_node=entry.search_node_id,
+                    fetched=len(entry.ranked),
+                    cache="hit",
+                )
+                return SubqueryOutcome(
+                    leaf_id=task.leaf_id,
+                    search_node_id=entry.search_node_id,
+                    centroid=entry.centroid,
+                    ranked=list(entry.ranked),
+                    duration_s=time.perf_counter() - t0,
+                )
         search_node = rfs.expand_search_node(
             leaf, query_points, config.boundary_threshold
         )
         centroid = MultipointQuery(query_points).centroid()
-        # Slight over-fetch absorbs most de-duplication against other
-        # groups; any residual shortfall is covered by the top-up pass.
-        fetch = min(search_node.size, task.quota + task.fetch_extra)
+        fetch = min(search_node.size, requested)
         ranked = rfs.localized_knn(
             search_node, centroid, fetch, weights=dim_weights
         )
-        span.set(search_node=search_node.node_id, fetched=len(ranked))
+        if cache is not None:
+            cache.put(key, version, search_node.node_id, centroid, ranked)
+        span.set(
+            search_node=search_node.node_id,
+            fetched=len(ranked),
+            cache="miss" if cache is not None else "off",
+        )
     return SubqueryOutcome(
         leaf_id=task.leaf_id,
         search_node_id=search_node.node_id,

@@ -20,7 +20,16 @@ feedback rounds never touch raw image data or perform k-NN computation.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -39,7 +48,14 @@ from repro.utils.validation import check_vectors
 from repro.clustering.kmeans import kmeans
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.cache.result_cache import SubqueryResultCache
     from repro.store.feature_store import FeatureStore
+
+#: Reads one leaf's scan payload — either ``(block, ids, sqnorms)`` on
+#: the store path or the gathered member matrix on the in-memory path.
+#: The batch scheduler passes memoizing readers so one physical block
+#: read serves every query of a coalesced group.
+BlockReader = Callable[["RFSNode"], object]
 
 
 class RFSNode:
@@ -149,10 +165,22 @@ class RFSStructure:
         # Optional leaf-contiguous feature store (see repro.store); when
         # attached, localized_knn and gathers use its batched kernels.
         self.store: Optional["FeatureStore"] = None
+        # Optional cross-session subquery result cache (repro.cache).
+        self.result_cache: Optional["SubqueryResultCache"] = None
+        # Monotonic version stamped on cached subquery results.  Any
+        # change that can alter a subquery's answer — incremental
+        # insert/remove, store attach/detach (the store's dtype changes
+        # the distance arithmetic) — bumps it, so stale cache entries
+        # are rejected at read time without a global flush.
+        self.structure_version = 0
         # node_id -> (leaves, stacked lo bounds, stacked hi bounds)
         self._leaf_geometry_cache: Dict[
             int, Tuple[List[RFSNode], np.ndarray, np.ndarray]
         ] = {}
+        # item_id -> leaf node_id, built lazily on the first
+        # leaf_of_item call and dropped by invalidate_caches (a tree
+        # descent per mark would otherwise dominate cache-hit rounds).
+        self._leaf_lookup: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # Feature store attachment
@@ -169,7 +197,16 @@ class RFSStructure:
         memory-mapped.  ``validate`` cross-checks shape and per-leaf
         membership against this structure (skip only for stores freshly
         built from the same structure).
+
+        Re-attaching the store that is already attached is a no-op (no
+        validation, no version bump), so long-running servers can call
+        this defensively.  Attaching a *different* store bumps
+        :attr:`structure_version`: the store's dtype (float32 vs the
+        raw float64 matrix) changes the distance arithmetic, so results
+        cached against the previous configuration must not be served.
         """
+        if store is self.store:
+            return
         if validate:
             if store.dims != self.features.shape[1]:
                 raise ConfigurationError(
@@ -190,10 +227,34 @@ class RFSStructure:
                         "match its member ids; rebuild the store"
                     )
         self.store = store
+        self.structure_version += 1
 
     def detach_store(self) -> None:
-        """Detach the feature store (fall back to the in-memory path)."""
-        self.store = None
+        """Detach the feature store (fall back to the in-memory path).
+
+        A no-op when no store is attached; otherwise bumps
+        :attr:`structure_version` (the in-memory float64 path computes
+        different last-bit distances than a float32 store, so cached
+        results from the store configuration must not be served).
+        """
+        if self.store is not None:
+            self.store = None
+            self.structure_version += 1
+
+    def attach_cache(self, cache: "SubqueryResultCache") -> None:
+        """Attach a cross-session subquery result cache.
+
+        Once attached, every final-round subquery consults the cache
+        before the boundary expansion and block scan; see
+        :mod:`repro.cache.result_cache` for keying and invalidation.
+        Attaching does not bump the structure version — the cache only
+        memoizes results, it never changes them.
+        """
+        self.result_cache = cache
+
+    def detach_cache(self) -> None:
+        """Detach the subquery result cache (queries recompute)."""
+        self.result_cache = None
 
     def invalidate_caches(self) -> None:
         """Drop derived scan state after a structural mutation.
@@ -202,10 +263,14 @@ class RFSStructure:
         boxes, so the cached leaf geometry is stale and any attached
         store's row layout no longer matches the tree.  The store is
         detached (rebuild it via ``FeatureStore.build``); queries keep
-        working through the in-memory path meanwhile.
+        working through the in-memory path meanwhile.  The structure
+        version is bumped, so every subquery result cached against the
+        old tree is rejected on its next lookup.
         """
         self._leaf_geometry_cache.clear()
+        self._leaf_lookup = None
         self.store = None
+        self.structure_version += 1
 
     def vectors_for(self, item_ids: Sequence[int]) -> np.ndarray:
         """Feature vectors for ``item_ids`` (store-backed when attached).
@@ -427,8 +492,10 @@ class RFSStructure:
     def leaf_of_item(self, item_id: int) -> RFSNode:
         """The leaf whose subtree contains ``item_id``.
 
-        With a feature store attached this is a single binary search over
-        the leaf span starts instead of a per-level tree descent.
+        With a feature store attached this is a single binary search
+        over the leaf span starts; otherwise a lazily built item -> leaf
+        map (dropped by :meth:`invalidate_caches`) answers in one dict
+        probe instead of a per-level tree descent.
         """
         if self.store is not None:
             try:
@@ -437,21 +504,18 @@ class RFSStructure:
                 raise NodeNotFoundError(
                     f"item {item_id} not present in the structure"
                 ) from exc
-        node = self.root
-        while not node.is_leaf:
-            for child in node.children:
-                pos = np.searchsorted(child.item_ids, item_id)
-                if (
-                    pos < child.item_ids.shape[0]
-                    and child.item_ids[pos] == item_id
-                ):
-                    node = child
-                    break
-            else:
-                raise NodeNotFoundError(
-                    f"item {item_id} not present in the structure"
-                )
-        return node
+        if self._leaf_lookup is None:
+            self._leaf_lookup = {
+                int(member): leaf.node_id
+                for leaf in self._leaves_under(self.root)
+                for member in leaf.item_ids
+            }
+        node_id = self._leaf_lookup.get(int(item_id))
+        if node_id is None:
+            raise NodeNotFoundError(
+                f"item {item_id} not present in the structure"
+            )
+        return self.nodes[node_id]
 
     # ------------------------------------------------------------------
     # Localized k-NN (paper §3.3)
@@ -500,6 +564,7 @@ class RFSStructure:
         *,
         io_category: str = "localized_knn",
         weights: Optional[np.ndarray] = None,
+        read_block: Optional[BlockReader] = None,
     ) -> List[tuple[float, int]]:
         """k nearest images to ``query_point`` inside ``node``'s subtree.
 
@@ -521,6 +586,13 @@ class RFSStructure:
         feature store is attached the per-leaf scan additionally runs the
         batched store kernels over contiguous blocks instead of the
         gather-then-loop path.
+
+        ``read_block`` optionally replaces the default per-leaf reader
+        (which charges the I/O model and materialises the block on
+        every call) — the batch scheduler passes a memoizing reader
+        from :meth:`memoized_block_reader` so a coalesced group of
+        queries pays for each leaf once.  The reader never changes the
+        distance arithmetic, so rankings are identical either way.
         """
         if node.size == 0:
             raise EmptyIndexError(f"node {node.node_id} covers no images")
@@ -544,14 +616,113 @@ class RFSStructure:
             store=self.store.kind if self.store is not None else "none",
         ) as span:
             if self.store is not None:
+                if read_block is None:
+                    read_block = self._store_block_reader(io_category)
                 return self._scan_leaves_store(
                     leaves, mindists, order, query, take,
-                    weights=weights, io_category=io_category, span=span,
+                    weights=weights, read_block=read_block, span=span,
                 )
+            if read_block is None:
+                read_block = self._member_block_reader(io_category)
             return self._scan_leaves(
                 leaves, mindists, order, query, take,
-                weights=weights, io_category=io_category, span=span,
+                weights=weights, read_block=read_block, span=span,
             )
+
+    # ------------------------------------------------------------------
+    # Leaf block readers
+    # ------------------------------------------------------------------
+    def _store_block_reader(self, io_category: str) -> BlockReader:
+        """Default store reader: charge the I/O model, slice the block."""
+        store = self.store
+        assert store is not None
+
+        def read(leaf: RFSNode):
+            miss = self.io.access(
+                leaf.node_id,
+                io_category,
+                nbytes=store.block_nbytes(leaf.node_id),
+            )
+            store.record_block_access(leaf.node_id, miss)
+            return store.node_block(leaf.node_id)
+
+        return read
+
+    def _member_block_reader(self, io_category: str) -> BlockReader:
+        """Default in-memory reader: charge the I/O model, gather rows."""
+
+        def read(leaf: RFSNode) -> np.ndarray:
+            self.io.access(leaf.node_id, io_category)
+            return self.features[leaf.item_ids]
+
+        return read
+
+    def memoized_block_reader(self, io_category: str) -> BlockReader:
+        """A reader that pays for each leaf once across many queries.
+
+        Wraps the default reader for the current configuration (store or
+        in-memory) with a per-leaf memo: the first query of a coalesced
+        batch group to touch a leaf charges the I/O model and
+        materialises the block; every later query of the group reuses
+        the exact same arrays.  Distances are computed per query by the
+        unchanged kernels, so rankings stay bit-identical to the
+        serial path — only the I/O and materialisation are amortized.
+        """
+        inner = (
+            self._store_block_reader(io_category)
+            if self.store is not None
+            else self._member_block_reader(io_category)
+        )
+        blocks: Dict[int, object] = {}
+
+        def read(leaf: RFSNode):
+            block = blocks.get(leaf.node_id)
+            if block is None:
+                block = inner(leaf)
+                blocks[leaf.node_id] = block
+            return block
+
+        return read
+
+    def localized_knn_group(
+        self,
+        node: RFSNode,
+        query_points: Sequence[np.ndarray],
+        ks: Sequence[int],
+        *,
+        io_category: str = "localized_knn",
+        weights: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[List[tuple[float, int]]]:
+        """Run many localized k-NN queries over one search node.
+
+        The queries share a memoized block reader, so each leaf under
+        ``node`` is charged to the I/O model and materialised at most
+        once for the whole group — the coalesced serving path's "one
+        block read amortized across N queries".  Each query's distances
+        and pruning run exactly as in :meth:`localized_knn`, so every
+        returned ranking is bit-identical to a standalone call.
+        """
+        if len(query_points) != len(ks):
+            raise ConfigurationError(
+                f"{len(query_points)} query points for {len(ks)} ks"
+            )
+        if weights is not None and len(weights) != len(query_points):
+            raise ConfigurationError(
+                f"{len(weights)} weight vectors for "
+                f"{len(query_points)} query points"
+            )
+        reader = self.memoized_block_reader(io_category)
+        return [
+            self.localized_knn(
+                node,
+                query,
+                k,
+                io_category=io_category,
+                weights=None if weights is None else weights[i],
+                read_block=reader,
+            )
+            for i, (query, k) in enumerate(zip(query_points, ks))
+        ]
 
     def _scan_leaves(
         self,
@@ -562,7 +733,7 @@ class RFSStructure:
         take: int,
         *,
         weights: Optional[np.ndarray],
-        io_category: str,
+        read_block: BlockReader,
         span,
     ) -> List[tuple[float, int]]:
         """In-memory leaf scan (the original gather-then-loop path)."""
@@ -575,9 +746,8 @@ class RFSStructure:
             leaf = leaves[pos]
             if len(best) >= take and mindists[pos] > kth:
                 break
-            self.io.access(leaf.node_id, io_category)
+            members = read_block(leaf)
             leaves_read += 1
-            members = self.features[leaf.item_ids]
             distance_evals += members.shape[0]
             diff = members - query
             if weights is None:
@@ -609,7 +779,7 @@ class RFSStructure:
         take: int,
         *,
         weights: Optional[np.ndarray],
-        io_category: str,
+        read_block: BlockReader,
         span,
     ) -> List[tuple[float, int]]:
         """Store-backed leaf scan over contiguous blocks.
@@ -625,9 +795,6 @@ class RFSStructure:
             point_distances,
             weighted_point_distances,
         )
-
-        store = self.store
-        assert store is not None
         from repro.retrieval.topk import top_pairs
 
         dist_parts: List[np.ndarray] = []
@@ -641,14 +808,8 @@ class RFSStructure:
             leaf = leaves[pos]
             if count >= take and mindists[pos] > kth:
                 break
-            miss = self.io.access(
-                leaf.node_id,
-                io_category,
-                nbytes=store.block_nbytes(leaf.node_id),
-            )
-            store.record_block_access(leaf.node_id, miss)
+            block, ids, sqnorms = read_block(leaf)
             leaves_read += 1
-            block, ids, sqnorms = store.node_block(leaf.node_id)
             distance_evals += block.shape[0]
             if weights is None:
                 dists = point_distances(

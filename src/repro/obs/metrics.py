@@ -23,6 +23,14 @@ name                            kind        meaning
 ``qd_representatives_shown``    histogram   images displayed per round
 ``qd_representatives_marked``   histogram   images marked per round
 ``qd_merge_candidates``         histogram   candidates fetched per merge
+``qd_cache_hits``               counter     subquery cache hits
+``qd_cache_misses``             counter     subquery cache misses
+``qd_cache_evictions``          counter     cache entries dropped (LRU
+                                            pressure or stale version)
+``qd_cache_bytes``              gauge       bytes held by the result cache
+``qd_batch_queries_total``      counter     queries served by run_batch
+``qd_batch_coalesced_subqueries`` counter   subqueries that shared another
+                                            subquery's block reads
 ``qd_client_payload_bytes``     gauge       client/server download size
 ``qd_server_capacity_multiplier`` gauge     QD vs traditional capacity
 =============================== =========== ===============================

@@ -34,6 +34,7 @@ kilobytes of maps, never the feature matrix itself.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 
@@ -109,6 +110,9 @@ class FeatureStore:
             "cache_misses": 0,
             "bytes_read": 0,
         }
+        # stats increments are read-modify-write; the thread executor
+        # scans blocks concurrently, so they must be serialized.
+        self._stats_lock = threading.Lock()
         get_metrics().gauge(
             "qd_store_bytes_mapped", "bytes of feature data backing the store"
         ).set(float(matrix.nbytes))
@@ -216,6 +220,7 @@ class FeatureStore:
         for a memmap store the vectors live in the page cache).  The
         squared row norms feed the fused kernels' distance expansion.
         """
+        self._require_open()
         start, stop = self.span_of(node_id)
         return (
             self.matrix[start:stop],
@@ -240,6 +245,7 @@ class FeatureStore:
 
     def vectors_for(self, ids: np.ndarray) -> np.ndarray:
         """Gather the vectors of arbitrary image ids (small copies)."""
+        self._require_open()
         rows = self.row_of_id[np.asarray(ids, dtype=np.int64)]
         return self.matrix[rows]
 
@@ -284,14 +290,17 @@ class FeatureStore:
         ``physical`` comes from the disk model
         (:meth:`repro.index.diskmodel.DiskAccessCounter.access` returns
         whether the page missed the buffer pool), so the store's
-        hit/miss split mirrors the paged-I/O simulation.
+        hit/miss split mirrors the paged-I/O simulation.  Counter
+        updates hold the stats lock — concurrent subquery workers would
+        otherwise lose increments to read-modify-write races.
         """
-        self.stats["block_reads"] += 1
         metrics = get_metrics()
         if physical:
             nbytes = self.block_nbytes(node_id)
-            self.stats["cache_misses"] += 1
-            self.stats["bytes_read"] += nbytes
+            with self._stats_lock:
+                self.stats["block_reads"] += 1
+                self.stats["cache_misses"] += 1
+                self.stats["bytes_read"] += nbytes
             metrics.counter(
                 "qd_store_block_misses",
                 "store block reads that missed the buffer pool",
@@ -301,11 +310,59 @@ class FeatureStore:
                 "feature bytes paged in by store block misses",
             ).inc(nbytes)
         else:
-            self.stats["cache_hits"] += 1
+            with self._stats_lock:
+                self.stats["block_reads"] += 1
+                self.stats["cache_hits"] += 1
             metrics.counter(
                 "qd_store_block_hits",
                 "store block reads served from the buffer pool",
             ).inc()
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """A consistent point-in-time copy of the access counters."""
+        with self._stats_lock:
+            return dict(self.stats)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the store's backing resources (idempotent).
+
+        For a memmap store this closes the underlying file mapping so
+        the OS file handle is returned; for an in-RAM store it drops the
+        matrix reference.  Any later block or vector access raises
+        :class:`~repro.errors.DatasetError`.  Outstanding NumPy views of
+        a mapped block keep the mapping alive until they are collected
+        (``mmap`` refuses to close exported buffers), in which case the
+        handle is released when the last view dies.
+        """
+        matrix = self.matrix
+        self.matrix = None
+        self._sqnorms = None
+        self._leaf_starts = None
+        self._leaf_node_ids = None
+        if matrix is None:
+            return
+        mm = getattr(matrix, "_mmap", None)
+        del matrix
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - live exported views
+                pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the backing matrix."""
+        return self.matrix is None
+
+    def _require_open(self) -> None:
+        if self.matrix is None:
+            raise DatasetError(
+                "feature store is closed; reopen it with "
+                "FeatureStore.open before use"
+            )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -402,6 +459,7 @@ class FeatureStore:
         state["_sqnorms"] = None
         state["_leaf_starts"] = None
         state["_leaf_node_ids"] = None
+        del state["_stats_lock"]  # locks don't pickle; workers get fresh
         if self.kind == "memmap" and self.path is not None:
             # Ship the path, not the bytes: the worker reopens the
             # mapping and shares pages through the OS cache.
@@ -410,6 +468,7 @@ class FeatureStore:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
+        self.__dict__["_stats_lock"] = threading.Lock()
         if self.matrix is None:
             if self.path is None:  # pragma: no cover - defensive
                 raise DatasetError(

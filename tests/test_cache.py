@@ -1,0 +1,535 @@
+"""Tests for the cross-session subquery result cache and batch serving.
+
+Covers the canonical cache key, the byte-capped LRU (eviction order,
+oversized entries, byte accounting, pickling), versioned invalidation
+against incremental structure mutations (the no-skip gate in
+``scripts/check.sh`` targets the ``Invalidation`` classes), cached
+final rounds staying bit-identical to the uncached path across all
+executors, and the coalescing batch scheduler's parity with serial
+per-query execution.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    SubqueryResultCache,
+    subquery_cache_key,
+)
+from repro.config import CacheConfig, QDConfig, RFSConfig
+from repro.core.engine import QueryDecompositionEngine
+from repro.core.ranking import execute_final_round
+from repro.errors import ConfigurationError
+from repro.exec import (
+    BatchQuery,
+    ProcessSubqueryExecutor,
+    run_final_round_batch,
+)
+from repro.index.incremental import IncrementalRFS
+from repro.index.rfs import RFSStructure
+from repro.store import FeatureStore
+
+N_IMAGES = 900
+SEED = 2006
+RFS_CONFIG = RFSConfig(
+    node_max_entries=60, node_min_entries=30, leaf_subclusters=4
+)
+
+_EXECUTORS = ["serial", "thread"] + (
+    ["process"] if ProcessSubqueryExecutor.fork_available() else []
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    """A small synthetic database shared by the cache tests."""
+    from repro.datasets.build import build_synthetic_database
+
+    return build_synthetic_database(N_IMAGES, n_categories=30, seed=SEED)
+
+
+def _build_rfs(database) -> RFSStructure:
+    """A fresh structure (tests mutate trees, so never share one)."""
+    return RFSStructure.build(database.features, RFS_CONFIG, seed=SEED)
+
+
+def _signature(result):
+    return [
+        (
+            group.leaf_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+def _finalize(rfs, marks, k, config, **kwargs):
+    result = execute_final_round(
+        rfs, marks, k, config, rounds_used=1, **kwargs
+    )
+    return _signature(result), result
+
+
+def _marks(database, label, count=8):
+    return tuple(
+        int(i) for i in np.flatnonzero(database.labels == label)[:count]
+    )
+
+
+def _put(cache, key, *, version=0, node=1, n_ranked=10, dim=8):
+    """Insert a synthetic entry of known size (256 + 8*dim + 88*n)."""
+    cache.put(
+        key,
+        version,
+        node,
+        np.arange(dim, dtype=np.float64),
+        [(float(i), i) for i in range(n_ranked)],
+    )
+
+
+#: Size of the entries ``_put`` makes with its defaults.
+_PUT_BYTES = 256 + 8 * 8 + 88 * 10
+
+
+# ----------------------------------------------------------------------
+# Cache key
+# ----------------------------------------------------------------------
+class TestCacheKey:
+    def test_deterministic_and_sensitive(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(3, 8))
+        base = subquery_cache_key(5, points, 40, 0.4)
+        assert base == subquery_cache_key(5, points.copy(), 40, 0.4)
+        assert base != subquery_cache_key(6, points, 40, 0.4)
+        assert base != subquery_cache_key(5, points, 41, 0.4)
+        assert base != subquery_cache_key(5, points, 40, 0.5)
+
+    def test_dtype_and_bytes_partition_the_key_space(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(2, 6))
+        base = subquery_cache_key(1, points, 10, 0.4)
+        # A float32 store and the raw float64 matrix must never alias.
+        assert base != subquery_cache_key(
+            1, points.astype(np.float32), 10, 0.4
+        )
+        nudged = points.copy()
+        nudged[0, 0] = np.nextafter(nudged[0, 0], np.inf)
+        assert base != subquery_cache_key(1, nudged, 10, 0.4)
+
+    def test_weights_partition_the_key_space(self):
+        points = np.ones((2, 4))
+        unweighted = subquery_cache_key(1, points, 10, 0.4)
+        weighted = subquery_cache_key(1, points, 10, 0.4, np.ones(4))
+        assert unweighted != weighted
+        assert weighted == subquery_cache_key(
+            1, points, 10, 0.4, np.ones(4)
+        )
+        assert weighted != subquery_cache_key(
+            1, points, 10, 0.4, np.full(4, 2.0)
+        )
+
+
+# ----------------------------------------------------------------------
+# LRU mechanics
+# ----------------------------------------------------------------------
+class TestResultCacheLRU:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SubqueryResultCache(0)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(enabled=True, capacity_mb=0.0)
+
+    def test_put_get_roundtrip(self):
+        cache = SubqueryResultCache(1 << 20)
+        _put(cache, "k1", version=3, node=17)
+        entry = cache.get("k1", 3)
+        assert entry is not None
+        assert entry.search_node_id == 17
+        assert entry.version == 3
+        assert entry.centroid.dtype == np.float64
+        assert not entry.centroid.flags["WRITEABLE"]
+        assert entry.ranked == tuple(
+            (float(i), i) for i in range(10)
+        )
+        assert cache.stats["hits"] == 1
+        assert cache.get("absent", 3) is None
+        assert cache.stats["misses"] == 1
+
+    def test_version_mismatch_drops_entry(self):
+        cache = SubqueryResultCache(1 << 20)
+        _put(cache, "k1", version=0)
+        assert cache.get("k1", 1) is None
+        snap = cache.snapshot()
+        assert snap["misses"] == 1
+        assert snap["stale_evictions"] == 1
+        assert snap["evictions"] == 1
+        assert snap["entries"] == 0 and snap["bytes"] == 0
+        # The entry is gone for good — even its own version misses now.
+        assert cache.get("k1", 0) is None
+
+    def test_lru_eviction_order(self):
+        cache = SubqueryResultCache(2 * _PUT_BYTES + 10)
+        _put(cache, "a")
+        _put(cache, "b")
+        assert cache.get("a", 0) is not None  # refresh a; b is now LRU
+        _put(cache, "c")
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) is not None
+        assert cache.get("c", 0) is not None
+        assert cache.stats["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_oversized_entry_not_cached(self):
+        cache = SubqueryResultCache(_PUT_BYTES - 1)
+        _put(cache, "big")
+        assert len(cache) == 0
+        assert cache.stats["inserts"] == 0
+
+    def test_byte_accounting_and_clear(self):
+        cache = SubqueryResultCache(1 << 20)
+        for key in ("a", "b", "c"):
+            _put(cache, key)
+        assert cache.stats["bytes"] == 3 * _PUT_BYTES
+        _put(cache, "b")  # replace in place: no growth
+        assert cache.stats["bytes"] == 3 * _PUT_BYTES
+        assert cache.stats["entries"] == 3
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats["bytes"] == 0
+        assert cache.stats["inserts"] == 4  # counters survive clear
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        cache = SubqueryResultCache(1 << 20)
+        _put(cache, "k1", node=9)
+        clone = pickle.loads(pickle.dumps(cache))
+        entry = clone.get("k1", 0)
+        assert entry is not None and entry.search_node_id == 9
+        _put(clone, "k2")  # usable lock after unpickling
+        assert len(clone) == 2
+        assert len(cache) == 1  # independent copies
+
+
+# ----------------------------------------------------------------------
+# Cached final rounds — parity with the uncached path
+# ----------------------------------------------------------------------
+class TestFinalRoundCaching:
+    def test_hits_skip_scans_and_match_uncached(self, database):
+        rfs = _build_rfs(database)
+        marks = _marks(database, 3)
+        config = QDConfig()
+        baseline, _ = _finalize(rfs, marks, 30, config)
+        rfs.attach_cache(SubqueryResultCache(8 << 20))
+
+        io = rfs.io
+        before = io.physical_reads
+        miss_sig, miss_res = _finalize(rfs, marks, 30, config)
+        miss_reads = io.physical_reads - before
+
+        before = io.physical_reads
+        hit_sig, hit_res = _finalize(rfs, marks, 30, config)
+        hit_reads = io.physical_reads - before
+
+        assert miss_sig == baseline
+        assert hit_sig == baseline
+        assert miss_res.stats["cache_hits"] == 0
+        assert miss_res.stats["cache_misses"] > 0
+        assert hit_res.stats["cache_misses"] == 0
+        assert hit_res.stats["cache_hits"] == (
+            miss_res.stats["cache_misses"]
+        )
+        # Hits skip the block scans, so the warm round reads less.
+        assert hit_reads < miss_reads
+
+    def test_weighted_round_does_not_hit_unweighted_entries(
+        self, database
+    ):
+        rfs = _build_rfs(database)
+        marks = _marks(database, 7)
+        config = QDConfig()
+        weights = np.linspace(0.5, 1.5, database.dims)
+        baseline, _ = _finalize(
+            rfs, marks, 20, config, dim_weights=weights
+        )
+        rfs.attach_cache(SubqueryResultCache(8 << 20))
+        _finalize(rfs, marks, 20, config)  # warm the unweighted keys
+        weighted_sig, weighted_res = _finalize(
+            rfs, marks, 20, config, dim_weights=weights
+        )
+        assert weighted_sig == baseline
+        assert weighted_res.stats["cache_hits"] == 0
+
+    @pytest.mark.parametrize("executor", _EXECUTORS)
+    def test_cached_sessions_bit_identical_across_executors(
+        self, database, executor
+    ):
+        relevant = set(np.flatnonzero(database.labels == 3).tolist())
+        relevant |= set(np.flatnonzero(database.labels == 7).tolist())
+
+        def mark(shown):
+            return [i for i in shown if i in relevant]
+
+        baseline_engine = QueryDecompositionEngine(
+            database, _build_rfs(database), QDConfig()
+        )
+        with baseline_engine:
+            baseline = _signature(
+                baseline_engine.run_scripted(mark, k=50, seed=11)
+            )
+
+        engine = QueryDecompositionEngine(
+            database,
+            _build_rfs(database),
+            QDConfig(executor=executor, workers=2),
+        )
+        engine.attach_cache(SubqueryResultCache(8 << 20))
+        with engine:
+            first = engine.run_scripted(mark, k=50, seed=11)
+            second = engine.run_scripted(mark, k=50, seed=11)
+        assert _signature(first) == baseline
+        assert _signature(second) == baseline
+        if executor != "process":
+            # Fork-based workers insert into their own copy-on-write
+            # snapshot, so only the shared-memory executors can show
+            # hits on the repeat session.
+            assert second.stats["cache_hits"] > 0
+            assert second.stats["cache_misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Versioned invalidation — `scripts/check.sh` gates on these passing
+# ----------------------------------------------------------------------
+class TestCacheInvalidation:
+    def test_incremental_mutation_bumps_version(self, database):
+        rfs = _build_rfs(database)
+        v0 = rfs.structure_version
+        inc = IncrementalRFS(rfs, seed=1)
+        new_id = inc.insert_image(np.zeros(database.dims))
+        assert rfs.structure_version > v0
+        v1 = rfs.structure_version
+        inc.remove_image(new_id)
+        assert rfs.structure_version > v1
+
+    def test_attach_cache_does_not_bump_version(self, database):
+        rfs = _build_rfs(database)
+        version = rfs.structure_version
+        cache = SubqueryResultCache(1 << 16)
+        rfs.attach_cache(cache)
+        assert rfs.result_cache is cache
+        assert rfs.structure_version == version
+        rfs.detach_cache()
+        assert rfs.result_cache is None
+        assert rfs.structure_version == version
+
+    def test_mutation_yields_miss_not_stale_hit(self, database):
+        rfs = _build_rfs(database)
+        cache = SubqueryResultCache(8 << 20)
+        rfs.attach_cache(cache)
+        marks = _marks(database, 5)
+        config = QDConfig()
+        _finalize(rfs, marks, 25, config)  # warm
+        assert len(cache) > 0
+
+        inc = IncrementalRFS(rfs, seed=2)
+        inc.insert_image(np.full(database.dims, 40.0))
+
+        before = cache.snapshot()
+        after_sig, _ = _finalize(rfs, marks, 25, config)
+        after = cache.snapshot()
+        # No global flush happened, yet nothing stale was served: the
+        # repeated subqueries missed and re-ran against the new tree.
+        assert after["hits"] == before["hits"]
+        assert after["misses"] > before["misses"]
+        assert after["stale_evictions"] >= 1
+
+        rfs.detach_cache()
+        baseline_sig, _ = _finalize(rfs, marks, 25, config)
+        assert after_sig == baseline_sig
+
+    def test_randomized_mutation_query_interleavings(self, database):
+        """Property: under any interleaving of incremental mutations and
+        (possibly repeated) queries, a cached final round is always
+        bit-identical to an uncached one on the current structure."""
+        rfs = _build_rfs(database)
+        cache = SubqueryResultCache(8 << 20)
+        rfs.attach_cache(cache)
+        inc = IncrementalRFS(rfs, seed=5)
+        config = QDConfig()
+        rng = np.random.default_rng(42)
+        inserted: list[int] = []
+        queries_checked = 0
+        for _ in range(20):
+            roll = rng.random()
+            if roll < 0.20:
+                new_id = inc.insert_image(
+                    rng.normal(scale=2.0, size=database.dims)
+                )
+                inserted.append(new_id)
+            elif roll < 0.35 and inserted:
+                inc.remove_image(inserted.pop())
+            else:
+                marks = tuple(
+                    int(i)
+                    for i in rng.choice(N_IMAGES, size=6, replace=False)
+                )
+                cold_sig, _ = _finalize(rfs, marks, 15, config)
+                warm_sig, _ = _finalize(rfs, marks, 15, config)
+                rfs.detach_cache()
+                try:
+                    truth_sig, _ = _finalize(rfs, marks, 15, config)
+                finally:
+                    rfs.attach_cache(cache)
+                assert cold_sig == truth_sig
+                assert warm_sig == truth_sig
+                queries_checked += 1
+        assert queries_checked > 0
+        assert cache.snapshot()["hits"] > 0
+
+
+class TestStoreSwapInvalidation:
+    def test_store_attach_detach_bump_and_reattach_is_noop(
+        self, database
+    ):
+        rfs = _build_rfs(database)
+        store = FeatureStore.build(rfs)
+        v0 = rfs.structure_version
+        rfs.attach_store(store, validate=False)
+        assert rfs.structure_version == v0 + 1
+        rfs.attach_store(store)  # same object: idempotent, no bump
+        assert rfs.structure_version == v0 + 1
+        rfs.detach_store()
+        assert rfs.structure_version == v0 + 2
+        rfs.detach_store()  # nothing attached: no bump
+        assert rfs.structure_version == v0 + 2
+
+    def test_float32_store_entries_not_served_after_detach(
+        self, database
+    ):
+        rfs = _build_rfs(database)
+        cache = SubqueryResultCache(8 << 20)
+        rfs.attach_cache(cache)
+        rfs.attach_store(FeatureStore.build(rfs), validate=False)
+        marks = _marks(database, 9)
+        config = QDConfig()
+        _finalize(rfs, marks, 20, config)  # warm against the store
+        rfs.detach_store()
+        before = cache.snapshot()
+        detached_sig, _ = _finalize(rfs, marks, 20, config)
+        assert cache.snapshot()["hits"] == before["hits"]
+        rfs.detach_cache()
+        baseline_sig, _ = _finalize(rfs, marks, 20, config)
+        assert detached_sig == baseline_sig
+
+
+# ----------------------------------------------------------------------
+# Coalescing batch scheduler
+# ----------------------------------------------------------------------
+def _batch_workload(database):
+    """A small multi-session workload with a repeated hot query."""
+    specs = [(3, 20), (7, 25), (12, 30), (3, 20)]  # duplicate of #0
+    return [
+        BatchQuery(marked_ids=_marks(database, label, 6), k=k)
+        for label, k in specs
+    ]
+
+
+class TestBatchScheduler:
+    @pytest.mark.parametrize("executor", _EXECUTORS)
+    def test_batch_bit_identical_to_serial_uncached(
+        self, database, executor
+    ):
+        queries = _batch_workload(database)
+        base_rfs = _build_rfs(database)
+        baseline = [
+            _finalize(base_rfs, q.marked_ids, q.k, QDConfig())[0]
+            for q in queries
+        ]
+
+        rfs = _build_rfs(database)
+        rfs.attach_cache(SubqueryResultCache(8 << 20))
+        config = QDConfig(executor=executor, workers=2)
+        cold = run_final_round_batch(rfs, queries, config, rounds_used=1)
+        assert [_signature(r) for r in cold] == baseline
+        # The duplicated query shares its group's block reads, so some
+        # subqueries must have coalesced or hit on the first pass.
+        warm = run_final_round_batch(rfs, queries, config, rounds_used=1)
+        assert [_signature(r) for r in warm] == baseline
+        for result in warm:
+            assert result.stats["cache_hits"] > 0
+            assert result.stats["cache_misses"] == 0
+
+    def test_batch_with_store_matches_store_serial(self, database):
+        queries = _batch_workload(database)
+        base_rfs = _build_rfs(database)
+        base_rfs.attach_store(FeatureStore.build(base_rfs), validate=False)
+        baseline = [
+            _finalize(base_rfs, q.marked_ids, q.k, QDConfig())[0]
+            for q in queries
+        ]
+
+        rfs = _build_rfs(database)
+        rfs.attach_store(FeatureStore.build(rfs), validate=False)
+        rfs.attach_cache(SubqueryResultCache(8 << 20))
+        results = run_final_round_batch(
+            rfs, queries, QDConfig(executor="thread", workers=2),
+            rounds_used=1,
+        )
+        assert [_signature(r) for r in results] == baseline
+
+    def test_batch_without_cache_matches_and_reports_no_stats(
+        self, database
+    ):
+        queries = _batch_workload(database)
+        base_rfs = _build_rfs(database)
+        baseline = [
+            _finalize(base_rfs, q.marked_ids, q.k, QDConfig())[0]
+            for q in queries
+        ]
+        rfs = _build_rfs(database)
+        results = run_final_round_batch(
+            rfs, queries, QDConfig(), rounds_used=1
+        )
+        assert [_signature(r) for r in results] == baseline
+        for result in results:
+            assert "cache_hits" not in result.stats
+            assert "cache_misses" not in result.stats
+
+    def test_engine_run_batch_accepts_tuples(self, database):
+        engine = QueryDecompositionEngine.build(
+            database,
+            RFS_CONFIG,
+            seed=SEED,
+            cache=CacheConfig(enabled=True, capacity_mb=8),
+        )
+        assert engine.result_cache is not None
+        marks = _marks(database, 4, 6)
+        with engine:
+            from_tuple = engine.run_batch([(marks, 20)])
+            from_query = engine.run_batch(
+                [BatchQuery(marked_ids=marks, k=20)]
+            )
+        assert _signature(from_tuple[0]) == _signature(from_query[0])
+        assert from_query[0].stats["cache_hits"] > 0
+
+    def test_batch_coalesces_block_reads(self, database):
+        """N identical sessions in one batch cost ~1 session of reads."""
+        marks = _marks(database, 11, 6)
+        single_rfs = _build_rfs(database)
+        before = single_rfs.io.physical_reads
+        _finalize(single_rfs, marks, 20, QDConfig())
+        single_reads = single_rfs.io.physical_reads - before
+
+        batch_rfs = _build_rfs(database)
+        queries = [
+            BatchQuery(marked_ids=marks, k=20) for _ in range(4)
+        ]
+        before = batch_rfs.io.physical_reads
+        run_final_round_batch(
+            batch_rfs, queries, QDConfig(), rounds_used=1
+        )
+        batch_reads = batch_rfs.io.physical_reads - before
+        # Four identical queries, one scan: far cheaper than 4x serial.
+        assert batch_reads < 2 * single_reads

@@ -137,6 +137,77 @@ class TestMetricsUnderContention:
         )
 
 
+class TestFeatureStoreStatsUnderContention:
+    def test_block_access_counters_exact(self):
+        from repro.config import RFSConfig
+        from repro.datasets.build import build_synthetic_database
+        from repro.index.rfs import RFSStructure
+        from repro.store import FeatureStore
+
+        database = build_synthetic_database(300, n_categories=10, seed=3)
+        rfs = RFSStructure.build(
+            database.features,
+            RFSConfig(node_max_entries=60, node_min_entries=30),
+            seed=3,
+        )
+        store = FeatureStore.build(rfs)
+        node_ids = sorted(store.spans)
+
+        def body(worker: int) -> None:
+            for i in range(N_OPS):
+                store.record_block_access(
+                    node_ids[i % len(node_ids)], physical=(i % 2 == 0)
+                )
+
+        _hammer(body)
+        total = N_THREADS * N_OPS
+        snap = store.stats_snapshot()
+        assert snap["block_reads"] == total
+        assert snap["cache_hits"] + snap["cache_misses"] == total
+        assert snap["cache_misses"] == N_THREADS * ((N_OPS + 1) // 2)
+        # Every worker replays the same access sequence, so the byte
+        # tally is exactly N_THREADS times one worker's miss bytes.
+        one_worker = sum(
+            store.block_nbytes(node_ids[i % len(node_ids)])
+            for i in range(0, N_OPS, 2)
+        )
+        assert snap["bytes_read"] == N_THREADS * one_worker
+
+
+class TestResultCacheUnderContention:
+    def test_hit_miss_accounting_exact(self):
+        import numpy as np
+
+        from repro.cache import SubqueryResultCache
+
+        cache = SubqueryResultCache(64 << 20)
+        centroid = np.zeros(8)
+        ranked = [(1.0, 1)]
+        for key in range(32):
+            cache.put(str(key), 0, key, centroid, ranked)
+
+        def body(worker: int) -> None:
+            for i in range(N_OPS):
+                if i % 3 == 0:
+                    cache.put(str(i % 32), 0, i, centroid, ranked)
+                else:
+                    cache.get(str(i % 64), 0)
+
+        _hammer(body)
+        snap = cache.snapshot()
+        puts_per_worker = (N_OPS + 2) // 3
+        gets_per_worker = N_OPS - puts_per_worker
+        assert snap["inserts"] == 32 + N_THREADS * puts_per_worker
+        assert snap["hits"] + snap["misses"] == (
+            N_THREADS * gets_per_worker
+        )
+        # Byte accounting stayed consistent with the live entries.
+        assert snap["entries"] == len(cache) == 32
+        assert snap["bytes"] == sum(
+            entry.nbytes for entry in cache._entries.values()
+        )
+
+
 class TestTracerAcrossThreads:
     def test_adopt_parents_worker_spans(self):
         tracer = obs.Tracer()

@@ -445,6 +445,88 @@ class TestStoreScan:
 
 
 # ----------------------------------------------------------------------
+# Lifecycle: close(), idempotent re-attach, engine teardown
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_releases_memmap_and_is_idempotent(self, saved_store):
+        _, _, directory = saved_store
+        store = FeatureStore.open(directory, mode="memmap")
+        node = next(iter(store.spans))
+        store.node_block(node)  # works while open
+        store.close()
+        assert store.closed
+        with pytest.raises(DatasetError):
+            store.node_block(node)
+        with pytest.raises(DatasetError):
+            store.vectors_for(np.array([0]))
+        store.close()  # second close is a no-op
+
+    def test_reattach_same_store_is_noop(self, built):
+        database, _ = built
+        rfs = RFSStructure.build(
+            database.features,
+            RFSConfig(
+                node_max_entries=60,
+                node_min_entries=30,
+                leaf_subclusters=4,
+            ),
+            seed=SEED,
+        )
+        store = FeatureStore.build(rfs)
+        rfs.attach_store(store, validate=False)
+        version = rfs.structure_version
+        rfs.attach_store(store)  # same object: no validation, no bump
+        assert rfs.store is store
+        assert rfs.structure_version == version
+        rfs.detach_store()
+        assert rfs.structure_version == version + 1
+        rfs.detach_store()  # nothing attached: no bump
+        assert rfs.structure_version == version + 1
+
+    def test_engine_close_releases_memmap_store(
+        self, built, saved_store
+    ):
+        database, _ = built
+        _, _, directory = saved_store
+        store = FeatureStore.open(directory, mode="memmap")
+        rfs = RFSStructure.build(
+            database.features,
+            RFSConfig(
+                node_max_entries=60,
+                node_min_entries=30,
+                leaf_subclusters=4,
+            ),
+            seed=SEED,
+        )
+        engine = QueryDecompositionEngine(
+            database, rfs, QDConfig(), store=store
+        )
+        engine.close()
+        assert rfs.store is None
+        assert store.closed
+        engine.close()  # safe to call twice
+
+    def test_engine_close_keeps_inmem_store_attached(self, built):
+        database, _ = built
+        rfs = RFSStructure.build(
+            database.features,
+            RFSConfig(
+                node_max_entries=60,
+                node_min_entries=30,
+                leaf_subclusters=4,
+            ),
+            seed=SEED,
+        )
+        store = FeatureStore.build(rfs)
+        engine = QueryDecompositionEngine(
+            database, rfs, QDConfig(), store=store
+        )
+        engine.close()
+        assert rfs.store is store
+        assert not store.closed
+
+
+# ----------------------------------------------------------------------
 # Parity: inmem vs memmap, across executors — the acceptance property
 # ----------------------------------------------------------------------
 def _signature(result):
