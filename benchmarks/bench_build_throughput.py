@@ -1,0 +1,251 @@
+"""Perf — parallel, vectorized offline RFS build pipeline.
+
+Models the offline index build at the paper's scale (15,000 images)
+with the I/O model charging a per-page device latency, the way a build
+over a disk-resident feature set would pay for reading each node's
+members.  Three timed legs build the *identical* structure:
+
+* **serial naive** — the pre-optimisation baseline: the original
+  per-cluster Lloyd's loops restored via the retained ``_assign_naive``
+  / ``_lloyd_update_naive`` reference kernels,
+* **serial vectorized** — the scatter-add / blocked-distance kernels
+  on one worker,
+* **thread x N** — the vectorized kernels with representative
+  selection and bulk-load bisection fanned out over the build executor,
+  overlapping each node's simulated page reads.
+
+A fourth (untimed) leg builds with the process executor and checks
+parity only.  Every leg must produce a bit-identical structure — same
+node ids, members, boxes, and representatives — which is the build
+pipeline's core contract.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_build_throughput.py`` — report/benchmark
+  fixtures, rows appended to ``benchmarks/results/latest.txt``.
+* ``python benchmarks/bench_build_throughput.py [--tiny]`` —
+  fixture-free script entry for CI smoke (same rows, same results file).
+
+``QD_BENCH_TINY=1`` (or ``--tiny``) shrinks the workload for CI.
+
+Acceptance (ISSUE): >= 2.5x build throughput at 4 workers vs the
+serial pre-PR baseline at full scale (the tiny smoke asserts a relaxed
+>= 1.2x), with the parallel build bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from pathlib import Path
+from unittest import mock
+
+from importlib import import_module
+
+from repro.config import BuildConfig, RFSConfig
+from repro.datasets.build import build_synthetic_database
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.rfs import RFSStructure
+
+# The clustering package re-exports the ``kmeans`` *function*, which
+# shadows the submodule attribute; fetch the modules themselves to
+# patch their kernels.
+kmeans_mod = import_module("repro.clustering.kmeans")
+rfs_mod = import_module("repro.index.rfs")
+
+TINY = os.environ.get("QD_BENCH_TINY") == "1"
+SEED = 2006
+WORKERS = 4
+#: Simulated device latency per page read, charged to every node's
+#: member fetch during representative selection on all timed legs
+#: alike.  A random page read on the paper's 2006-era disks costs the
+#: average seek (~9 ms) plus half a rotation (~4 ms at 7200 rpm).
+PAGE_LATENCY_S = 0.015
+
+
+def _params(tiny: bool) -> dict:
+    if tiny:
+        return dict(n_images=2_000, n_categories=30, min_speedup=1.2,
+                    kmeans_k=200, min_kernel_speedup=1.15)
+    return dict(n_images=15_000, n_categories=150, min_speedup=2.5,
+                kmeans_k=150, min_kernel_speedup=1.3)
+
+
+def _signature(rfs: RFSStructure) -> list:
+    """Everything that defines a built structure, bit-for-bit."""
+    out = []
+    for node_id in sorted(rfs.nodes):
+        node = rfs.nodes[node_id]
+        out.append(
+            (
+                node_id,
+                node.level,
+                node.item_ids.tobytes(),
+                tuple(node.representatives),
+                node.mbr.lo.tobytes(),
+                node.mbr.hi.tobytes(),
+            )
+        )
+    return out
+
+
+def _timed_build(features, build_cfg: BuildConfig):
+    """Build with per-page latency charged; returns (seconds, rfs)."""
+    io = DiskAccessCounter(page_read_latency_s=PAGE_LATENCY_S)
+    start = time.perf_counter()
+    rfs = RFSStructure.build(
+        features, RFSConfig(), seed=SEED, io=io, build=build_cfg
+    )
+    return time.perf_counter() - start, rfs
+
+
+def run_build_bench(tiny: bool) -> tuple[list[str], dict]:
+    """Run every measurement; returns (report rows, metrics dict)."""
+    p = _params(tiny)
+    database = build_synthetic_database(
+        p["n_images"], n_categories=p["n_categories"], seed=SEED
+    )
+    features = database.features
+
+    # Pre-PR baseline: restore the naive Lloyd's kernels, serial build.
+    with mock.patch.object(
+        kmeans_mod, "_assign", kmeans_mod._assign_naive
+    ), mock.patch.object(
+        kmeans_mod, "_lloyd_update", kmeans_mod._lloyd_update_naive
+    ), mock.patch.object(
+        rfs_mod,
+        "_nearest_candidates",
+        rfs_mod._nearest_candidates_naive,
+    ):
+        naive_s, naive_rfs = _timed_build(
+            features, BuildConfig(charge_io=True)
+        )
+    baseline_sig = _signature(naive_rfs)
+
+    # Vectorized kernels, still one worker.
+    serial_s, serial_rfs = _timed_build(
+        features, BuildConfig(charge_io=True)
+    )
+    assert _signature(serial_rfs) == baseline_sig
+
+    # Vectorized + the thread build executor overlapping page reads.
+    thread_s, thread_rfs = _timed_build(
+        features,
+        BuildConfig(executor="thread", workers=WORKERS, charge_io=True),
+    )
+    assert _signature(thread_rfs) == baseline_sig
+
+    # Process executor: parity check only (fork + pool startup noise
+    # makes its wall time meaningless at bench scale).
+    process_rfs = RFSStructure.build(
+        features,
+        RFSConfig(),
+        seed=SEED,
+        build=BuildConfig(executor="process", workers=WORKERS),
+    )
+    assert _signature(process_rfs) == baseline_sig
+
+    # Kernel microbench at the scale the vectorization targets: one
+    # paper-scale clustering call, no I/O model.  (The build's own
+    # kmeans instances are leaf-sized, so the whole-build serial legs
+    # above differ by only a few percent and are sleep-dominated.)
+    kernel_naive_s, kernel_vec_s = _kmeans_kernel_times(
+        features, p["kmeans_k"]
+    )
+
+    vec_speedup = naive_s / serial_s
+    thread_speedup = naive_s / thread_s
+    kernel_speedup = kernel_naive_s / kernel_vec_s
+    scale = "tiny" if tiny else "full"
+    rows = [
+        f"Build pipeline: {p['n_images']} images, "
+        f"{len(serial_rfs.nodes)} nodes, "
+        f"{PAGE_LATENCY_S * 1000:.0f} ms/page ({scale})",
+        f"  serial naive         {naive_s * 1000:8.1f} ms   1.00x",
+        f"  serial vectorized    {serial_s * 1000:8.1f} ms   "
+        f"{vec_speedup:.2f}x",
+        f"  thread x {WORKERS}           {thread_s * 1000:8.1f} ms   "
+        f"{thread_speedup:.2f}x   (bit-identical)",
+        f"  kmeans kernels (k={p['kmeans_k']})   "
+        f"{kernel_naive_s * 1000:6.1f} -> {kernel_vec_s * 1000:.1f} ms   "
+        f"{kernel_speedup:.2f}x   (bit-identical)",
+    ]
+    metrics = {
+        "vec_speedup": vec_speedup,
+        "thread_speedup": thread_speedup,
+        "kernel_speedup": kernel_speedup,
+        "min_speedup": p["min_speedup"],
+        "min_kernel_speedup": p["min_kernel_speedup"],
+    }
+    return rows, metrics
+
+
+def _kmeans_kernel_times(features, k: int) -> tuple[float, float]:
+    """Best-of-3 naive vs vectorized time of one large clustering."""
+
+    def timed() -> float:
+        start = time.perf_counter()
+        kmeans_mod.kmeans(features, k, seed=7, n_restarts=1, max_iter=15)
+        return time.perf_counter() - start
+
+    vec_s = min(timed() for _ in range(3))
+    with mock.patch.object(
+        kmeans_mod, "_assign", kmeans_mod._assign_naive
+    ), mock.patch.object(
+        kmeans_mod, "_lloyd_update", kmeans_mod._lloyd_update_naive
+    ):
+        naive_s = min(timed() for _ in range(3))
+    return naive_s, vec_s
+
+
+def _check(metrics: dict) -> None:
+    # Acceptance: 4 workers beat the serial pre-PR baseline.
+    assert metrics["thread_speedup"] >= metrics["min_speedup"]
+    # The vectorized kernels must win clearly at the scale they target.
+    assert metrics["kernel_speedup"] >= metrics["min_kernel_speedup"]
+    # The whole-build serial legs are sleep-dominated (the build's own
+    # kmeans instances are leaf-sized), so only guard against a real
+    # regression, not sleep jitter.
+    assert metrics["vec_speedup"] >= 0.9
+
+
+def test_build_throughput(report, benchmark):
+    rows, metrics = run_build_bench(TINY)
+    report("\n".join(rows))
+    benchmark.extra_info["thread_speedup"] = round(
+        metrics["thread_speedup"], 2
+    )
+    benchmark.extra_info["vec_speedup"] = round(
+        metrics["vec_speedup"], 2
+    )
+    benchmark.pedantic(
+        lambda: None, rounds=1, iterations=1
+    )  # timing captured manually above; keep the bench in the report
+    _check(metrics)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Offline build throughput benchmark "
+        "(fixture-free entry)"
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke scale (also via QD_BENCH_TINY=1)",
+    )
+    args = parser.parse_args(argv)
+    rows, metrics = run_build_bench(args.tiny or TINY)
+    text = "\n".join(rows)
+    print(text)
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    with (results_dir / "latest.txt").open("a") as handle:
+        handle.write(text + "\n\n")
+    _check(metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

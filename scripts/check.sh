@@ -91,3 +91,20 @@ if grep -qE '[1-9][0-9]* skipped' "$INVALIDATION_LOG"; then
     echo "== cache invalidation tests were skipped; failing ==" >&2
     exit 1
 fi
+
+# The build-parity tests guard the offline pipeline's core contract (a
+# parallel build must be bit-identical to the serial one — node ids,
+# members, boxes, representatives); like the gates above, they must
+# actually run, not be skipped away.
+echo "== build parity gate =="
+PARITY_LOG=/tmp/qd-check-build-parity.log
+PYTHONPATH=src python -m pytest tests/test_build_parallel.py -k Parity \
+    -q -rs | tee "$PARITY_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$PARITY_LOG"; then
+    echo "== no build parity test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$PARITY_LOG"; then
+    echo "== build parity tests were skipped; failing ==" >&2
+    exit 1
+fi

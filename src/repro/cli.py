@@ -25,6 +25,7 @@ from repro import obs
 from repro.config import (
     EXECUTOR_KINDS,
     STORE_KINDS,
+    BuildConfig,
     DatasetConfig,
     QDConfig,
     RFSConfig,
@@ -71,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rfs.add_argument(
         "--method", choices=("rstar", "hkmeans"), default="rstar"
     )
+    _add_build_flags(p_rfs)
 
     p_store = sub.add_parser(
         "build-store",
@@ -87,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dtype", choices=("float32", "float64"), default="float32"
     )
     p_store.add_argument("--seed", type=int, default=2006)
+    _add_build_flags(p_store)
 
     p_query = sub.add_parser(
         "query", help="run one oracle-driven QD session"
@@ -155,6 +158,53 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="worker count for thread/process executors (0 = cpu count)",
     )
+
+
+def _add_build_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared offline-build flags (build-rfs/build-store)."""
+    parser.add_argument(
+        "--build-executor",
+        choices=EXECUTOR_KINDS,
+        default="serial",
+        help=(
+            "how offline build work runs (the built structure is "
+            "bit-identical across executors)"
+        ),
+    )
+    parser.add_argument(
+        "--build-workers",
+        type=int,
+        default=0,
+        help="worker count for parallel builds (0 = cpu count)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print build progress (nodes clustered / total)",
+    )
+
+
+def _build_config_from_args(args: argparse.Namespace) -> BuildConfig:
+    """Build-pipeline config from the ``--build-*`` flags."""
+    return BuildConfig(
+        executor=getattr(args, "build_executor", "serial"),
+        workers=getattr(args, "build_workers", 0),
+    )
+
+
+def _progress_printer(args: argparse.Namespace):
+    """Progress callback for ``--progress`` (``None`` when not asked)."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def emit(event) -> None:
+        print(
+            f"\r{event.phase}: {event.done}/{event.total}",
+            end="" if event.done < event.total else "\n",
+            flush=True,
+        )
+
+    return emit
 
 
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
@@ -308,6 +358,8 @@ def _cmd_build_rfs(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
         method=args.method,
+        build=_build_config_from_args(args),
+        progress=_progress_printer(args),
     )
     save_rfs(rfs, args.out)
     n_nodes = sum(1 for _ in rfs.iter_nodes())
@@ -326,7 +378,12 @@ def _cmd_build_store(args: argparse.Namespace) -> int:
     if args.rfs:
         rfs = load_rfs(args.rfs, database.features)
     else:
-        rfs = RFSStructure.build(database.features, seed=args.seed)
+        rfs = RFSStructure.build(
+            database.features,
+            seed=args.seed,
+            build=_build_config_from_args(args),
+            progress=_progress_printer(args),
+        )
     store = FeatureStore.build(rfs, dtype=args.dtype)
     store.save(args.out)
     print(

@@ -3,13 +3,27 @@
 Lloyd's algorithm on numpy, with:
 
 * k-means++ seeding (D² sampling) for fast, stable convergence,
-* empty-cluster repair (an empty cluster is re-seeded at the point
-  farthest from its assigned centroid),
+* empty-cluster repair (each empty cluster is re-seeded at a distinct
+  sample, farthest-first, from its assigned centroid),
 * multiple restarts keeping the lowest-inertia solution.
 
 This is the workhorse behind representative-image selection in the RFS
 structure (paper §3.1) and the cluster grouping inside the Qcluster and
 MARS multipoint baselines.
+
+The Lloyd iteration is fully vectorized: assignment runs through the
+norm-expansion kernel shared with :mod:`repro.store.kernels`
+(optionally chunked to bound the (chunk, k) scratch table), and the
+centroid update is a single ``np.bincount`` + ``np.add.at`` scatter.
+Both are **bit-identical** to the naive per-cluster loops they replace
+(``np.add.at`` accumulates sequentially, exactly like
+``members.mean(axis=0)`` per cluster; the expansion's addition order
+matches the original broadcast form), so the full-batch path reproduces
+the historical results to the last bit — the naive reference
+implementations are kept below for the equivalence tests and the build
+benchmark's pre-optimisation baseline.  An optional mini-batch mode
+(deterministic, per-iteration sampling without replacement) trades
+exactness for throughput on very large inputs.
 """
 
 from __future__ import annotations
@@ -78,9 +92,74 @@ def _plus_plus_init(
     return centroids
 
 
-def _assign(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """Label each sample with the index of its nearest centroid."""
-    # (n, k) squared distances via the expansion trick.
+def _sq_distance_table(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    data_sqnorms: np.ndarray,
+    cent_sqnorms: np.ndarray,
+) -> np.ndarray:
+    """(n, k) squared distances via the shared norm-expansion kernel."""
+    # Imported lazily: repro.store pulls in the index package, which
+    # imports this module at its own load time.
+    from repro.store.kernels import pairwise_sq_distances
+
+    return pairwise_sq_distances(
+        data,
+        centroids,
+        block_sqnorms=data_sqnorms,
+        rep_sqnorms=cent_sqnorms,
+    )
+
+
+def _assign(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    data_sqnorms: np.ndarray | None = None,
+    chunk_size: int = 0,
+) -> np.ndarray:
+    """Label each sample with the index of its nearest centroid.
+
+    ``chunk_size`` bounds the (chunk, k) distance-table scratch;
+    chunked and unchunked assignment are bit-identical (each row's
+    distances are computed by the same expansion either way).
+    """
+    if data_sqnorms is None:
+        data_sqnorms = np.sum(data**2, axis=1)
+    cent_sqnorms = np.sum(centroids**2, axis=1)
+    n = data.shape[0]
+    if chunk_size <= 0 or chunk_size >= n:
+        table = _sq_distance_table(
+            data, centroids, data_sqnorms, cent_sqnorms
+        )
+        return np.argmin(table, axis=1)
+    labels = np.empty(n, dtype=np.int64)
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        table = _sq_distance_table(
+            data[start:stop],
+            centroids,
+            data_sqnorms[start:stop],
+            cent_sqnorms,
+        )
+        labels[start:stop] = np.argmin(table, axis=1)
+    return labels
+
+
+def _assign_naive(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    data_sqnorms: np.ndarray | None = None,
+    chunk_size: int = 0,
+) -> np.ndarray:
+    """Reference assignment: the original in-line expansion.
+
+    Kept for the vectorized-vs-naive equivalence tests and as the
+    benchmark's pre-optimisation baseline; bit-identical to
+    :func:`_assign` (floating-point addition is commutative, so the
+    kernel's ``(-2c + a) + b`` ordering matches ``(a - 2c) + b``).
+    """
     cross = data @ centroids.T
     d_sq = (
         np.sum(data**2, axis=1)[:, None]
@@ -90,38 +169,153 @@ def _assign(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     return np.argmin(d_sq, axis=1)
 
 
+def _reseed_empty(
+    data: np.ndarray,
+    labels: np.ndarray,
+    centroids: np.ndarray,
+    new_centroids: np.ndarray,
+    empties: np.ndarray,
+) -> None:
+    """Re-seed empty clusters at distinct farthest-first samples.
+
+    Every empty cluster takes the next-farthest sample from its
+    assigned centroid, so several clusters emptying in one iteration
+    land on *different* samples instead of all collapsing onto the
+    single global-farthest point.  The stable sort of the negated
+    distances keeps the first pick identical to the historical
+    ``argmax`` (first index wins among exact ties).
+    """
+    dist_sq = np.sum((data - centroids[labels]) ** 2, axis=1)
+    order = np.argsort(-dist_sq, kind="stable")
+    for pos, j in enumerate(empties):
+        new_centroids[j] = data[order[pos]]
+
+
+def _lloyd_update(
+    data: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    centroids: np.ndarray,
+) -> np.ndarray:
+    """Vectorized centroid update with empty-cluster repair.
+
+    ``np.add.at`` accumulates rows sequentially (unbuffered scatter),
+    which is bit-identical to summing each cluster's members with
+    ``members.sum(axis=0)`` — so dividing by the counts reproduces the
+    per-cluster ``members.mean(axis=0)`` loop exactly.
+    """
+    counts = np.bincount(labels, minlength=k)
+    sums = np.zeros((k, data.shape[1]), dtype=np.float64)
+    np.add.at(sums, labels, data)
+    new_centroids = np.empty_like(centroids)
+    filled = counts > 0
+    new_centroids[filled] = sums[filled] / counts[filled, None]
+    empties = np.flatnonzero(~filled)
+    if empties.size:
+        _reseed_empty(data, labels, centroids, new_centroids, empties)
+    return new_centroids
+
+
+def _lloyd_update_naive(
+    data: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    centroids: np.ndarray,
+) -> np.ndarray:
+    """Reference update: per-cluster Python loop (with the repair fix).
+
+    Kept for the equivalence tests and the benchmark baseline;
+    bit-identical to :func:`_lloyd_update`.
+    """
+    counts = np.bincount(labels, minlength=k)
+    new_centroids = np.empty_like(centroids)
+    for j in range(k):
+        if counts[j]:
+            new_centroids[j] = data[labels == j].mean(axis=0)
+    empties = np.flatnonzero(counts == 0)
+    if empties.size:
+        _reseed_empty(data, labels, centroids, new_centroids, empties)
+    return new_centroids
+
+
 def _single_run(
     data: np.ndarray,
     k: int,
     rng: np.random.Generator,
     max_iter: int,
     tol: float,
+    *,
+    chunk_size: int = 0,
 ) -> KMeansResult:
     """One full Lloyd's-algorithm run from a k-means++ start."""
     centroids = _plus_plus_init(data, k, rng)
-    labels = _assign(data, centroids)
+    data_sqnorms = np.sum(data**2, axis=1)
+    labels = _assign(
+        data, centroids, data_sqnorms=data_sqnorms, chunk_size=chunk_size
+    )
     n_iter = 0
     for n_iter in range(1, max_iter + 1):
-        new_centroids = np.empty_like(centroids)
-        for j in range(k):
-            members = data[labels == j]
-            if members.shape[0] == 0:
-                # Empty-cluster repair: reseed at the sample farthest from
-                # its current centroid.
-                dist_sq = np.sum(
-                    (data - centroids[labels]) ** 2, axis=1
-                )
-                new_centroids[j] = data[int(np.argmax(dist_sq))]
-            else:
-                new_centroids[j] = members.mean(axis=0)
+        new_centroids = _lloyd_update(data, labels, k, centroids)
         shift = float(np.max(np.abs(new_centroids - centroids)))
         centroids = new_centroids
-        labels = _assign(data, centroids)
+        labels = _assign(
+            data,
+            centroids,
+            data_sqnorms=data_sqnorms,
+            chunk_size=chunk_size,
+        )
         if shift <= tol:
             break
     inertia = float(
         np.sum((data - centroids[labels]) ** 2)
     )
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, n_iter=n_iter
+    )
+
+
+def _single_run_minibatch(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iter: int,
+    tol: float,
+    batch_size: int,
+    *,
+    chunk_size: int = 0,
+) -> KMeansResult:
+    """One mini-batch k-means run (Sculley-style streaming update).
+
+    Each iteration assigns a fresh without-replacement sample and moves
+    every hit centroid toward its batch mean with a per-centroid
+    learning rate of ``batch_count / cumulative_count``.  Deterministic
+    for a given generator state; the final labels/inertia come from one
+    full assignment pass over all the data.
+    """
+    n = data.shape[0]
+    centroids = _plus_plus_init(data, k, rng)
+    weights = np.zeros(k, dtype=np.float64)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        idx = rng.choice(n, size=batch_size, replace=False)
+        batch = data[idx]
+        batch_labels = _assign(batch, centroids, chunk_size=chunk_size)
+        counts = np.bincount(batch_labels, minlength=k).astype(np.float64)
+        sums = np.zeros((k, data.shape[1]), dtype=np.float64)
+        np.add.at(sums, batch_labels, batch)
+        hit = counts > 0
+        weights += counts
+        new_centroids = centroids.copy()
+        rate = (counts[hit] / weights[hit])[:, None]
+        new_centroids[hit] += rate * (
+            sums[hit] / counts[hit, None] - centroids[hit]
+        )
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        if shift <= tol:
+            break
+    labels = _assign(data, centroids, chunk_size=chunk_size)
+    inertia = float(np.sum((data - centroids[labels]) ** 2))
     return KMeansResult(
         centroids=centroids, labels=labels, inertia=inertia, n_iter=n_iter
     )
@@ -135,6 +329,8 @@ def kmeans(
     n_restarts: int = 3,
     max_iter: int = 100,
     tol: float = 1e-6,
+    chunk_size: int = 0,
+    minibatch: int = 0,
 ) -> KMeansResult:
     """Cluster ``data`` into ``k`` groups; return the best of several runs.
 
@@ -150,6 +346,14 @@ def kmeans(
         Independent runs; the lowest-inertia result wins.
     max_iter / tol:
         Lloyd iteration budget and centroid-shift convergence threshold.
+    chunk_size:
+        Assignment-step row chunk (``0`` = unchunked).  Bounds the
+        (chunk, k) distance-table scratch without changing any result.
+    minibatch:
+        When positive and ``n > minibatch``, runs mini-batch k-means
+        with this batch size instead of full-batch Lloyd — an
+        approximation for very large inputs.  ``0`` (default) keeps the
+        exact full-batch path.
     """
     matrix = check_vectors("data", data)
     n = matrix.shape[0]
@@ -159,10 +363,23 @@ def kmeans(
         raise ClusteringError(f"need at least k={k} samples, got {n}")
     if n_restarts < 1:
         raise ClusteringError(f"n_restarts must be >= 1, got {n_restarts}")
+    if chunk_size < 0:
+        raise ClusteringError(f"chunk_size must be >= 0, got {chunk_size}")
+    if minibatch < 0:
+        raise ClusteringError(f"minibatch must be >= 0, got {minibatch}")
     rng = ensure_rng(seed)
+    use_minibatch = 0 < minibatch < n
     best: KMeansResult | None = None
     for _ in range(n_restarts):
-        result = _single_run(matrix, k, rng, max_iter, tol)
+        if use_minibatch:
+            result = _single_run_minibatch(
+                matrix, k, rng, max_iter, tol, minibatch,
+                chunk_size=chunk_size,
+            )
+        else:
+            result = _single_run(
+                matrix, k, rng, max_iter, tol, chunk_size=chunk_size
+            )
         if best is None or result.inertia < best.inertia:
             best = result
     assert best is not None  # n_restarts >= 1 guarantees a result
@@ -191,12 +408,16 @@ class KMeans:
         n_restarts: int = 3,
         max_iter: int = 100,
         tol: float = 1e-6,
+        chunk_size: int = 0,
+        minibatch: int = 0,
     ) -> None:
         self.k = k
         self.seed = seed
         self.n_restarts = n_restarts
         self.max_iter = max_iter
         self.tol = tol
+        self.chunk_size = chunk_size
+        self.minibatch = minibatch
         self.result_: KMeansResult | None = None
 
     def fit(self, data: np.ndarray) -> "KMeans":
@@ -208,6 +429,8 @@ class KMeans:
             n_restarts=self.n_restarts,
             max_iter=self.max_iter,
             tol=self.tol,
+            chunk_size=self.chunk_size,
+            minibatch=self.minibatch,
         )
         return self
 

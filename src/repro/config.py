@@ -176,6 +176,80 @@ class QDConfig:
             )
 
 
+@dataclass(frozen=True)
+class BuildConfig:
+    """Parameters of the offline RFS build pipeline (see :mod:`repro.exec.build`).
+
+    The offline build — clustering bulk load plus bottom-up representative
+    selection — fans independent work units (subtree bisections, per-node
+    k-means) over a build executor.  Every node derives its own RNG stream,
+    so the built structure is **bit-identical** across executor kinds and
+    worker counts; these knobs only trade wall-clock time.
+
+    Attributes
+    ----------
+    executor:
+        How build work units are dispatched — ``"serial"`` (in-line, the
+        default), ``"thread"``, or ``"process"`` (fork-based; falls back
+        to threads where fork is unavailable).
+    workers:
+        Worker count for the parallel executors; ``0`` (default) picks
+        the machine's CPU count.  Ignored by the serial executor.
+    parallel_group_threshold:
+        Subtree size at which a bisection task stops splitting off
+        parallel children and recurses in-line instead.  Small subtrees
+        are cheaper to finish locally than to re-dispatch.
+    kmeans_chunk:
+        Row-chunk size for the Lloyd assignment step inside
+        representative selection (``0`` = unchunked).  Bounds the
+        (chunk, k) distance-table scratch for very large nodes; chunked
+        and unchunked assignment are bit-identical.
+    kmeans_minibatch:
+        Mini-batch size for representative-selection k-means on nodes
+        with more samples than this (``0`` = always full-batch Lloyd).
+        Mini-batch runs are deterministic per node but are an
+        approximation — leave at 0 to reproduce the paper pipeline.
+    charge_io:
+        Charge one simulated page access (category ``build_reps``) per
+        node during representative selection.  Off by default: build
+        charges would pre-warm the shared buffer pool and skew
+        query-time I/O accounting.  The build-throughput benchmark turns
+        it on to model disk-resident builds, where overlapping page
+        latency is most of the parallel win.
+    """
+
+    executor: str = "serial"
+    workers: int = 0
+    parallel_group_threshold: int = 4096
+    kmeans_chunk: int = 0
+    kmeans_minibatch: int = 0
+    charge_io: bool = False
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"build executor must be one of {EXECUTOR_KINDS}, got "
+                f"{self.executor!r}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"build workers must be >= 0 (0 = auto), got {self.workers}"
+            )
+        if self.parallel_group_threshold < 1:
+            raise ConfigurationError(
+                "parallel_group_threshold must be >= 1, got "
+                f"{self.parallel_group_threshold}"
+            )
+        if self.kmeans_chunk < 0:
+            raise ConfigurationError(
+                f"kmeans_chunk must be >= 0, got {self.kmeans_chunk}"
+            )
+        if self.kmeans_minibatch < 0:
+            raise ConfigurationError(
+                f"kmeans_minibatch must be >= 0, got {self.kmeans_minibatch}"
+            )
+
+
 #: Feature-store backings accepted by :attr:`StoreConfig.kind` and the
 #: CLI ``--store`` flag (see :mod:`repro.store`).
 STORE_KINDS: tuple[str, ...] = ("inmem", "memmap")
@@ -296,3 +370,4 @@ class SystemConfig:
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    build: BuildConfig = field(default_factory=BuildConfig)

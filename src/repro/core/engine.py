@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.config import CacheConfig, QDConfig, RFSConfig
+from repro.config import BuildConfig, CacheConfig, QDConfig, RFSConfig
 from repro.errors import ConfigurationError
 from repro.core.presentation import QueryResult
 from repro.core.session import FeedbackSession
@@ -21,7 +21,7 @@ from repro.exec import (
     run_final_round_batch,
 )
 from repro.index.diskmodel import DiskAccessCounter
-from repro.index.rfs import RFSStructure
+from repro.index.rfs import ProgressCallback, RFSStructure
 from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.timing import TimingLog
@@ -85,6 +85,8 @@ class QueryDecompositionEngine:
         store: Optional[str] = None,
         store_dtype: str = "float32",
         cache: Optional[CacheConfig] = None,
+        build: Optional[BuildConfig] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> "QueryDecompositionEngine":
         """Construct the RFS structure for ``database`` and wrap it.
 
@@ -100,9 +102,20 @@ class QueryDecompositionEngine:
         ``cache`` optionally attaches a cross-session subquery result
         cache (see :mod:`repro.cache`) sized by
         :attr:`CacheConfig.capacity_mb` when ``cache.enabled`` is true.
+
+        ``build`` configures the offline pipeline (parallel executor,
+        worker count — see :class:`repro.config.BuildConfig`); the built
+        structure is bit-identical across executors.  ``progress``
+        receives :class:`repro.index.BuildProgress` events so long
+        builds are not silent.
         """
         rfs = RFSStructure.build(
-            database.features, rfs_config, seed=seed, io=io
+            database.features,
+            rfs_config,
+            seed=seed,
+            io=io,
+            build=build,
+            progress=progress,
         )
         if store is not None:
             from repro.store import FeatureStore

@@ -7,6 +7,14 @@ batch scheduler serving many sessions' final rounds at once.
 """
 
 from repro.exec.batch import BatchQuery, run_final_round_batch
+from repro.exec.build import (
+    BuildExecutor,
+    ProcessBuildExecutor,
+    SerialBuildExecutor,
+    ThreadedBuildExecutor,
+    make_build_executor,
+    resolve_build_executor,
+)
 from repro.exec.executors import (
     ProcessSubqueryExecutor,
     SerialSubqueryExecutor,
@@ -22,7 +30,13 @@ from repro.exec.executors import (
 
 __all__ = [
     "BatchQuery",
+    "BuildExecutor",
+    "ProcessBuildExecutor",
     "ProcessSubqueryExecutor",
+    "SerialBuildExecutor",
+    "ThreadedBuildExecutor",
+    "make_build_executor",
+    "resolve_build_executor",
     "run_final_round_batch",
     "SerialSubqueryExecutor",
     "SubqueryExecutor",

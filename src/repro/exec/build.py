@@ -1,0 +1,269 @@
+"""Executor pool for the offline build pipeline.
+
+The offline side of Query Decomposition has the same independence
+structure as the query side: the R*-style bulk load splits point sets
+into disjoint subtrees, and bottom-up representative selection clusters
+each node independently of its siblings (PAPER.md §RFS).  This module
+fans that work out the same way :mod:`repro.exec.executors` fans out
+final-round subqueries — with the stronger guarantee that the *built
+tree is bit-identical* no matter which executor ran it:
+
+* tasks are mapped in **submission order** and results returned in that
+  order, so the caller applies them deterministically;
+* every task draws randomness from an RNG stream derived from the node
+  id or tree path (:func:`repro.utils.rng.derive_rng`), never from a
+  shared sequential generator, so execution order cannot leak into the
+  result;
+* all executors funnel through the same module-level task functions.
+
+Unlike the query-side executors, build tasks are heterogeneous, so the
+interface is a generic order-preserving
+:meth:`BuildExecutor.map` over ``(payload, item)`` task functions.  The
+``payload`` carries the per-phase shared state (feature matrix, config,
+parent RNG, I/O counter); the process executor ships it to workers via
+fork inheritance of a module-level slot — pickling a feature matrix per
+task would swamp any speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import EXECUTOR_KINDS, BuildConfig
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, Tracer, get_tracer
+from repro.obs.metrics import use_metrics
+from repro.obs.trace import use_tracer
+
+# A build task function: module-level callable (picklable by reference)
+# taking the phase payload and one work item.
+BuildTask = Callable[[Any, Any], Any]
+
+
+def default_build_worker_count() -> int:
+    """The automatic worker count: the machine's CPU count (min 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class BuildExecutor:
+    """Base class: order-preserving ``map`` over build task items.
+
+    Pools are created lazily and reused across phases; executors are
+    context managers — leaving the ``with`` block closes the pool.
+    """
+
+    name: str = "base"
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = workers or default_build_worker_count()
+
+    def map(
+        self, fn: BuildTask, items: Sequence[Any], payload: Any
+    ) -> List[Any]:
+        """Run ``fn(payload, item)`` for every item, in item order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "BuildExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBuildExecutor(BuildExecutor):
+    """Runs every task in-line on the calling thread (the reference)."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(workers=1)
+
+    def map(
+        self, fn: BuildTask, items: Sequence[Any], payload: Any
+    ) -> List[Any]:
+        return [fn(payload, item) for item in items]
+
+
+class ThreadedBuildExecutor(BuildExecutor):
+    """Shared-memory thread pool over build tasks.
+
+    NumPy releases the GIL inside the clustering kernels and the
+    simulated page-latency sleeps release it trivially, so node
+    clustering overlaps both compute and (simulated) I/O.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 0) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="qd-build",
+                )
+            return self._pool
+
+    def map(
+        self, fn: BuildTask, items: Sequence[Any], payload: Any
+    ) -> List[Any]:
+        if len(items) <= 1:  # nothing to overlap; skip pool dispatch
+            return [fn(payload, item) for item in items]
+        tracer = get_tracer()
+        parent_span = tracer.current
+
+        def call(item: Any) -> Any:
+            # Adopt the dispatching span so worker spans attach to the
+            # build trace instead of becoming detached roots.
+            with tracer.adopt(parent_span):
+                return fn(payload, item)
+
+        pool = self._ensure_pool()
+        return list(pool.map(call, items))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Process executor.  The phase payload (feature matrix included) reaches
+# the workers through fork inheritance of this module-level slot.
+# ----------------------------------------------------------------------
+_BUILD_STATE: Dict[str, Any] = {"payload": None}
+
+
+def _process_build_entry(args: Tuple[BuildTask, Any]) -> Tuple[Any, Any]:
+    """Worker-process entry point: run one build task, capture I/O.
+
+    The worker runs against the forked (copy-on-write) payload, records
+    obs into throwaway local objects — build metrics and spans are
+    emitted by the parent around whole phases — and ships the
+    disk-access delta home so the parent's counter stays authoritative.
+    """
+    fn, item = args
+    payload = _BUILD_STATE["payload"]
+    io = getattr(payload, "io", None)
+    marker = io.delta_marker() if io is not None else None
+    with use_tracer(Tracer()), use_metrics(MetricsRegistry()):
+        result = fn(payload, item)
+    delta = None
+    if io is not None:
+        delta = io.delta_since(marker)
+        # Relabel this process's accesses so per-worker accounting stays
+        # meaningful after the merge (every child calls itself
+        # MainThread).
+        if delta["per_worker"]:
+            merged = {
+                key: sum(
+                    s.get(key, 0) for s in delta["per_worker"].values()
+                )
+                for key in ("hits", "misses")
+            }
+            delta["per_worker"] = {f"proc{os.getpid()}": merged}
+    return result, delta
+
+
+class ProcessBuildExecutor(BuildExecutor):
+    """Fork-based process pool over build tasks.
+
+    Requires the ``fork`` start method (Linux/macOS); elsewhere it
+    degrades to the thread executor.  The pool is recreated whenever the
+    phase payload changes, so each phase's workers hold a fresh forked
+    snapshot.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 0) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_payload_id: Optional[int] = None
+        self._fallback: Optional[ThreadedBuildExecutor] = None
+
+    @staticmethod
+    def fork_available() -> bool:
+        """Whether the fork start method exists on this platform."""
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _ensure_pool(self, payload: Any) -> ProcessPoolExecutor:
+        import multiprocessing
+
+        if self._pool is not None and self._pool_payload_id != id(payload):
+            # A different phase payload: the forked snapshot is stale.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            _BUILD_STATE["payload"] = payload
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            self._pool_payload_id = id(payload)
+        return self._pool
+
+    def map(
+        self, fn: BuildTask, items: Sequence[Any], payload: Any
+    ) -> List[Any]:
+        if not self.fork_available():  # pragma: no cover - non-POSIX
+            if self._fallback is None:
+                self._fallback = ThreadedBuildExecutor(self.workers)
+            return self._fallback.map(fn, items, payload)
+        if len(items) <= 1:
+            return [fn(payload, item) for item in items]
+        pool = self._ensure_pool(payload)
+        io = getattr(payload, "io", None)
+        results: List[Any] = []
+        for result, delta in pool.map(
+            _process_build_entry, [(fn, item) for item in items]
+        ):
+            if delta is not None and io is not None:
+                io.merge_delta(delta)
+            results.append(result)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_payload_id = None
+        if _BUILD_STATE.get("payload") is not None:
+            _BUILD_STATE["payload"] = None
+        if self._fallback is not None:  # pragma: no cover - non-POSIX
+            self._fallback.close()
+            self._fallback = None
+
+
+def make_build_executor(kind: str, workers: int = 0) -> BuildExecutor:
+    """Construct a build executor by kind name."""
+    if kind == "serial":
+        return SerialBuildExecutor()
+    if kind == "thread":
+        return ThreadedBuildExecutor(workers)
+    if kind == "process":
+        return ProcessBuildExecutor(workers)
+    raise ConfigurationError(
+        f"build executor must be one of {EXECUTOR_KINDS}, got {kind!r}"
+    )
+
+
+def resolve_build_executor(config: BuildConfig) -> BuildExecutor:
+    """Executor for a :class:`BuildConfig` (its ``executor``/``workers``)."""
+    return make_build_executor(config.executor, config.workers)

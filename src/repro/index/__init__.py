@@ -18,11 +18,12 @@ from repro.index.diskmodel import DiskAccessCounter
 from repro.index.geometry import MBR
 from repro.index.hierarchies import build_hkmeans_hierarchy
 from repro.index.incremental import IncrementalRFS
-from repro.index.rfs import RFSNode, RFSStructure
+from repro.index.rfs import BuildProgress, RFSNode, RFSStructure
 from repro.index.rstar import RStarTree
 from repro.index.serialize import load_rfs, save_rfs
 
 __all__ = [
+    "BuildProgress",
     "DiskAccessCounter",
     "MBR",
     "build_hkmeans_hierarchy",

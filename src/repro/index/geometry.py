@@ -38,10 +38,27 @@ class MBR:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _trusted(cls, lo: np.ndarray, hi: np.ndarray) -> "MBR":
+        """Validation-free constructor for internal hot paths.
+
+        Callers own the invariants (matching 1-D float64 arrays,
+        ``lo <= hi``); bulk loading builds one box per point, where the
+        per-box checks dominate the cost.
+        """
+        box = object.__new__(cls)
+        box.lo = lo
+        box.hi = hi
+        return box
+
+    @classmethod
     def from_point(cls, point: np.ndarray) -> "MBR":
         """Degenerate box covering a single point."""
         p = np.asarray(point, dtype=np.float64)
-        return cls(p.copy(), p.copy())
+        if p.ndim != 1:
+            raise ConfigurationError(
+                f"from_point needs a 1-D point, got shape {p.shape}"
+            )
+        return cls._trusted(p.copy(), p.copy())
 
     @classmethod
     def from_points(cls, points: np.ndarray) -> "MBR":

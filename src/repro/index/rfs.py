@@ -20,6 +20,8 @@ feedback rounds never touch raw image data or perform k-NN computation.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -33,7 +35,7 @@ from typing import (
 
 import numpy as np
 
-from repro.config import RFSConfig
+from repro.config import BuildConfig, RFSConfig
 from repro.errors import (
     ConfigurationError,
     EmptyIndexError,
@@ -49,6 +51,7 @@ from repro.clustering.kmeans import kmeans
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.cache.result_cache import SubqueryResultCache
+    from repro.exec.build import BuildExecutor
     from repro.store.feature_store import FeatureStore
 
 #: Reads one leaf's scan payload — either ``(block, ids, sqnorms)`` on
@@ -56,6 +59,164 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import
 #: The batch scheduler passes memoizing readers so one physical block
 #: read serves every query of a coalesced group.
 BlockReader = Callable[["RFSNode"], object]
+
+
+@dataclass(frozen=True)
+class BuildProgress:
+    """One structured progress event emitted during an offline build.
+
+    ``phase`` is ``"cluster_tree"`` (0/1 → 1/1 around the bulk load) or
+    ``"representatives"`` (``done`` nodes clustered out of ``total``).
+    """
+
+    phase: str
+    done: int
+    total: int
+
+
+#: Receives :class:`BuildProgress` events; pass to
+#: :meth:`RFSStructure.build` so long builds are not silent.
+ProgressCallback = Callable[[BuildProgress], None]
+
+
+def _rep_budget(config: RFSConfig, size: int) -> int:
+    """Representative budget for a node covering ``size`` images."""
+    return max(1, int(round(config.representative_fraction * size)))
+
+
+@dataclass
+class _RepsPayload:
+    """Fork/thread-shared state for one representative-selection phase.
+
+    The process executor ships this to workers by fork inheritance, so
+    the feature matrix is never pickled.  ``io`` is ``None`` unless the
+    build charges simulated page reads
+    (:attr:`repro.config.BuildConfig.charge_io`).
+    """
+
+    features: np.ndarray
+    config: RFSConfig
+    rng: np.random.Generator
+    io: Optional[DiskAccessCounter] = None
+    io_category: str = "build_reps"
+    kmeans_chunk: int = 0
+    kmeans_minibatch: int = 0
+
+
+def _select_leaf_reps(
+    payload: _RepsPayload, node_id: int, item_ids: np.ndarray
+) -> List[int]:
+    """Cluster a leaf's images; pick images nearest the centres.
+
+    Randomness comes from ``derive_rng(rng, f"leaf{node_id}")`` — a
+    stream addressed by the node, not by execution order — so the result
+    is identical no matter which worker runs the task.
+    """
+    config = payload.config
+    size = int(item_ids.shape[0])
+    target = _rep_budget(config, size)
+    members = payload.features[item_ids]
+    k = min(config.leaf_subclusters, size)
+    result = kmeans(
+        members,
+        k,
+        seed=derive_rng(payload.rng, f"leaf{node_id}"),
+        chunk_size=payload.kmeans_chunk,
+        minibatch=payload.kmeans_minibatch,
+    )
+    reps: List[int] = []
+    sizes = result.cluster_sizes()
+    for j in range(k):
+        mask = result.labels == j
+        if not mask.any():
+            continue
+        # Proportional share of the budget, at least one per subcluster.
+        share = max(1, int(round(target * sizes[j] / size)))
+        member_ids = item_ids[mask]
+        dists = np.linalg.norm(
+            members[mask] - result.centroids[j], axis=1
+        )
+        order = np.argsort(dists, kind="stable")[:share]
+        reps.extend(int(member_ids[i]) for i in order)
+    return sorted(set(reps))
+
+
+def _select_inner_reps(
+    payload: _RepsPayload,
+    node_id: int,
+    cand_ids: np.ndarray,
+    size: int,
+) -> List[int]:
+    """Re-cluster child representatives; pick the candidate nearest each
+    centre.
+
+    The nearest-candidate search runs over centroid blocks instead of a
+    per-centroid Python loop; the distances match the historical
+    ``np.linalg.norm`` loop bit-for-bit (same difference/reduction
+    order, same sqrt), so the chosen representatives are unchanged.
+    """
+    target = min(_rep_budget(payload.config, size), cand_ids.shape[0])
+    if target >= cand_ids.shape[0]:
+        return [int(c) for c in cand_ids]
+    cand_feats = payload.features[cand_ids]
+    result = kmeans(
+        cand_feats,
+        target,
+        seed=derive_rng(payload.rng, f"inner{node_id}"),
+        chunk_size=payload.kmeans_chunk,
+        minibatch=payload.kmeans_minibatch,
+    )
+    nearest = _nearest_candidates(cand_feats, result.centroids)
+    return sorted({int(cand_ids[i]) for i in nearest})
+
+
+def _nearest_candidates(
+    cand_feats: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """Index of the candidate nearest each centroid, over centroid
+    blocks instead of a per-centroid Python loop."""
+    target = centroids.shape[0]
+    nearest = np.empty(target, dtype=np.int64)
+    block = 128  # bounds the (block, n_candidates, d) difference tensor
+    for start in range(0, target, block):
+        centres = centroids[start : start + block]
+        diff = cand_feats[None, :, :] - centres[:, None, :]
+        dists = np.sqrt(np.sum(diff * diff, axis=2))
+        nearest[start : start + centres.shape[0]] = np.argmin(
+            dists, axis=1
+        )
+    return nearest
+
+
+def _nearest_candidates_naive(
+    cand_feats: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """Reference nearest-candidate search: the original per-centroid
+    loop.  Kept for the equivalence tests and as the benchmark's
+    pre-optimisation baseline; bit-identical to
+    :func:`_nearest_candidates` (same difference/reduction order, same
+    sqrt)."""
+    return np.array(
+        [
+            int(np.argmin(np.linalg.norm(cand_feats - c, axis=1)))
+            for c in centroids
+        ],
+        dtype=np.int64,
+    )
+
+
+def _node_reps_task(payload: _RepsPayload, item: tuple) -> List[int]:
+    """One representative-selection work unit (leaf or inner node).
+
+    The single executor entry point for the phase: charges the node's
+    simulated page read (when enabled) and dispatches on node kind.
+    """
+    kind, node_id, data, size = item
+    if payload.io is not None:
+        payload.io.access(node_id, payload.io_category)
+    if kind == "leaf":
+        return _select_leaf_reps(payload, node_id, data)
+    return _select_inner_reps(payload, node_id, data, size)
 
 
 class RFSNode:
@@ -173,6 +334,9 @@ class RFSStructure:
         # the distance arithmetic) — bumps it, so stale cache entries
         # are rejected at read time without a global flush.
         self.structure_version = 0
+        # JSON-safe description of how the structure was built (method,
+        # point count, executor, …); persisted by serialize.save_rfs.
+        self.build_meta: dict = {}
         # node_id -> (leaves, stacked lo bounds, stacked hi bounds)
         self._leaf_geometry_cache: Dict[
             int, Tuple[List[RFSNode], np.ndarray, np.ndarray]
@@ -296,6 +460,8 @@ class RFSStructure:
         seed: RandomState = None,
         io: Optional[DiskAccessCounter] = None,
         method: str = "rstar",
+        build: Optional[BuildConfig] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> "RFSStructure":
         """Build the RFS structure over an (n, d) feature matrix.
 
@@ -309,39 +475,114 @@ class RFSStructure:
 
         Representatives are then selected bottom-up with k-means either
         way.
+
+        ``build`` configures the offline pipeline (executor kind, worker
+        count, k-means knobs — see :class:`repro.config.BuildConfig`).
+        Every parallel work unit draws from an RNG stream derived from
+        its node id or tree path, so the built structure is
+        **bit-identical** across executor kinds and worker counts.
+        ``progress`` receives :class:`BuildProgress` events as the build
+        advances.
         """
         matrix = check_vectors("features", features)
         cfg = config or RFSConfig()
+        build_cfg = build or BuildConfig()
         rng = ensure_rng(seed)
         counter = io if io is not None else DiskAccessCounter()
+        metrics = get_metrics()
 
-        nodes: Dict[int, RFSNode] = {}
-        if method == "rstar":
-            tree = RStarTree(
-                dims=matrix.shape[1],
-                max_entries=cfg.node_max_entries,
-                min_entries=min(
-                    cfg.node_min_entries, cfg.node_max_entries
-                ),
-                split_min_entries=cfg.split_min_entries,
-                reinsert_fraction=cfg.reinsert_fraction,
-                io=counter,
-            )
-            tree.bulk_load(matrix, seed=derive_rng(rng, "bulkload"))
-            root = cls._materialise(tree.root, matrix, nodes)
-        elif method == "hkmeans":
-            from repro.index.hierarchies import build_hkmeans_hierarchy
+        executor: Optional["BuildExecutor"] = None
+        if build_cfg.executor != "serial":
+            from repro.exec.build import resolve_build_executor
 
-            root = build_hkmeans_hierarchy(
-                matrix, cfg, nodes, seed=derive_rng(rng, "hkmeans")
-            )
-        else:
-            raise ConfigurationError(
-                f"unknown hierarchy method {method!r}; "
-                "use 'rstar' or 'hkmeans'"
-            )
-        structure = cls(matrix, root, nodes, cfg, counter)
-        structure._select_representatives(derive_rng(rng, "reps"))
+            executor = resolve_build_executor(build_cfg)
+        try:
+            with get_tracer().span(
+                "rfs_build",
+                method=method,
+                n_points=matrix.shape[0],
+                executor=build_cfg.executor,
+            ):
+                nodes: Dict[int, RFSNode] = {}
+                if progress is not None:
+                    progress(BuildProgress("cluster_tree", 0, 1))
+                t0 = time.perf_counter()
+                with get_tracer().span("build_tree"):
+                    if method == "rstar":
+                        tree = RStarTree(
+                            dims=matrix.shape[1],
+                            max_entries=cfg.node_max_entries,
+                            min_entries=min(
+                                cfg.node_min_entries, cfg.node_max_entries
+                            ),
+                            split_min_entries=cfg.split_min_entries,
+                            reinsert_fraction=cfg.reinsert_fraction,
+                            io=counter,
+                        )
+                        tree.bulk_load(
+                            matrix,
+                            seed=derive_rng(rng, "bulkload"),
+                            executor=executor,
+                            inline_threshold=(
+                                build_cfg.parallel_group_threshold
+                            ),
+                        )
+                        root = cls._materialise(tree.root, matrix, nodes)
+                        build_meta = dict(tree.build_meta)
+                    elif method == "hkmeans":
+                        from repro.index.hierarchies import (
+                            build_hkmeans_hierarchy,
+                        )
+
+                        root = build_hkmeans_hierarchy(
+                            matrix,
+                            cfg,
+                            nodes,
+                            seed=derive_rng(rng, "hkmeans"),
+                        )
+                        build_meta = {
+                            "method": "hkmeans",
+                            "n_points": int(matrix.shape[0]),
+                        }
+                    else:
+                        raise ConfigurationError(
+                            f"unknown hierarchy method {method!r}; "
+                            "use 'rstar' or 'hkmeans'"
+                        )
+                metrics.histogram(
+                    "qd_build_tree_seconds",
+                    "hierarchical clustering (tree) phase wall time",
+                ).observe(time.perf_counter() - t0)
+                if progress is not None:
+                    progress(BuildProgress("cluster_tree", 1, 1))
+                structure = cls(matrix, root, nodes, cfg, counter)
+                build_meta["executor"] = build_cfg.executor
+                structure.build_meta = build_meta
+                t1 = time.perf_counter()
+                with get_tracer().span(
+                    "select_representatives", nodes=len(nodes)
+                ):
+                    structure._select_representatives(
+                        derive_rng(rng, "reps"),
+                        executor=executor,
+                        progress=progress,
+                        kmeans_chunk=build_cfg.kmeans_chunk,
+                        kmeans_minibatch=build_cfg.kmeans_minibatch,
+                        charge_io=build_cfg.charge_io,
+                    )
+                metrics.histogram(
+                    "qd_build_reps_seconds",
+                    "representative selection phase wall time",
+                ).observe(time.perf_counter() - t1)
+                metrics.counter(
+                    "qd_builds_total", "offline RFS builds"
+                ).inc()
+                metrics.counter(
+                    "qd_build_nodes_total", "RFS nodes built"
+                ).inc(len(nodes))
+        finally:
+            if executor is not None:
+                executor.close()
         return structure
 
     @staticmethod
@@ -384,66 +625,129 @@ class RFSStructure:
 
     def _target_rep_count(self, node: RFSNode) -> int:
         """Representative budget for a node (proportional to its size)."""
-        return max(1, int(round(self.config.representative_fraction * node.size)))
+        return _rep_budget(self.config, node.size)
 
-    def _select_representatives(self, rng: np.random.Generator) -> None:
-        """Bottom-up k-means representative selection (paper §3.1)."""
-        for node in self._post_order(self.root):
-            if node.is_leaf:
-                node.representatives = self._leaf_representatives(node, rng)
+    def _select_representatives(
+        self,
+        rng: np.random.Generator,
+        *,
+        executor: Optional["BuildExecutor"] = None,
+        progress: Optional[ProgressCallback] = None,
+        kmeans_chunk: int = 0,
+        kmeans_minibatch: int = 0,
+        charge_io: bool = False,
+    ) -> None:
+        """Bottom-up k-means representative selection (paper §3.1).
+
+        Nodes are processed one tree rank at a time, bottom rank first:
+        within a rank every node's selection is independent (an inner
+        node only reads its *children's* finished representatives), so
+        the rank fans out over ``executor``.  Results are applied — and
+        ``progress`` emitted — in serial post-order; per-node derived
+        RNG streams make the outcome identical across executors.
+        """
+        order = list(self._post_order(self.root))
+        total = len(order)
+        # Rank = height above the deepest descendant leaf; children
+        # always rank strictly below their parent, whatever the
+        # hierarchy method did with node levels.
+        rank: Dict[int, int] = {}
+        by_rank: Dict[int, List[RFSNode]] = {}
+        for node in order:  # post-order: children visited first
+            r = (
+                0
+                if node.is_leaf
+                else 1 + max(rank[c.node_id] for c in node.children)
+            )
+            rank[node.node_id] = r
+            by_rank.setdefault(r, []).append(node)
+        payload = _RepsPayload(
+            features=self.features,
+            config=self.config,
+            rng=rng,
+            io=self.io if charge_io else None,
+            kmeans_chunk=kmeans_chunk,
+            kmeans_minibatch=kmeans_minibatch,
+        )
+        done = 0
+        for r in sorted(by_rank):
+            batch = by_rank[r]
+            items = []
+            for node in batch:
+                if node.is_leaf:
+                    items.append(
+                        ("leaf", node.node_id, node.item_ids, node.size)
+                    )
+                else:
+                    cand_ids = np.array(
+                        sorted(
+                            {
+                                rep
+                                for child in node.children
+                                for rep in child.representatives
+                            }
+                        ),
+                        dtype=np.int64,
+                    )
+                    items.append(
+                        ("inner", node.node_id, cand_ids, node.size)
+                    )
+            if executor is None:
+                results = [_node_reps_task(payload, item) for item in items]
             else:
-                node.representatives = self._inner_representatives(node, rng)
-                # Route each representative to the child that owns it.
-                for idx, child in enumerate(node.children):
-                    owned = set(child.item_ids.tolist())
-                    for rep in node.representatives:
-                        if rep in owned:
-                            node.rep_child_index[rep] = idx
+                results = executor.map(_node_reps_task, items, payload)
+            for node, reps in zip(batch, results):
+                node.representatives = reps
+                if not node.is_leaf:
+                    # Route each representative to the child owning it.
+                    for idx, child in enumerate(node.children):
+                        owned = set(child.item_ids.tolist())
+                        for rep in reps:
+                            if rep in owned:
+                                node.rep_child_index[rep] = idx
+                done += 1
+                if progress is not None:
+                    progress(
+                        BuildProgress("representatives", done, total)
+                    )
 
     def _leaf_representatives(
         self, node: RFSNode, rng: np.random.Generator
     ) -> List[int]:
-        """Cluster the leaf's images; pick images nearest the centres."""
-        target = self._target_rep_count(node)
-        members = self.features[node.item_ids]
-        k = min(self.config.leaf_subclusters, node.size)
-        result = kmeans(members, k, seed=derive_rng(rng, f"leaf{node.node_id}"))
-        reps: List[int] = []
-        sizes = result.cluster_sizes()
-        for j in range(k):
-            mask = result.labels == j
-            if not mask.any():
-                continue
-            # Proportional share of the budget, at least one per subcluster.
-            share = max(1, int(round(target * sizes[j] / node.size)))
-            member_ids = node.item_ids[mask]
-            dists = np.linalg.norm(
-                members[mask] - result.centroids[j], axis=1
-            )
-            order = np.argsort(dists, kind="stable")[:share]
-            reps.extend(int(member_ids[i]) for i in order)
-        return sorted(set(reps))
+        """Cluster the leaf's images; pick images nearest the centres.
+
+        Thin wrapper over :func:`_select_leaf_reps` for single-node
+        callers (incremental maintenance re-selects mutated nodes).
+        """
+        payload = _RepsPayload(
+            features=self.features, config=self.config, rng=rng
+        )
+        return _select_leaf_reps(payload, node.node_id, node.item_ids)
 
     def _inner_representatives(
         self, node: RFSNode, rng: np.random.Generator
     ) -> List[int]:
-        """Aggregate child representatives, re-cluster, pick the nearest."""
-        candidates = sorted(
-            {rep for child in node.children for rep in child.representatives}
+        """Aggregate child representatives, re-cluster, pick the nearest.
+
+        Thin wrapper over :func:`_select_inner_reps` for single-node
+        callers (incremental maintenance re-selects mutated nodes).
+        """
+        cand_ids = np.array(
+            sorted(
+                {
+                    rep
+                    for child in node.children
+                    for rep in child.representatives
+                }
+            ),
+            dtype=np.int64,
         )
-        target = min(self._target_rep_count(node), len(candidates))
-        if target >= len(candidates):
-            return candidates
-        cand_ids = np.array(candidates, dtype=np.int64)
-        cand_feats = self.features[cand_ids]
-        result = kmeans(
-            cand_feats, target, seed=derive_rng(rng, f"inner{node.node_id}")
+        payload = _RepsPayload(
+            features=self.features, config=self.config, rng=rng
         )
-        reps: List[int] = []
-        for j in range(target):
-            dists = np.linalg.norm(cand_feats - result.centroids[j], axis=1)
-            reps.append(int(cand_ids[int(np.argmin(dists))]))
-        return sorted(set(reps))
+        return _select_inner_reps(
+            payload, node.node_id, cand_ids, node.size
+        )
 
     def _post_order(self, node: RFSNode) -> Iterator[RFSNode]:
         for child in node.children:

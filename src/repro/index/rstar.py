@@ -27,14 +27,26 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.errors import ConfigurationError, EmptyIndexError
 from repro.index.diskmodel import DiskAccessCounter
 from repro.index.geometry import MBR
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.build import BuildExecutor
 
 # ChooseSubtree considers at most this many lowest-enlargement candidates
 # when computing overlap enlargement (the R*-tree paper's optimisation).
@@ -168,6 +180,9 @@ class RStarTree:
         self._node_counter = itertools.count()
         self.root: Node = self._new_node(level=0)
         self._size = 0
+        # JSON-safe description of the last bulk load (method, point
+        # count, sort dims) — persisted with the index by serialize.py.
+        self.build_meta: dict = {}
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -509,6 +524,9 @@ class RStarTree:
         points: np.ndarray,
         item_ids: Optional[Sequence[int]] = None,
         seed: RandomState = None,
+        *,
+        executor: Optional["BuildExecutor"] = None,
+        inline_threshold: int = 4096,
     ) -> None:
         """Replace the tree contents with a clustering bulk load.
 
@@ -517,6 +535,15 @@ class RStarTree:
         over the group centroids.  This yields the compact hierarchical
         clusters the RFS structure needs, with every node within
         ``[split_min_entries, max_entries]`` (the root may hold fewer).
+
+        Every split draws its randomness from a stream derived from the
+        split's tree path (``derive_rng(rng, "L0ll...")``), so the
+        partition is a pure function of the seed and the data.  With an
+        ``executor``, independent subtrees after each split are bisected
+        in parallel: point sets at or below ``inline_threshold`` recurse
+        in-line inside one task, larger ones split once and re-enter the
+        task queue.  The resulting groups — and hence the tree — are
+        bit-identical to the serial build.
         """
         pts = np.asarray(points, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != self.dims:
@@ -534,9 +561,26 @@ class RStarTree:
         rng = ensure_rng(seed)
 
         # Level 0: partition points into leaf groups.
-        groups = _balanced_bisect(
-            pts, np.arange(n), self.max_entries, self.split_min_entries, rng
-        )
+        if executor is not None and n > inline_threshold:
+            groups = _balanced_bisect_parallel(
+                pts,
+                np.arange(n),
+                self.max_entries,
+                self.split_min_entries,
+                rng,
+                executor,
+                "L0",
+                inline_threshold,
+            )
+        else:
+            groups = _balanced_bisect(
+                pts,
+                np.arange(n),
+                self.max_entries,
+                self.split_min_entries,
+                rng,
+                "L0",
+            )
         nodes: List[Node] = []
         for group in groups:
             leaf = self._new_node(level=0)
@@ -545,7 +589,8 @@ class RStarTree:
             ]
             nodes.append(leaf)
 
-        # Upper levels: group child nodes by their MBR centres.
+        # Upper levels: group child nodes by their MBR centres.  These
+        # levels shrink by ~max_entries per step, so they stay serial.
         level = 1
         while len(nodes) > 1:
             centres = np.array([nd.mbr().center() for nd in nodes])
@@ -558,6 +603,7 @@ class RStarTree:
                     self.max_entries,
                     self.split_min_entries,
                     rng,
+                    f"L{level}",
                 )
             parents: List[Node] = []
             for group in groups:
@@ -573,6 +619,7 @@ class RStarTree:
         self.root = nodes[0]
         self.root.parent = None
         self._size = n
+        self.build_meta = {"method": "bisect", "n_points": int(n)}
 
     def bulk_load_str(
         self,
@@ -608,9 +655,11 @@ class RStarTree:
             )
         if sort_dims is None:
             variances = pts.var(axis=0)
-            sort_dims = list(np.argsort(variances)[::-1])
+            sort_dims = np.argsort(variances)[::-1]
+        # Plain ints, not np.int64: the dims land in JSON build metadata.
+        sort_dims = [int(d) for d in sort_dims]
         groups = _str_tile(
-            pts, np.arange(n), self.max_entries, list(sort_dims), 0
+            pts, np.arange(n), self.max_entries, sort_dims, 0
         )
         nodes: List[Node] = []
         for group in groups:
@@ -634,6 +683,11 @@ class RStarTree:
         self.root = nodes[0]
         self.root.parent = None
         self._size = n
+        self.build_meta = {
+            "method": "str",
+            "n_points": int(n),
+            "sort_dims": sort_dims,
+        }
 
     # ------------------------------------------------------------------
     # Search
@@ -797,22 +851,17 @@ def _str_tile(
     return out
 
 
-def _balanced_bisect(
+def _split_once(
     all_points: np.ndarray,
     indices: np.ndarray,
-    group_max: int,
     group_min: int,
     rng: np.random.Generator,
-) -> List[np.ndarray]:
-    """Recursively split ``indices`` with balanced 2-means.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One balanced 2-means split of ``indices`` into (left, right).
 
-    Each returned group has at most ``group_max`` members; splits are
-    balanced so no group drops below ``group_min`` (when the input allows
-    it).  The 2-means direction adapts to the data, so natural clusters
-    end up in separate groups — the property the RFS structure relies on.
+    ``rng`` is the split's own derived stream; the single draw seeds the
+    first 2-means centre.
     """
-    if indices.shape[0] <= group_max:
-        return [indices]
     pts = all_points[indices]
     n = pts.shape[0]
     # 2-means to find the natural separation direction.
@@ -841,10 +890,130 @@ def _balanced_bisect(
     # group_min <= ceil(group_max / 2) guarantees n > group_max implies
     # n >= 2 * group_min, so this window is always non-empty.
     cut = int(np.clip(natural, group_min, n - group_min))
-    left = indices[order[:cut]]
-    right = indices[order[cut:]]
-    out = _balanced_bisect(all_points, left, group_max, group_min, rng)
+    return indices[order[:cut]], indices[order[cut:]]
+
+
+def _balanced_bisect(
+    all_points: np.ndarray,
+    indices: np.ndarray,
+    group_max: int,
+    group_min: int,
+    rng: np.random.Generator,
+    path: str = "b",
+) -> List[np.ndarray]:
+    """Recursively split ``indices`` with balanced 2-means.
+
+    Each returned group has at most ``group_max`` members; splits are
+    balanced so no group drops below ``group_min`` (when the input allows
+    it).  The 2-means direction adapts to the data, so natural clusters
+    end up in separate groups — the property the RFS structure relies on.
+
+    Every split uses ``derive_rng(rng, path)`` — a stream addressed by
+    the split's position in the recursion tree, never the shared parent
+    sequence — so any subset of splits can run in any order (or another
+    process) and still produce this exact partition.
+    """
+    if indices.shape[0] <= group_max:
+        return [indices]
+    left, right = _split_once(
+        all_points, indices, group_min, derive_rng(rng, path)
+    )
+    out = _balanced_bisect(
+        all_points, left, group_max, group_min, rng, path + "l"
+    )
     out.extend(
-        _balanced_bisect(all_points, right, group_max, group_min, rng)
+        _balanced_bisect(
+            all_points, right, group_max, group_min, rng, path + "r"
+        )
     )
     return out
+
+
+@dataclass
+class _BisectPayload:
+    """Fork/thread-shared state for one parallel bisect phase."""
+
+    points: np.ndarray
+    group_max: int
+    group_min: int
+    rng: np.random.Generator
+    inline_threshold: int
+
+
+def _bisect_task(
+    payload: _BisectPayload, item: Tuple[np.ndarray, str]
+) -> List[Tuple[np.ndarray, Optional[str]]]:
+    """One parallel bisect step.
+
+    Small point sets recurse fully in-line (path ``None`` marks a
+    finished group); large ones split once and hand both halves back to
+    the frontier.  Derived RNG streams make the output independent of
+    which worker ran the task.
+    """
+    indices, path = item
+    if indices.shape[0] <= payload.group_max:
+        return [(indices, None)]
+    if indices.shape[0] <= payload.inline_threshold:
+        groups = _balanced_bisect(
+            payload.points,
+            indices,
+            payload.group_max,
+            payload.group_min,
+            payload.rng,
+            path,
+        )
+        return [(group, None) for group in groups]
+    left, right = _split_once(
+        payload.points,
+        indices,
+        payload.group_min,
+        derive_rng(payload.rng, path),
+    )
+    return [(left, path + "l"), (right, path + "r")]
+
+
+def _balanced_bisect_parallel(
+    all_points: np.ndarray,
+    indices: np.ndarray,
+    group_max: int,
+    group_min: int,
+    rng: np.random.Generator,
+    executor: "BuildExecutor",
+    path: str,
+    inline_threshold: int,
+) -> List[np.ndarray]:
+    """Frontier-parallel :func:`_balanced_bisect` — identical output.
+
+    Maintains the work list in serial DFS order and splices each task's
+    results back in place, so the final group order matches the serial
+    recursion exactly; the path-derived RNG streams make each split's
+    outcome order-independent.
+    """
+    payload = _BisectPayload(
+        all_points, group_max, group_min, rng, inline_threshold
+    )
+    # (finished, indices, path) in DFS order; unfinished entries are
+    # re-submitted each round until everything is a leaf group.
+    entries: List[Tuple[bool, np.ndarray, Optional[str]]] = [
+        (False, indices, path)
+    ]
+    while True:
+        pending = [
+            (idx, pth)
+            for finished, idx, pth in entries
+            if not finished and pth is not None
+        ]
+        if not pending:
+            break
+        results = iter(executor.map(_bisect_task, pending, payload))
+        spliced: List[Tuple[bool, np.ndarray, Optional[str]]] = []
+        for finished, idx, pth in entries:
+            if finished:
+                spliced.append((finished, idx, pth))
+            else:
+                for sub_indices, sub_path in next(results):
+                    spliced.append(
+                        (sub_path is None, sub_indices, sub_path)
+                    )
+        entries = spliced
+    return [idx for _, idx, _ in entries]

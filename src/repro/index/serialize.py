@@ -14,6 +14,7 @@ consistency.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, List
 
@@ -100,6 +101,8 @@ def save_rfs(
         config_floats=np.array(
             [config.representative_fraction, config.reinsert_fraction]
         ),
+        # JSON string; build_meta holds only plain ints/strings.
+        build_meta=np.array(json.dumps(rfs.build_meta)),
     )
 
 
@@ -141,6 +144,12 @@ def load_rfs(
         centers = data["centers"]
         cfg_ints = data["config"]
         cfg_floats = data["config_floats"]
+        # Absent in files written before the build pipeline recorded it.
+        build_meta = (
+            json.loads(str(data["build_meta"]))
+            if "build_meta" in data.files
+            else {}
+        )
 
     if los.shape[1] != features.shape[1]:
         raise DatasetError(
@@ -200,6 +209,7 @@ def load_rfs(
         config=config,
         io=io if io is not None else DiskAccessCounter(),
     )
+    structure.build_meta = build_meta
     if store_dir is not None:
         from repro.store import FeatureStore
 

@@ -267,8 +267,8 @@ class FeatureStore:
             # leaf.  Collect spans, keep the narrowest per start.
             narrowest: Dict[int, Tuple[int, int]] = {}
             for node_id, (start, stop) in self.spans.items():
-                held = narrowest.get(start)
-                if held is None or (stop - start) < (held[1] - held[0]):
+                held = narrowest.get(start)  # (stop, node_id)
+                if held is None or stop < held[0]:
                     narrowest[start] = (stop, node_id)
             starts = np.array(sorted(narrowest), dtype=np.int64)
             self._leaf_starts = starts
