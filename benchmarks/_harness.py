@@ -1,0 +1,60 @@
+"""Shared emission harness for the perf benchmark entry points.
+
+Every ``benchmarks/bench_*.py`` perf entry point reports through here,
+in two formats at once:
+
+* the human-readable rows appended to ``benchmarks/results/latest.txt``
+  (unchanged legacy format, kept as a secondary artifact), and
+* a schema-validated ``BENCH_<name>.json``
+  (:class:`repro.obs.bench.BenchResult`) carrying the git sha, machine
+  fingerprint, workload params, and each metric as a series with
+  p50/p95 — the canonical record that ``scripts/bench_compare.py``
+  diffs against the committed baselines in ``benchmarks/baselines/``.
+
+Works identically from the pytest entry points and the fixture-free
+``python benchmarks/bench_<name>.py`` scripts (both put this directory
+on ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.bench import BenchResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TINY_ENV = os.environ.get("QD_BENCH_TINY") == "1"
+
+
+def tiny_arg_parser(description: str) -> argparse.ArgumentParser:
+    """The shared ``--tiny`` CLI every fixture-free entry point uses."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke scale (also via QD_BENCH_TINY=1)",
+    )
+    return parser
+
+
+def emit(
+    rows: List[str],
+    result: Optional[BenchResult] = None,
+    results_dir: Union[str, Path, None] = None,
+) -> None:
+    """Print ``rows``, append them to ``latest.txt``, write the JSON.
+
+    ``result.write`` validates against the bench schema, so a malformed
+    record fails the run instead of silently uploading garbage.
+    """
+    directory = Path(results_dir) if results_dir else RESULTS_DIR
+    directory.mkdir(exist_ok=True)
+    text = "\n".join(rows)
+    print(text)
+    with (directory / "latest.txt").open("a") as handle:
+        handle.write(text + "\n\n")
+    if result is not None:
+        result.write(directory)

@@ -35,15 +35,14 @@ serial pre-PR baseline at full scale (the tiny smoke asserts a relaxed
 
 from __future__ import annotations
 
-import argparse
 import os
 import time
-from pathlib import Path
+from importlib import import_module
 from unittest import mock
 
-from importlib import import_module
-
+from _harness import TINY_ENV, emit, tiny_arg_parser
 from repro.config import BuildConfig, RFSConfig
+from repro.obs.bench import BenchResult
 from repro.datasets.build import build_synthetic_database
 from repro.index.diskmodel import DiskAccessCounter
 from repro.index.rfs import RFSStructure
@@ -175,10 +174,39 @@ def run_build_bench(tiny: bool) -> tuple[list[str], dict]:
         "vec_speedup": vec_speedup,
         "thread_speedup": thread_speedup,
         "kernel_speedup": kernel_speedup,
+        "naive_s": naive_s,
+        "serial_s": serial_s,
+        "thread_s": thread_s,
         "min_speedup": p["min_speedup"],
         "min_kernel_speedup": p["min_kernel_speedup"],
     }
     return rows, metrics
+
+
+def _bench_result(tiny: bool, metrics: dict) -> BenchResult:
+    """The canonical ``BENCH_build_throughput.json`` record."""
+    p = _params(tiny)
+    result = BenchResult.new("build_throughput", {**p, "tiny": tiny})
+    result.record(
+        "thread_speedup", metrics["thread_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "kernel_speedup", metrics["kernel_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    # The serial legs are sleep-dominated at bench scale, so their
+    # ratio hovers around 1.0 — informational, never gating.
+    result.record(
+        "vec_speedup", metrics["vec_speedup"], unit="x",
+        higher_is_better=True, compare=False,
+    )
+    for name in ("naive_s", "serial_s", "thread_s"):
+        result.record(
+            name, metrics[name], unit="s", higher_is_better=False,
+            compare=False,
+        )
+    return result
 
 
 def _kmeans_kernel_times(features, k: int) -> tuple[float, float]:
@@ -213,6 +241,9 @@ def _check(metrics: dict) -> None:
 def test_build_throughput(report, benchmark):
     rows, metrics = run_build_bench(TINY)
     report("\n".join(rows))
+    _bench_result(TINY, metrics).write(
+        os.path.join(os.path.dirname(__file__), "results")
+    )
     benchmark.extra_info["thread_speedup"] = round(
         metrics["thread_speedup"], 2
     )
@@ -226,23 +257,13 @@ def test_build_throughput(report, benchmark):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Offline build throughput benchmark "
-        "(fixture-free entry)"
-    )
-    parser.add_argument(
-        "--tiny",
-        action="store_true",
-        help="CI smoke scale (also via QD_BENCH_TINY=1)",
+    parser = tiny_arg_parser(
+        "Offline build throughput benchmark (fixture-free entry)"
     )
     args = parser.parse_args(argv)
-    rows, metrics = run_build_bench(args.tiny or TINY)
-    text = "\n".join(rows)
-    print(text)
-    results_dir = Path(__file__).parent / "results"
-    results_dir.mkdir(exist_ok=True)
-    with (results_dir / "latest.txt").open("a") as handle:
-        handle.write(text + "\n\n")
+    tiny = args.tiny or TINY_ENV
+    rows, metrics = run_build_bench(tiny)
+    emit(rows, _bench_result(tiny, metrics))
     _check(metrics)
     return 0
 

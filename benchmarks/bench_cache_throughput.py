@@ -31,14 +31,14 @@ serial uncached path.
 
 from __future__ import annotations
 
-import argparse
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _harness import TINY_ENV, emit, tiny_arg_parser
 from repro.cache import SubqueryResultCache
+from repro.obs.bench import BenchResult
 from repro.config import QDConfig, RFSConfig
 from repro.core.ranking import execute_final_round
 from repro.datasets.build import build_synthetic_database
@@ -172,9 +172,36 @@ def run_cache_bench(tiny: bool) -> tuple[list[str], dict]:
         "warm_speedup": warm_speedup,
         "batch_speedup": batch_speedup,
         "hit_rate": hit_rate,
+        "uncached_s": uncached_s,
+        "warm_s": warm_s,
+        "batch_s": batch_s,
         "min_speedup": p["min_speedup"],
     }
     return rows, metrics
+
+
+def _bench_result(tiny: bool, metrics: dict) -> BenchResult:
+    """The canonical ``BENCH_cache_throughput.json`` record."""
+    p = _params(tiny)
+    result = BenchResult.new("cache_throughput", {**p, "tiny": tiny})
+    result.record(
+        "warm_speedup", metrics["warm_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "batch_speedup", metrics["batch_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "hit_rate", metrics["hit_rate"], unit="ratio",
+        higher_is_better=True, min_abs=0.02,
+    )
+    for name in ("uncached_s", "warm_s", "batch_s"):
+        result.record(
+            name, metrics[name], unit="s", higher_is_better=False,
+            compare=False,
+        )
+    return result
 
 
 def _check(metrics: dict) -> None:
@@ -190,6 +217,9 @@ def _check(metrics: dict) -> None:
 def test_cache_throughput(report, benchmark):
     rows, metrics = run_cache_bench(TINY)
     report("\n".join(rows))
+    _bench_result(TINY, metrics).write(
+        os.path.join(os.path.dirname(__file__), "results")
+    )
     benchmark.extra_info["warm_speedup"] = round(
         metrics["warm_speedup"], 2
     )
@@ -201,23 +231,13 @@ def test_cache_throughput(report, benchmark):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Result-cache throughput benchmark "
-        "(fixture-free entry)"
-    )
-    parser.add_argument(
-        "--tiny",
-        action="store_true",
-        help="CI smoke scale (also via QD_BENCH_TINY=1)",
+    parser = tiny_arg_parser(
+        "Result-cache throughput benchmark (fixture-free entry)"
     )
     args = parser.parse_args(argv)
-    rows, metrics = run_cache_bench(args.tiny or TINY)
-    text = "\n".join(rows)
-    print(text)
-    results_dir = Path(__file__).parent / "results"
-    results_dir.mkdir(exist_ok=True)
-    with (results_dir / "latest.txt").open("a") as handle:
-        handle.write(text + "\n\n")
+    tiny = args.tiny or TINY_ENV
+    rows, metrics = run_cache_bench(tiny)
+    emit(rows, _bench_result(tiny, metrics))
     _check(metrics)
     return 0
 

@@ -8,7 +8,15 @@ count under the simulated disk-latency model (``page_read_latency_s``,
 parallel workers overlap those sleeps exactly like independent disk
 requests — so the speedup is reproducible on any core count.
 
-``QD_BENCH_TINY=1`` shrinks the workload for CI smoke runs.
+Runs two ways:
+
+* ``pytest benchmarks/bench_parallel_speedup.py`` — report/benchmark
+  fixtures, rows appended to ``benchmarks/results/latest.txt``.
+* ``python benchmarks/bench_parallel_speedup.py [--tiny]`` —
+  fixture-free script entry for CI smoke (same rows, same results file).
+
+Both emit the canonical ``BENCH_parallel_speedup.json`` record.
+``QD_BENCH_TINY=1`` (or ``--tiny``) shrinks the workload for CI.
 
 Acceptance (ISSUE): >= 1.5x at 4 workers on a >= 8-subquery workload,
 with rankings bit-identical to serial execution.
@@ -21,6 +29,7 @@ import time
 
 import pytest
 
+from _harness import TINY_ENV, emit, tiny_arg_parser
 from repro.config import QDConfig, RFSConfig
 from repro.core.ranking import execute_final_round
 from repro.datasets.build import build_synthetic_database
@@ -30,20 +39,26 @@ from repro.exec import (
     ThreadedSubqueryExecutor,
 )
 from repro.index.rfs import RFSStructure
+from repro.obs.bench import BenchResult
 
 TINY = os.environ.get("QD_BENCH_TINY") == "1"
-N_IMAGES = 1_500 if TINY else 6_000
-N_SUBQUERIES = 8 if TINY else 10
 PAGE_LATENCY_S = 0.004  # one simulated device read (~ fast HDD seek)
 REPEATS = 3
 K = 60
 
 
-@pytest.fixture(scope="module")
-def speedup_workload():
+def _params(tiny: bool) -> dict:
+    if tiny:
+        return dict(n_images=1_500, n_subqueries=8)
+    return dict(n_images=6_000, n_subqueries=10)
+
+
+def _build_workload(tiny: bool):
     """A synthetic database + RFS + marks spanning many leaves."""
+    p = _params(tiny)
+    n_images, n_subqueries = p["n_images"], p["n_subqueries"]
     database = build_synthetic_database(
-        N_IMAGES, n_categories=max(20, N_SUBQUERIES * 2), seed=42
+        n_images, n_categories=max(20, n_subqueries * 2), seed=42
     )
     rfs = RFSStructure.build(
         database.features,
@@ -53,16 +68,21 @@ def speedup_workload():
         seed=42,
     )
     by_leaf: dict[int, list[int]] = {}
-    for image_id in range(0, N_IMAGES, 3):
+    for image_id in range(0, n_images, 3):
         leaf_id = rfs.leaf_of_item(image_id).node_id
         bucket = by_leaf.setdefault(leaf_id, [])
         if len(bucket) < 3:
             bucket.append(image_id)
-    leaves = sorted(by_leaf)[:N_SUBQUERIES]
-    assert len(leaves) == N_SUBQUERIES
+    leaves = sorted(by_leaf)[:n_subqueries]
+    assert len(leaves) == n_subqueries
     marks = [i for leaf_id in leaves for i in by_leaf[leaf_id]]
     rfs.io.page_read_latency_s = PAGE_LATENCY_S
     return rfs, marks
+
+
+@pytest.fixture(scope="module")
+def speedup_workload():
+    return _build_workload(TINY)
 
 
 def _signature(result):
@@ -88,13 +108,14 @@ def _time_final_round(rfs, marks, executor) -> tuple[float, object]:
     return best, result
 
 
-def test_parallel_speedup(speedup_workload, report, benchmark):
-    rfs, marks = speedup_workload
+def run_parallel_bench(workload, tiny: bool) -> tuple[list[str], dict]:
+    """Run the speedup sweep; returns (report rows, metrics dict)."""
+    rfs, marks = workload
 
     with SerialSubqueryExecutor() as serial:
         serial_s, baseline = _time_final_round(rfs, marks, serial)
     base_sig = _signature(baseline)
-    assert baseline.n_groups >= N_SUBQUERIES
+    assert baseline.n_groups >= _params(tiny)["n_subqueries"]
 
     rows = [
         "Final-round speedup vs worker count "
@@ -113,17 +134,62 @@ def test_parallel_speedup(speedup_workload, report, benchmark):
             f"  thread x{workers}         {thread_s * 1000:8.1f} ms   "
             f"{speedups[workers]:.2f}x"
         )
+    metrics = {
+        "speedup_1": speedups[1],
+        "speedup_2": speedups[2],
+        "speedup_4": speedups[4],
+        "serial_s": serial_s,
+    }
+    return rows, metrics
+
+
+def _bench_result(tiny: bool, metrics: dict) -> BenchResult:
+    """The canonical ``BENCH_parallel_speedup.json`` record."""
+    result = BenchResult.new(
+        "parallel_speedup", {**_params(tiny), "tiny": tiny}
+    )
+    result.record(
+        "speedup_2", metrics["speedup_2"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "speedup_4", metrics["speedup_4"], unit="x",
+        higher_is_better=True,
+    )
+    # One thread through the pool vs in-line: pure dispatch overhead,
+    # hovers near 1.0x — informational only.
+    result.record(
+        "speedup_1", metrics["speedup_1"], unit="x",
+        higher_is_better=True, compare=False,
+    )
+    result.record(
+        "serial_s", metrics["serial_s"], unit="s",
+        higher_is_better=False, compare=False,
+    )
+    return result
+
+
+def _check(metrics: dict) -> None:
+    # Acceptance: overlapping the simulated page reads pays off.
+    assert metrics["speedup_4"] >= 1.5
+    # More workers never makes it slower than the single-worker pool by
+    # more than scheduling noise.
+    assert metrics["speedup_4"] >= metrics["speedup_1"] * 0.8
+
+
+def test_parallel_speedup(speedup_workload, report, benchmark):
+    rows, metrics = run_parallel_bench(speedup_workload, TINY)
     report("\n".join(rows))
-    benchmark.extra_info["speedup_4_workers"] = round(speedups[4], 2)
+    _bench_result(TINY, metrics).write(
+        os.path.join(os.path.dirname(__file__), "results")
+    )
+    benchmark.extra_info["speedup_4_workers"] = round(
+        metrics["speedup_4"], 2
+    )
     benchmark.pedantic(
         lambda: None, rounds=1, iterations=1
     )  # timing captured manually above; keep the bench in the report
-
-    # Acceptance: overlapping the simulated page reads pays off.
-    assert speedups[4] >= 1.5
-    # More workers never makes it slower than the single-worker pool by
-    # more than scheduling noise.
-    assert speedups[4] >= speedups[1] * 0.8
+    _check(metrics)
 
 
 @pytest.mark.skipif(
@@ -137,3 +203,20 @@ def test_process_executor_identical_at_bench_scale(speedup_workload):
     with ProcessSubqueryExecutor(4) as procs:
         _, result = _time_final_round(rfs, marks, procs)
     assert _signature(result) == _signature(baseline)
+
+
+def main(argv=None) -> int:
+    parser = tiny_arg_parser(
+        "Parallel subquery fan-out benchmark (fixture-free entry)"
+    )
+    args = parser.parse_args(argv)
+    tiny = args.tiny or TINY_ENV
+    workload = _build_workload(tiny)
+    rows, metrics = run_parallel_bench(workload, tiny)
+    emit(rows, _bench_result(tiny, metrics))
+    _check(metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,14 +26,14 @@ bit-identical across legacy / inmem / memmap.
 
 from __future__ import annotations
 
-import argparse
 import os
 import tempfile
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _harness import TINY_ENV, emit, tiny_arg_parser
+from repro import obs
 from repro.config import QDConfig, RFSConfig
 from repro.core.ranking import execute_final_round
 from repro.datasets.build import build_synthetic_database
@@ -183,6 +183,17 @@ def run_store_bench(tiny: bool) -> tuple[list[str], dict]:
     warm_s, warm_result = _time_round(rfs, marks, p["k"], p["repeats"])
     _assert_rankings_agree(legacy_result, warm_result)
 
+    # Obs-overhead leg: the same warm workload with a live tracer and
+    # metrics registry installed.  Rankings must stay bit-identical and
+    # the slowdown ratio is tracked as its own bench metric.
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    with obs.use_tracer(tracer), obs.use_metrics(registry):
+        obs_s, obs_result = _time_round(rfs, marks, p["k"], p["repeats"])
+    assert _signature(obs_result) == _signature(warm_result)
+    assert len(tracer.spans) > 0
+    assert registry.counters  # instrumentation actually fired
+
     with tempfile.TemporaryDirectory() as tmp:
         store.save(tmp)
         cold_s = _time_cold_start(rfs, marks, p["k"], tmp, p["repeats"])
@@ -201,6 +212,7 @@ def run_store_bench(tiny: bool) -> tuple[list[str], dict]:
     warm_speedup = legacy_s / warm_s
     memmap_speedup = legacy_s / memmap_s
     kernel_speedup = fused_eps / looped_eps
+    obs_overhead = obs_s / warm_s
     scale = "tiny" if tiny else "full"
     rows = [
         "Feature-store layout: final round, "
@@ -209,6 +221,8 @@ def run_store_bench(tiny: bool) -> tuple[list[str], dict]:
         f"  legacy gather-loop   {legacy_s * 1000:8.1f} ms   1.00x",
         f"  store warm (inmem)   {warm_s * 1000:8.1f} ms   "
         f"{warm_speedup:.2f}x",
+        f"  warm + obs enabled   {obs_s * 1000:8.1f} ms   "
+        f"(overhead {obs_overhead:.2f}x, rankings identical)",
         f"  store warm (memmap)  {memmap_s * 1000:8.1f} ms   "
         f"{memmap_speedup:.2f}x",
         f"  memmap cold start    {cold_s * 1000:8.1f} ms   "
@@ -220,11 +234,45 @@ def run_store_bench(tiny: bool) -> tuple[list[str], dict]:
     metrics = {
         "warm_speedup": warm_speedup,
         "memmap_speedup": memmap_speedup,
-        "cold_start_s": cold_s,
         "kernel_speedup": kernel_speedup,
+        "obs_overhead": obs_overhead,
+        "legacy_s": legacy_s,
+        "warm_s": warm_s,
+        "obs_s": obs_s,
+        "memmap_s": memmap_s,
+        "cold_start_s": cold_s,
         "min_speedup": p["min_speedup"],
     }
     return rows, metrics
+
+
+def _bench_result(tiny: bool, metrics: dict) -> obs.BenchResult:
+    """The canonical ``BENCH_store_layout.json`` record."""
+    p = _params(tiny)
+    result = obs.BenchResult.new("store_layout", {**p, "tiny": tiny})
+    result.record(
+        "warm_speedup", metrics["warm_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "memmap_speedup", metrics["memmap_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "kernel_speedup", metrics["kernel_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "obs_overhead", metrics["obs_overhead"], unit="x",
+        higher_is_better=False, min_abs=0.15,
+    )
+    for name in ("legacy_s", "warm_s", "obs_s", "memmap_s",
+                 "cold_start_s"):
+        result.record(
+            name, metrics[name], unit="s", higher_is_better=False,
+            compare=False,
+        )
+    return result
 
 
 def _check(metrics: dict) -> None:
@@ -235,11 +283,17 @@ def _check(metrics: dict) -> None:
     assert metrics["memmap_speedup"] >= metrics["warm_speedup"] * 0.5
     # The fused kernel never loses to the per-representative loop.
     assert metrics["kernel_speedup"] >= 1.0
+    # Live tracing + metrics must stay cheap (the nominal budget is 5%;
+    # this smoke bound only catches a broken hot path, not CI jitter).
+    assert metrics["obs_overhead"] <= 1.5
 
 
 def test_store_layout_speedup(report, benchmark):
     rows, metrics = run_store_bench(TINY)
     report("\n".join(rows))
+    _bench_result(TINY, metrics).write(
+        os.path.join(os.path.dirname(__file__), "results")
+    )
     benchmark.extra_info["warm_speedup"] = round(metrics["warm_speedup"], 2)
     benchmark.extra_info["memmap_speedup"] = round(
         metrics["memmap_speedup"], 2
@@ -251,22 +305,13 @@ def test_store_layout_speedup(report, benchmark):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Feature-store layout benchmark (fixture-free entry)"
-    )
-    parser.add_argument(
-        "--tiny",
-        action="store_true",
-        help="CI smoke scale (also via QD_BENCH_TINY=1)",
+    parser = tiny_arg_parser(
+        "Feature-store layout benchmark (fixture-free entry)"
     )
     args = parser.parse_args(argv)
-    rows, metrics = run_store_bench(args.tiny or TINY)
-    text = "\n".join(rows)
-    print(text)
-    results_dir = Path(__file__).parent / "results"
-    results_dir.mkdir(exist_ok=True)
-    with (results_dir / "latest.txt").open("a") as handle:
-        handle.write(text + "\n\n")
+    tiny = args.tiny or TINY_ENV
+    rows, metrics = run_store_bench(tiny)
+    emit(rows, _bench_result(tiny, metrics))
     _check(metrics)
     return 0
 

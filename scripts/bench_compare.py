@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Diff current BENCH_*.json results against a committed baseline.
+
+The CI regression gate::
+
+    PYTHONPATH=src python scripts/bench_compare.py \
+        --baseline benchmarks/baselines --current benchmarks/results
+
+Exit status 0 when every comparable metric is within the noise gate,
+1 on any regression (including a baseline bench or gated metric missing
+from the current results), 2 on schema/usage errors.
+
+The comparison is noise-aware (see :mod:`repro.obs.bench`): a metric
+regresses only when it moves in its bad direction by more than
+``--rel-threshold`` *relative* AND more than ``--min-abs`` *absolute*,
+and only dimensionless ratio metrics (``compare: true`` in the record)
+gate by default — raw wall times are machine-dependent and are skipped
+unless ``--include-times`` is given or the machine fingerprints match.
+
+``--validate-only`` just schema-checks every ``BENCH_*.json`` under
+``--current`` (used by CI before uploading artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running from a repo checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.bench import (  # noqa: E402
+    DEFAULT_MIN_ABS,
+    DEFAULT_REL_THRESHOLD,
+    BenchSchemaError,
+    compare_dirs,
+    format_comparison,
+    load_bench_dir,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines",
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        default="benchmarks/results",
+        help="directory of freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--rel-threshold",
+        type=float,
+        default=DEFAULT_REL_THRESHOLD,
+        help="relative bad-direction change that counts as a regression "
+        f"(default {DEFAULT_REL_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--min-abs",
+        type=float,
+        default=DEFAULT_MIN_ABS,
+        help="absolute-delta noise floor below which no change gates "
+        f"(default {DEFAULT_MIN_ABS})",
+    )
+    parser.add_argument(
+        "--include-times",
+        action="store_true",
+        help="also gate machine-dependent raw-time metrics "
+        "(compare: false)",
+    )
+    parser.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="only schema-validate the --current directory, no diff",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        currents = load_bench_dir(args.current)
+    except BenchSchemaError as exc:
+        print(f"SCHEMA ERROR: {exc}", file=sys.stderr)
+        return 2
+    if args.validate_only:
+        if not currents:
+            print(
+                f"no BENCH_*.json found under {args.current}",
+                file=sys.stderr,
+            )
+            return 2
+        for name, result in sorted(currents.items()):
+            print(
+                f"ok  BENCH_{name}.json  "
+                f"({len(result.metrics)} metrics, sha "
+                f"{result.git_sha[:12]})"
+            )
+        return 0
+
+    if not Path(args.baseline).is_dir():
+        print(
+            f"baseline directory {args.baseline} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        deltas, missing = compare_dirs(
+            args.baseline,
+            args.current,
+            rel_threshold=args.rel_threshold,
+            min_abs=args.min_abs,
+            include_times=args.include_times,
+        )
+    except BenchSchemaError as exc:
+        print(f"SCHEMA ERROR: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_comparison(deltas, missing))
+    n_regressions = sum(d.regression for d in deltas) + len(missing)
+    if n_regressions:
+        print(
+            f"\nFAIL: {n_regressions} regression(s) vs "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: {len(deltas)} metric(s) within the noise gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

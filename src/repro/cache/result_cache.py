@@ -31,7 +31,8 @@ serving paths (process-pool caveat: workers run against a forked
 snapshot of the cache, so their insertions stay in the child — hits
 still work for entries warm at fork time).
 
-Metrics: ``qd_cache_hits`` / ``qd_cache_misses`` / ``qd_cache_evictions``
+Metrics: ``qd_cache_requests_total{outcome=...}`` /
+``qd_cache_evictions_total{reason=...}``
 counters and the ``qd_cache_bytes`` gauge mirror the ``stats`` dict.
 """
 
@@ -173,18 +174,26 @@ class SubqueryResultCache:
                 self.stats["stale_evictions"] += 1
                 entry = None
                 metrics.counter(
-                    "qd_cache_evictions", "cache entries dropped"
+                    "qd_cache_evictions_total",
+                    "cache entries dropped",
+                    labels={"reason": "stale"},
                 ).inc()
             if entry is None:
                 self.stats["misses"] += 1
                 metrics.counter(
-                    "qd_cache_misses", "subquery cache misses"
+                    "qd_cache_requests_total",
+                    "subquery cache lookups",
+                    labels={"outcome": "miss"},
                 ).inc()
                 self._set_bytes_gauge(metrics)
                 return None
             self._entries.move_to_end(key)
             self.stats["hits"] += 1
-            metrics.counter("qd_cache_hits", "subquery cache hits").inc()
+            metrics.counter(
+                "qd_cache_requests_total",
+                "subquery cache lookups",
+                labels={"outcome": "hit"},
+            ).inc()
             return entry
 
     def put(
@@ -227,7 +236,9 @@ class SubqueryResultCache:
                 evicted += 1
             if evicted:
                 metrics.counter(
-                    "qd_cache_evictions", "cache entries dropped"
+                    "qd_cache_evictions_total",
+                    "cache entries dropped",
+                    labels={"reason": "lru"},
                 ).inc(evicted)
             self._set_bytes_gauge(metrics)
 

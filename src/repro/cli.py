@@ -141,6 +141,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p_exp)
     _add_obs_flags(p_exp)
 
+    p_bench = sub.add_parser(
+        "bench", help="inspect canonical benchmark results"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_report = bench_sub.add_parser(
+        "report",
+        help=(
+            "print a trend table of BENCH_*.json results and, when a "
+            "baseline directory exists, the noise-aware diff against it"
+        ),
+    )
+    p_report.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of fresh BENCH_*.json files",
+    )
+    p_report.add_argument(
+        "--baseline",
+        default="benchmarks/baselines",
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    p_report.add_argument(
+        "--include-times",
+        action="store_true",
+        help="also diff machine-dependent raw-time metrics",
+    )
+
     return parser
 
 
@@ -301,6 +328,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print a metrics summary and Prometheus text dump",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help=(
+            "sample the live span stack and write a collapsed-stack "
+            "profile (flamegraph input) to FILE"
+        ),
+    )
 
 
 @contextlib.contextmanager
@@ -311,18 +346,26 @@ def _obs_scope(args: argparse.Namespace) -> Iterator[None]:
     console summary plus a Prometheus dump (``--metrics``).
     """
     trace_path = getattr(args, "trace", None)
+    profile_path = getattr(args, "profile", None)
     want_metrics = bool(getattr(args, "metrics", False))
-    if not trace_path and not want_metrics:
+    if not trace_path and not want_metrics and not profile_path:
         yield
         return
     tracer = obs.Tracer()
     registry = obs.MetricsRegistry()
+    profiler = (
+        obs.SpanProfiler(tracer).start() if profile_path else None
+    )
     try:
         with obs.use_tracer(tracer), obs.use_metrics(registry):
             yield
     finally:
         # Flush even when the command dies mid-run (crash, Ctrl-C):
         # a partial trace of a failed session is the one you want most.
+        if profiler is not None:
+            profiler.stop()
+            n_stacks = profiler.write_collapsed(profile_path)
+            print(f"profile: {n_stacks} stack(s) -> {profile_path}")
         if trace_path:
             n_spans = obs.write_jsonl_trace(tracer, trace_path)
             print(f"trace: {n_spans} span(s) -> {trace_path}")
@@ -504,6 +547,68 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``bench report``: trend table + optional baseline diff."""
+    from pathlib import Path
+
+    from repro.obs.bench import (
+        BenchSchemaError,
+        compare_dirs,
+        format_comparison,
+        load_bench_dir,
+    )
+
+    try:
+        currents = load_bench_dir(args.results)
+    except BenchSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not currents:
+        print(
+            f"no BENCH_*.json under {args.results} — run the "
+            "benchmarks/ entry points first",
+            file=sys.stderr,
+        )
+        return 1
+
+    for name, result in sorted(currents.items()):
+        print(f"{name}  (sha {result.git_sha[:12]})")
+        for metric, entry in sorted(result.metrics.items()):
+            direction = {True: "higher", False: "lower"}.get(
+                entry.get("higher_is_better"), "info"
+            )
+            gate = "gated" if entry.get("compare") else "info"
+            print(
+                f"  {metric:24s} p50 {entry['p50']:10.3f} "
+                f"{entry.get('unit', ''):5s} "
+                f"p95 {entry['p95']:10.3f}  [{direction}, {gate}]"
+            )
+        print()
+
+    if not Path(args.baseline).is_dir():
+        print(f"(no baseline directory {args.baseline}; skipping diff)")
+        return 0
+    try:
+        deltas, missing = compare_dirs(
+            args.baseline,
+            args.results,
+            include_times=args.include_times,
+        )
+    except BenchSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_comparison(deltas, missing))
+    n_regressions = sum(d.regression for d in deltas) + len(missing)
+    if n_regressions:
+        print(
+            f"\n{n_regressions} regression(s) vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\n{len(deltas)} metric(s) within the noise gate")
+    return 0
+
+
 _COMMANDS = {
     "build-db": _cmd_build_db,
     "build-rfs": _cmd_build_rfs,
@@ -512,6 +617,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "interactive": _cmd_interactive,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
 }
 
 

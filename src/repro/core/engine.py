@@ -7,6 +7,7 @@ users, which the evaluation harness and the examples build on.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.config import BuildConfig, CacheConfig, QDConfig, RFSConfig
@@ -266,6 +267,7 @@ class QueryDecompositionEngine:
         session = self.new_session(seed=derive_rng(rng, "session"))
         log = timing if timing is not None else TimingLog()
         tracer = get_tracer()
+        session_t0 = time.perf_counter()
         io = self.io
         physical_before = io.physical_reads
         logical_before = io.logical_reads
@@ -311,8 +313,11 @@ class QueryDecompositionEngine:
             if delta:
                 result.stats[f"disk_reads_{category}"] = float(delta)
         metrics = get_metrics()
+        executor_labels = {"executor": self.executor.name}
         metrics.counter(
-            "qd_sessions_total", "completed QD sessions"
+            "qd_sessions_total",
+            "completed QD sessions",
+            labels=executor_labels,
         ).inc()
         metrics.counter(
             "qd_disk_physical_reads", "buffer-missing page reads"
@@ -323,6 +328,17 @@ class QueryDecompositionEngine:
         metrics.histogram(
             "qd_session_rounds", "feedback rounds to convergence"
         ).observe(result.rounds_used)
+        metrics.histogram(
+            "qd_session_seconds",
+            "end-to-end scripted session wall time",
+            labels=executor_labels,
+        ).observe(time.perf_counter() - session_t0)
+        for phase in ("initial", "iteration", "final_knn"):
+            metrics.histogram(
+                "qd_phase_seconds",
+                "per-session wall time of one Figure 10/11 phase",
+                labels={"phase": phase},
+            ).observe(log.total(phase))
         return result
 
 

@@ -185,6 +185,18 @@ def run_final_round_batch(
             "qd_batch_coalesced_subqueries",
             "subqueries that shared another subquery's block reads",
         ).inc(max(0, len(misses) - len(group_lists)))
+        if hits:
+            metrics.counter(
+                "qd_batch_subqueries_total",
+                "batched subquery tasks by cache outcome",
+                labels={"cache": "hit"},
+            ).inc(hits)
+        if misses:
+            metrics.counter(
+                "qd_batch_subqueries_total",
+                "batched subquery tasks by cache outcome",
+                labels={"cache": "miss"},
+            ).inc(len(misses))
 
         # Phase 3: per-query sequential merge, identical to the serial
         # path (shared implementation, same task order).

@@ -222,6 +222,35 @@ class SubqueryExecutor:
         """Execute ``tasks``, returning outcomes in submission order."""
         raise NotImplementedError
 
+    def _record_outcomes(
+        self, outcomes: List[SubqueryOutcome]
+    ) -> List[SubqueryOutcome]:
+        """Record per-executor fan-out metrics; returns ``outcomes``.
+
+        One counter family and one latency histogram, each labeled with
+        the executor kind, so serial/thread/process runs land in
+        separate children of the same metric family.  The process
+        executor calls this in the *parent* (worker durations travel in
+        the outcomes), keeping one recording site per task.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled or not outcomes:
+            return outcomes
+        labels = {"executor": self.name}
+        metrics.counter(
+            "qd_subqueries_total",
+            "localized subqueries executed",
+            labels=labels,
+        ).inc(len(outcomes))
+        latency = metrics.histogram(
+            "qd_subquery_seconds",
+            "per-subquery wall time",
+            labels=labels,
+        )
+        for outcome in outcomes:
+            latency.observe(outcome.duration_s)
+        return outcomes
+
     def close(self) -> None:
         """Release pool resources (idempotent)."""
 
@@ -251,10 +280,12 @@ class SerialSubqueryExecutor(SubqueryExecutor):
         *,
         dim_weights: Optional[np.ndarray] = None,
     ) -> List[SubqueryOutcome]:
-        return [
-            run_subquery_task(rfs, config, task, dim_weights)
-            for task in tasks
-        ]
+        return self._record_outcomes(
+            [
+                run_subquery_task(rfs, config, task, dim_weights)
+                for task in tasks
+            ]
+        )
 
 
 class ThreadedSubqueryExecutor(SubqueryExecutor):
@@ -285,10 +316,12 @@ class ThreadedSubqueryExecutor(SubqueryExecutor):
         dim_weights: Optional[np.ndarray] = None,
     ) -> List[SubqueryOutcome]:
         if len(tasks) <= 1:  # nothing to overlap; skip pool dispatch
-            return [
-                run_subquery_task(rfs, config, task, dim_weights)
-                for task in tasks
-            ]
+            return self._record_outcomes(
+                [
+                    run_subquery_task(rfs, config, task, dim_weights)
+                    for task in tasks
+                ]
+            )
         tracer = get_tracer()
         parent_span = tracer.current
 
@@ -299,7 +332,7 @@ class ThreadedSubqueryExecutor(SubqueryExecutor):
                 return run_subquery_task(rfs, config, task, dim_weights)
 
         pool = self._ensure_pool()
-        return list(pool.map(call, tasks))
+        return self._record_outcomes(list(pool.map(call, tasks)))
 
     def close(self) -> None:
         with self._lock:
@@ -406,16 +439,18 @@ class ProcessSubqueryExecutor(SubqueryExecutor):
                 rfs, tasks, config, dim_weights=dim_weights
             )
         if len(tasks) <= 1:
-            return [
-                run_subquery_task(rfs, config, task, dim_weights)
-                for task in tasks
-            ]
+            return self._record_outcomes(
+                [
+                    run_subquery_task(rfs, config, task, dim_weights)
+                    for task in tasks
+                ]
+            )
         pool = self._ensure_pool(rfs)
         payloads = [(task, config, dim_weights) for task in tasks]
         outcomes = list(pool.map(_process_entry, payloads))
         for outcome in outcomes:
             self._graft(rfs, outcome)
-        return outcomes
+        return self._record_outcomes(outcomes)
 
     @staticmethod
     def _graft(rfs: RFSStructure, outcome: SubqueryOutcome) -> None:

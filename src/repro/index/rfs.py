@@ -549,9 +549,11 @@ class RFSStructure:
                             f"unknown hierarchy method {method!r}; "
                             "use 'rstar' or 'hkmeans'"
                         )
+                build_labels = {"executor": build_cfg.executor}
                 metrics.histogram(
                     "qd_build_tree_seconds",
                     "hierarchical clustering (tree) phase wall time",
+                    labels=build_labels,
                 ).observe(time.perf_counter() - t0)
                 if progress is not None:
                     progress(BuildProgress("cluster_tree", 1, 1))
@@ -573,12 +575,17 @@ class RFSStructure:
                 metrics.histogram(
                     "qd_build_reps_seconds",
                     "representative selection phase wall time",
+                    labels=build_labels,
                 ).observe(time.perf_counter() - t1)
                 metrics.counter(
-                    "qd_builds_total", "offline RFS builds"
+                    "qd_builds_total",
+                    "offline RFS builds",
+                    labels=build_labels,
                 ).inc()
                 metrics.counter(
-                    "qd_build_nodes_total", "RFS nodes built"
+                    "qd_build_nodes_total",
+                    "RFS nodes built",
+                    labels=build_labels,
                 ).inc(len(nodes))
         finally:
             if executor is not None:

@@ -24,6 +24,17 @@ Quick start::
     print(obs.prometheus_text(registry))
 """
 
+from repro.obs.bench import (
+    BenchResult,
+    BenchSchemaError,
+    MetricDelta,
+    compare_dirs,
+    compare_results,
+    format_comparison,
+    load_bench_dir,
+    load_bench_result,
+    validate_bench_result,
+)
 from repro.obs.export import (
     console_summary,
     load_jsonl_trace,
@@ -31,15 +42,23 @@ from repro.obs.export import (
     write_jsonl_trace,
 )
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     NULL_METRICS,
+    RESERVOIR_CAP,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetrics,
     get_metrics,
+    instrument_key,
     set_metrics,
     use_metrics,
+)
+from repro.obs.profile import (
+    SpanProfiler,
+    collapsed_from_trace,
+    read_rss_bytes,
 )
 from repro.obs.summarize import (
     SpanStats,
@@ -60,30 +79,45 @@ from repro.obs.trace import (
 )
 
 __all__ = [
-    "NULL_METRICS",
-    "NULL_TRACER",
+    "BUCKET_BOUNDS",
+    "BenchResult",
+    "BenchSchemaError",
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricDelta",
     "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
+    "RESERVOIR_CAP",
     "Span",
+    "SpanProfiler",
     "SpanStats",
     "TraceSummary",
     "Tracer",
+    "collapsed_from_trace",
+    "compare_dirs",
+    "compare_results",
     "console_summary",
+    "format_comparison",
     "get_metrics",
     "get_tracer",
+    "instrument_key",
     "iter_spans",
+    "load_bench_dir",
+    "load_bench_result",
     "load_jsonl_trace",
     "phase_durations",
     "prometheus_text",
+    "read_rss_bytes",
     "set_metrics",
     "set_tracer",
     "span_from_dict",
     "summarize",
     "use_metrics",
     "use_tracer",
+    "validate_bench_result",
     "write_jsonl_trace",
 ]

@@ -9,13 +9,18 @@ The JSONL format is one span per line, depth-first, with explicit
 
 :func:`load_jsonl_trace` rebuilds the nested form (dicts with a
 ``children`` list), which is what :func:`repro.obs.summarize` consumes.
+Truncated or corrupt lines — the tail of a crashed run's trace — are
+skipped with a warning instead of raising, so a partial trace is still
+summarizable.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
@@ -63,14 +68,31 @@ def write_jsonl_trace(trace: TraceSource, path: Union[str, Path]) -> int:
 
 
 def load_jsonl_trace(path: Union[str, Path]) -> List[SpanDict]:
-    """Read a JSONL trace back into nested span dictionaries."""
+    """Read a JSONL trace back into nested span dictionaries.
+
+    A line that fails to parse — typically the truncated final line of
+    a crashed run — is skipped with a :class:`RuntimeWarning` naming the
+    line number, so the rest of the trace still loads.
+    """
     by_id: Dict[int, SpanDict] = {}
     roots: List[SpanDict] = []
-    for line in Path(path).read_text().splitlines():
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+            span_id = record["span_id"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"{path}:{lineno}: skipping corrupt trace line "
+                f"({exc.__class__.__name__}: {exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
         span: SpanDict = {
             "name": record.get("name", ""),
             "start": record.get("start", 0.0),
@@ -78,7 +100,7 @@ def load_jsonl_trace(path: Union[str, Path]) -> List[SpanDict]:
             "attributes": record.get("attributes", {}),
             "children": [],
         }
-        by_id[record["span_id"]] = span
+        by_id[span_id] = span
         parent_id = record.get("parent_id")
         if parent_id is None:
             roots.append(span)
@@ -101,37 +123,90 @@ def _sanitise(name: str) -> str:
     )
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition rules."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _render_labels(
+    labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()
+) -> str:
+    """``{k="v",...}`` (or empty) for a child's labels + extras."""
+    items = [
+        (_sanitise(k), _escape_label_value(str(v)))
+        for k, v in sorted(labels.items())
+    ]
+    items.extend((k, str(v)) for k, v in extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def _families(instruments: Dict[str, Any]) -> List[Tuple[str, List[Any]]]:
+    """Group child instruments into (family name, children) pairs."""
+    grouped: Dict[str, List[Any]] = {}
+    for key in sorted(instruments):
+        inst = instruments[key]
+        grouped.setdefault(inst.name, []).append(inst)
+    return sorted(grouped.items())
+
+
+def _family_header(lines: List[str], name: str, kind: str, children) -> str:
+    """Append ``# HELP``/``# TYPE`` for a family; returns safe name."""
+    metric = _sanitise(name)
+    help_ = next((c.help for c in children if c.help), "")
+    if help_:
+        lines.append(f"# HELP {metric} {help_}")
+    lines.append(f"# TYPE {metric} {kind}")
+    return metric
+
+
+def _fmt_bound(bound: float) -> str:
+    """``le`` label value for a bucket upper bound."""
+    if math.isinf(bound):
+        return "+Inf"
+    return repr(float(bound))
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render a registry in the Prometheus text exposition format.
 
-    Histograms are exported as summaries (p50/p95/p99 quantile series
-    plus ``_count`` and ``_sum``).
+    Counter and gauge families emit one sample per labeled child.
+    Histograms are exported as native Prometheus histograms: cumulative
+    ``_bucket`` series over the log-spaced bounds (only bounds where the
+    count changes, plus ``+Inf``), ``_sum``, and ``_count``, each
+    carrying the child's labels.
     """
     lines: List[str] = []
-    for name, counter in sorted(registry.counters.items()):
-        metric = _sanitise(name)
-        if counter.help:
-            lines.append(f"# HELP {metric} {counter.help}")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_fmt(counter.value)}")
-    for name, gauge in sorted(registry.gauges.items()):
-        metric = _sanitise(name)
-        if gauge.help:
-            lines.append(f"# HELP {metric} {gauge.help}")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt(gauge.value)}")
-    for name, hist in sorted(registry.histograms.items()):
-        metric = _sanitise(name)
-        if hist.help:
-            lines.append(f"# HELP {metric} {hist.help}")
-        lines.append(f"# TYPE {metric} summary")
-        for q in (50, 95, 99):
+    for name, children in _families(registry.counters):
+        metric = _family_header(lines, name, "counter", children)
+        for child in children:
             lines.append(
-                f'{metric}{{quantile="0.{q}"}} '
-                f"{_fmt(hist.percentile(q))}"
+                f"{metric}{_render_labels(child.labels)} "
+                f"{_fmt(child.value)}"
             )
-        lines.append(f"{metric}_count {hist.count}")
-        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+    for name, children in _families(registry.gauges):
+        metric = _family_header(lines, name, "gauge", children)
+        for child in children:
+            lines.append(
+                f"{metric}{_render_labels(child.labels)} "
+                f"{_fmt(child.value)}"
+            )
+    for name, children in _families(registry.histograms):
+        metric = _family_header(lines, name, "histogram", children)
+        for child in children:
+            for bound, cumulative in child.bucket_counts():
+                le = (("le", _fmt_bound(bound)),)
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_render_labels(child.labels, extra=le)} "
+                    f"{cumulative}"
+                )
+            labels = _render_labels(child.labels)
+            lines.append(f"{metric}_sum{labels} {_fmt(child.sum)}")
+            lines.append(f"{metric}_count{labels} {child.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -161,13 +236,18 @@ def console_summary(
         blocks.append(summarize(_as_span_dicts(trace)).format())
     if registry is not None and registry.enabled:
         lines = ["Metrics"]
-        for name, counter in sorted(registry.counters.items()):
-            lines.append(f"  {name:32s} {_fmt(counter.value)}")
-        for name, gauge in sorted(registry.gauges.items()):
-            lines.append(f"  {name:32s} {_fmt(gauge.value)}")
-        for name, hist in sorted(registry.histograms.items()):
+        for key in sorted(registry.counters):
             lines.append(
-                f"  {name:32s} count={hist.count} mean={hist.mean():.2f}"
+                f"  {key:48s} {_fmt(registry.counters[key].value)}"
+            )
+        for key in sorted(registry.gauges):
+            lines.append(
+                f"  {key:48s} {_fmt(registry.gauges[key].value)}"
+            )
+        for key in sorted(registry.histograms):
+            hist = registry.histograms[key]
+            lines.append(
+                f"  {key:48s} count={hist.count} mean={hist.mean():.2f}"
                 f" p95={hist.percentile(95):.2f}"
             )
         if len(lines) > 1:

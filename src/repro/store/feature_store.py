@@ -302,8 +302,9 @@ class FeatureStore:
                 self.stats["cache_misses"] += 1
                 self.stats["bytes_read"] += nbytes
             metrics.counter(
-                "qd_store_block_misses",
-                "store block reads that missed the buffer pool",
+                "qd_store_block_reads_total",
+                "store block reads by buffer-pool outcome",
+                labels={"outcome": "miss"},
             ).inc()
             metrics.counter(
                 "qd_store_bytes_read",
@@ -314,8 +315,9 @@ class FeatureStore:
                 self.stats["block_reads"] += 1
                 self.stats["cache_hits"] += 1
             metrics.counter(
-                "qd_store_block_hits",
-                "store block reads served from the buffer pool",
+                "qd_store_block_reads_total",
+                "store block reads by buffer-pool outcome",
+                labels={"outcome": "hit"},
             ).inc()
 
     def stats_snapshot(self) -> Dict[str, int]:

@@ -11,11 +11,19 @@ import json
 import re
 import time
 
+import numpy as np
 import pytest
 
 from repro import get_query, obs
 from repro.eval import SimulatedUser
-from repro.obs.metrics import NULL_METRICS, get_metrics
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    NULL_METRICS,
+    RESERVOIR_CAP,
+    Histogram,
+    get_metrics,
+    instrument_key,
+)
 from repro.obs.trace import _NULL_SPAN, NULL_TRACER, get_tracer
 
 
@@ -287,7 +295,8 @@ class TestTracedSession:
 
     def test_session_metrics_recorded(self, traced_session):
         _, registry, result = traced_session
-        assert registry.counters["qd_sessions_total"].value == 1.0
+        sessions_key = 'qd_sessions_total{executor="serial"}'
+        assert registry.counters[sessions_key].value == 1.0
         assert (
             registry.counters["qd_feedback_rounds_total"].value
             == result.rounds_used
@@ -343,8 +352,10 @@ class TestExporters:
             assert sample.match(line), line
             n_samples += 1
         assert n_samples > 0
-        assert "qd_sessions_total 1" in text
-        assert 'qd_session_rounds{quantile="0.95"}' in text
+        assert 'qd_sessions_total{executor="serial"} 1' in text
+        assert 'qd_session_rounds_bucket{le="+Inf"}' in text
+        assert "qd_session_rounds_sum" in text
+        assert "qd_session_rounds_count" in text
 
     def test_console_summary_reports_spans_and_metrics(
         self, traced_session
@@ -364,3 +375,231 @@ class TestExporters:
         assert obs.prometheus_text(obs.MetricsRegistry()) == ""
         summary = obs.summarize([])
         assert summary.n_sessions == 0
+
+    def test_corrupt_trailing_line_skipped_with_warning(self, tmp_path):
+        """The truncated tail of a crashed run must not lose the trace."""
+        tracer = obs.Tracer()
+        with tracer.span("session"):
+            with tracer.span("round"):
+                pass
+        path = tmp_path / "crashed.jsonl"
+        obs.write_jsonl_trace(tracer, path)
+        intact = obs.load_jsonl_trace(path)
+        with open(path, "a") as fh:
+            fh.write('{"span_id": 99, "name": "trunc')  # crash mid-write
+        with pytest.warns(RuntimeWarning, match=r"crashed\.jsonl:3"):
+            loaded = obs.load_jsonl_trace(path)
+        assert loaded == intact
+        # Non-JSON garbage and JSON missing span_id are also skipped.
+        with open(path, "a") as fh:
+            fh.write('\nnot json at all\n{"parent_id": null}\n')
+        with pytest.warns(RuntimeWarning):
+            assert obs.load_jsonl_trace(path) == intact
+
+
+class TestLabeledMetrics:
+    def test_label_sets_form_distinct_children(self):
+        registry = obs.MetricsRegistry()
+        hit = registry.counter(
+            "qd_cache_requests_total", "lookups", labels={"outcome": "hit"}
+        )
+        miss = registry.counter(
+            "qd_cache_requests_total", labels={"outcome": "miss"}
+        )
+        assert hit is not miss
+        hit.inc(3)
+        miss.inc()
+        # Same name + same labels resolves to the same child, in any
+        # key order and value type.
+        again = registry.counter(
+            "qd_cache_requests_total", labels={"outcome": "hit"}
+        )
+        assert again is hit
+        assert (
+            registry.counters['qd_cache_requests_total{outcome="hit"}']
+            .value
+            == 3.0
+        )
+
+    def test_instrument_key_is_canonical(self):
+        assert instrument_key("m") == "m"
+        assert (
+            instrument_key("m", {"b": 2, "a": "x"})
+            == 'm{a="x",b="2"}'
+        )
+
+    def test_prometheus_renders_one_family_header_for_children(self):
+        registry = obs.MetricsRegistry()
+        registry.counter(
+            "qd_phase_total", "phases", labels={"phase": "initial"}
+        ).inc(1)
+        registry.counter(
+            "qd_phase_total", "phases", labels={"phase": "iteration"}
+        ).inc(2)
+        text = obs.prometheus_text(registry)
+        assert text.count("# TYPE qd_phase_total counter") == 1
+        assert text.count("# HELP qd_phase_total phases") == 1
+        assert 'qd_phase_total{phase="initial"} 1' in text
+        assert 'qd_phase_total{phase="iteration"} 2' in text
+
+    def test_prometheus_labeled_histogram_series(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram(
+            "qd_subquery_seconds", "latency", labels={"executor": "thread"}
+        )
+        for v in (0.001, 0.002, 0.004):
+            hist.observe(v)
+        text = obs.prometheus_text(registry)
+        assert "# TYPE qd_subquery_seconds histogram" in text
+        # Every series of the native histogram carries the child labels;
+        # _bucket additionally carries le and ends at +Inf cumulative.
+        assert re.search(
+            r'qd_subquery_seconds_bucket\{executor="thread",'
+            r'le="[^"]+"\} \d+',
+            text,
+        )
+        assert (
+            'qd_subquery_seconds_bucket{executor="thread",le="+Inf"} 3'
+            in text
+        )
+        assert 'qd_subquery_seconds_sum{executor="thread"}' in text
+        assert 'qd_subquery_seconds_count{executor="thread"} 3' in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = obs.MetricsRegistry()
+        registry.counter(
+            "c", labels={"path": 'a"b\\c'}
+        ).inc()
+        text = obs.prometheus_text(registry)
+        assert 'c{path="a\\"b\\\\c"} 1' in text
+
+    def test_labeled_payload_merges_into_matching_children(self):
+        """Worker registries graft by name *and* labels, not just name."""
+        worker = obs.MetricsRegistry()
+        worker.counter(
+            "qd_subqueries_total", "subqueries",
+            labels={"executor": "process"},
+        ).inc(4)
+        worker.counter("qd_distance_computations").inc(100)
+        worker.gauge("g", labels={"w": "1"}).set(7)
+        worker.histogram(
+            "qd_subquery_seconds", labels={"executor": "process"}
+        ).observe(0.25)
+
+        parent = obs.MetricsRegistry()
+        parent.counter(
+            "qd_subqueries_total", labels={"executor": "process"}
+        ).inc(1)
+        parent.merge_payload(worker.to_payload())
+        parent.merge_payload(worker.to_payload())  # two workers
+
+        key = 'qd_subqueries_total{executor="process"}'
+        assert parent.counters[key].value == 9.0
+        assert parent.counters[key].labels == {"executor": "process"}
+        assert (
+            parent.counters["qd_distance_computations"].value == 200.0
+        )
+        assert parent.gauges['g{w="1"}'].value == 7.0
+        merged = parent.histograms[
+            'qd_subquery_seconds{executor="process"}'
+        ]
+        assert merged.count == 2
+        assert merged.sum == 0.5
+        assert merged.percentile(50) == 0.25
+        # The merged child renders under its labels, and snapshot keys
+        # carry them too.
+        text = obs.prometheus_text(parent)
+        assert (
+            'qd_subquery_seconds_count{executor="process"} 2' in text
+        )
+        snap = parent.snapshot()
+        assert snap[key] == 9.0
+
+
+class TestStreamingHistogram:
+    def test_exact_percentiles_below_reservoir_cap(self):
+        hist = Histogram("h")
+        values = list(range(1, 101))
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 100
+        assert hist.samples == [float(v) for v in values]
+        for q in (0, 25, 50, 90, 95, 100):
+            assert hist.percentile(q) == float(
+                np.percentile(values, q)
+            )
+
+    def test_memory_bounded_and_estimator_above_cap(self):
+        hist = Histogram("h", cap=64)
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=-5.0, sigma=1.0, size=5000)
+        for v in values:
+            hist.observe(float(v))
+        assert hist.count == 5000
+        assert len(hist.samples) == 64  # bounded, not the full stream
+        # The bucket estimator is within one log-spaced bucket width
+        # (10^(1/5) ~ 58%) of the true percentile, clamped to min/max.
+        for q in (50, 95, 99):
+            exact = float(np.percentile(values, q))
+            est = hist.percentile(q)
+            assert values.min() <= est <= values.max()
+            assert exact / 1.6 <= est <= exact * 1.6
+        assert hist.percentile(0) >= float(values.min())
+        assert hist.percentile(100) == pytest.approx(
+            float(values.max())
+        )
+
+    def test_reservoir_is_deterministic_per_key(self):
+        stream = np.random.default_rng(3).normal(size=500)
+        a = Histogram("h", cap=32)
+        b = Histogram("h", cap=32)
+        other = Histogram("h2", cap=32)
+        for v in stream:
+            a.observe(float(v))
+            b.observe(float(v))
+            other.observe(float(v))
+        assert a.samples == b.samples  # same key, same stream
+        assert a.samples != other.samples  # key seeds the RNG
+
+    def test_default_cap_matches_module_constant(self):
+        assert Histogram("h").cap == RESERVOIR_CAP
+
+    def test_bucket_counts_are_cumulative_and_end_at_inf(self):
+        hist = Histogram("h")
+        for v in (0.5, 0.5, 2.0, 1e12):  # 1e12 -> overflow bucket
+            hist.observe(v)
+        pairs = hist.bucket_counts()
+        counts = [c for _, c in pairs]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+        assert pairs[-1][0] == float("inf")
+        bounds = [b for b, _ in pairs[:-1]]
+        assert all(b in BUCKET_BOUNDS for b in bounds)
+
+    def test_extremes_land_in_edge_buckets(self):
+        hist = Histogram("h")
+        for v in (-1.0, 0.0, 1e300):
+            hist.observe(v)
+        assert hist.count == 3
+        pairs = hist.bucket_counts()
+        assert pairs[0] == (BUCKET_BOUNDS[0], 2)  # <= smallest bound
+        assert pairs[-1] == (float("inf"), 3)
+
+    def test_merge_state_is_exact_for_buckets_count_sum(self):
+        a = Histogram("h")
+        b = Histogram("h")
+        whole = Histogram("h")
+        stream = [0.01 * (i + 1) for i in range(40)]
+        for v in stream[:20]:
+            a.observe(v)
+            whole.observe(v)
+        for v in stream[20:]:
+            b.observe(v)
+            whole.observe(v)
+        a.merge_state(b.state())
+        assert a.count == whole.count
+        assert a.sum == pytest.approx(whole.sum)
+        assert a.bucket_counts() == whole.bucket_counts()
+        # Under the cap both reservoirs are complete, so the merged
+        # percentiles are exact as well.
+        assert a.percentile(95) == whole.percentile(95)

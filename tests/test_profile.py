@@ -1,0 +1,200 @@
+"""Span profiler: sampling, collapsed stacks, resource attributes.
+
+Covers the profiler contract: live sampling of open-span stacks into
+flamegraph-consumable collapsed text, the deterministic no-op behaviour
+against a :class:`NullTracer`, the exact after-the-fact
+:func:`collapsed_from_trace` equivalent, the RSS/disk resource sampler,
+and the CLI ``--profile`` wiring.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    SpanProfiler,
+    collapsed_from_trace,
+    read_rss_bytes,
+)
+from repro.obs.trace import NULL_TRACER
+
+
+class TestSpanProfiler:
+    def test_samples_live_span_stacks(self):
+        tracer = obs.Tracer()
+        with SpanProfiler(tracer, interval_s=0.001) as prof:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    time.sleep(0.03)
+        assert prof.n_samples > 0
+        assert ("outer", "inner") in prof.stack_counts
+        text = prof.collapsed()
+        assert "outer;inner " in text
+        assert text.endswith("\n")
+        # Every line is "path count" with a positive integer count.
+        for line in text.splitlines():
+            path, count = line.rsplit(" ", 1)
+            assert path
+            assert int(count) > 0
+
+    def test_null_tracer_yields_empty_output_deterministically(self):
+        """Under Null defaults the profiler must be an exact no-op."""
+        for _ in range(3):
+            with SpanProfiler(NULL_TRACER, interval_s=0.001) as prof:
+                time.sleep(0.01)
+            assert prof.stack_counts == {}
+            assert prof.collapsed() == ""
+            assert prof.n_samples > 0  # it did sample; there was nothing
+
+    def test_defaults_to_installed_tracer(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            prof = SpanProfiler(interval_s=0.001).start()
+            assert prof.tracer is tracer
+            prof.stop()
+
+    def test_start_twice_raises(self):
+        prof = SpanProfiler(NULL_TRACER, interval_s=0.001).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_annotates_root_spans_with_resources(self):
+        tracer = obs.Tracer()
+        prof = SpanProfiler(tracer, interval_s=0.001).start()
+        with tracer.span("session"):
+            time.sleep(0.01)
+        prof.stop()
+        (root,) = tracer.spans
+        assert root.attributes["profile_samples"] == prof.n_samples
+        assert root.attributes["profile_rss_peak_bytes"] > 0
+        assert "profile_bytes_read" not in root.attributes  # no disk
+
+    def test_disk_model_deltas_recorded(self):
+        class FakeDisk:
+            bytes_read = 1000
+            physical_reads = 5
+
+        disk = FakeDisk()
+        tracer = obs.Tracer()
+        prof = SpanProfiler(tracer, interval_s=0.001, disk=disk).start()
+        with tracer.span("round"):
+            disk.bytes_read += 4096
+            disk.physical_reads += 2
+            time.sleep(0.01)
+        prof.stop()
+        # Deltas over the profiled window, not absolute totals.
+        assert prof.bytes_read == 4096
+        assert prof.physical_reads == 2
+        (root,) = tracer.spans
+        assert root.attributes["profile_bytes_read"] == 4096
+        assert root.attributes["profile_physical_reads"] == 2
+
+    def test_samples_worker_thread_stacks(self):
+        tracer = obs.Tracer()
+        release = threading.Event()
+
+        def worker() -> None:
+            with tracer.span("subquery"):
+                release.wait(1.0)
+
+        with SpanProfiler(tracer, interval_s=0.001) as prof:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            time.sleep(0.03)
+            release.set()
+            thread.join()
+        assert ("subquery",) in prof.stack_counts
+
+    def test_write_collapsed(self, tmp_path):
+        tracer = obs.Tracer()
+        with SpanProfiler(tracer, interval_s=0.001) as prof:
+            with tracer.span("a"):
+                time.sleep(0.02)
+        path = tmp_path / "prof.folded"
+        n_lines = prof.write_collapsed(path)
+        assert n_lines == len(path.read_text().splitlines())
+        assert path.read_text() == prof.collapsed()
+
+
+class TestCollapsedFromTrace:
+    def _trace(self):
+        return [
+            {
+                "name": "session",
+                "duration": 0.010,
+                "children": [
+                    {"name": "round", "duration": 0.004, "children": []},
+                    {"name": "round", "duration": 0.003, "children": []},
+                ],
+            }
+        ]
+
+    def test_exact_self_time_in_microseconds(self):
+        text = collapsed_from_trace(self._trace())
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.splitlines()
+        )
+        # session self time = 10ms - (4ms + 3ms) = 3ms; rounds add up.
+        assert int(lines["session"]) == 3000
+        assert int(lines["session;round"]) == 7000
+
+    def test_deterministic_given_a_trace(self):
+        trace = self._trace()
+        assert collapsed_from_trace(trace) == collapsed_from_trace(trace)
+
+    def test_zero_self_time_paths_omitted(self):
+        trace = [
+            {
+                "name": "wrapper",
+                "duration": 0.002,
+                "children": [
+                    {"name": "work", "duration": 0.002, "children": []}
+                ],
+            }
+        ]
+        text = collapsed_from_trace(trace)
+        assert text == "wrapper;work 2000\n"
+
+    def test_accepts_a_tracer(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            time.sleep(0.002)
+        text = collapsed_from_trace(tracer)
+        assert text.startswith("outer ")
+
+    def test_empty_trace(self):
+        assert collapsed_from_trace([]) == ""
+
+
+def test_read_rss_bytes_positive():
+    rss = read_rss_bytes()
+    assert rss > 0
+    # Sanity: a Python process with numpy loaded holds at least a few MB
+    # and far less than a TB.
+    assert 1 << 20 < rss < 1 << 40
+
+
+def test_cli_profile_flag_writes_collapsed_output(tmp_path):
+    """``--profile FILE`` samples the run and writes collapsed stacks."""
+    from repro.cli import _obs_scope, build_parser
+
+    parser = build_parser()
+    out = tmp_path / "prof.folded"
+    args = parser.parse_args(
+        ["query", "--db", "x.npz", "--query", "bird",
+         "--profile", str(out)]
+    )
+    assert args.profile == str(out)
+    with _obs_scope(args):
+        tracer = obs.get_tracer()
+        assert tracer.enabled  # --profile alone installs a real tracer
+        with tracer.span("session"):
+            with tracer.span("round"):
+                time.sleep(0.03)
+    text = out.read_text()
+    assert "session" in text
