@@ -108,3 +108,20 @@ if grep -qE '[1-9][0-9]* skipped' "$PARITY_LOG"; then
     echo "== build parity tests were skipped; failing ==" >&2
     exit 1
 fi
+
+# The session-resume parity tests guard the externalized-state contract
+# (a session checkpointed after any round and resumed — even by a fresh
+# process — must continue bit-identically, for every store backend and
+# executor); like the gates above, they must actually run.
+echo "== session resume gate =="
+RESUME_LOG=/tmp/qd-check-session-resume.log
+PYTHONPATH=src python -m pytest tests/test_sessionstore.py -k Parity \
+    -q -rs | tee "$RESUME_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$RESUME_LOG"; then
+    echo "== no session resume test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$RESUME_LOG"; then
+    echo "== session resume tests were skipped; failing ==" >&2
+    exit 1
+fi

@@ -106,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(p_query)
     _add_store_flags(p_query)
     _add_cache_flags(p_query)
+    _add_session_flags(p_query)
     _add_obs_flags(p_query)
 
     p_info = sub.add_parser("info", help="describe a database file")
@@ -124,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(p_int)
     _add_store_flags(p_int)
     _add_cache_flags(p_int)
+    _add_session_flags(p_int)
     _add_obs_flags(p_int)
 
     p_exp = sub.add_parser(
@@ -140,6 +142,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_flags(p_exp)
     _add_cache_flags(p_exp)
     _add_obs_flags(p_exp)
+
+    p_sessions = sub.add_parser(
+        "sessions",
+        help="inspect / expire externalized session records",
+    )
+    sessions_sub = p_sessions.add_subparsers(
+        dest="sessions_command", required=True
+    )
+    p_slist = sessions_sub.add_parser(
+        "list", help="list checkpointed sessions in a store"
+    )
+    _add_session_flags(p_slist, required=True)
+    p_sexpire = sessions_sub.add_parser(
+        "expire", help="sweep sessions idle longer than --ttl"
+    )
+    _add_session_flags(p_sexpire, required=True)
+    p_sexpire.add_argument(
+        "--ttl",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="idle time after which a session record is removed",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="inspect canonical benchmark results"
@@ -251,6 +276,43 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="saved store directory (required with --store memmap)",
     )
+
+
+def _add_session_flags(
+    parser: argparse.ArgumentParser, *, required: bool = False
+) -> None:
+    """Shared session-store flags (query/interactive/sessions)."""
+    from repro.config import SESSION_STORE_KINDS
+
+    parser.add_argument(
+        "--session-store",
+        choices=SESSION_STORE_KINDS,
+        default="sqlite" if required else None,
+        required=required,
+        help=(
+            "externalize session state to this backend: sessions "
+            "auto-checkpoint after every feedback round and any worker "
+            "can resume them (default: in-memory sessions only)"
+        ),
+    )
+    parser.add_argument(
+        "--session-path",
+        metavar="PATH",
+        help=(
+            "session-store location: database file for sqlite, record "
+            "directory for jsondir (unused by memory)"
+        ),
+    )
+
+
+def _session_store_from_args(args: argparse.Namespace):
+    """The store the ``--session-store`` flags ask for (or ``None``)."""
+    kind = getattr(args, "session_store", None)
+    if kind is None:
+        return None
+    from repro.sessionstore import make_session_store
+
+    return make_session_store(kind, getattr(args, "session_path", "") or "")
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -449,6 +511,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     _attach_store_from_args(engine.rfs, args)
     _attach_cache_from_args(engine.rfs, args)
+    session_store = _session_store_from_args(args)
+    if session_store is not None:
+        engine.attach_session_store(session_store)
     query = get_query(args.query)
     user = SimulatedUser(database, query, seed=args.seed)
     k = args.k or database.ground_truth_size(
@@ -494,6 +559,9 @@ def _cmd_interactive(args: argparse.Namespace) -> int:
         )
     _attach_store_from_args(engine.rfs, args)
     _attach_cache_from_args(engine.rfs, args)
+    session_store = _session_store_from_args(args)
+    if session_store is not None:
+        engine.attach_session_store(session_store)
     with _obs_scope(args), engine:
         run_console_session(
             engine,
@@ -544,6 +612,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                         engine, seed=args.seed
                     ).format()
                 )
+    return 0
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    """``sessions list|expire``: operate on an externalized store."""
+    import time as _time
+
+    store = _session_store_from_args(args)
+    assert store is not None  # --session-store is required here
+    with store:
+        if args.sessions_command == "expire":
+            swept = store.sweep_expired(args.ttl)
+            print(
+                f"expired {len(swept)} session(s) idle > {args.ttl:.0f}s"
+                + (": " + ", ".join(swept) if swept else "")
+            )
+            return 0
+        ids = store.list_ids()
+        if not ids:
+            print("no checkpointed sessions")
+            return 0
+        now = _time.time()
+        print(f"{'session':34s} {'round':>5s} {'marked':>6s} "
+              f"{'branches':>8s} {'idle s':>8s}")
+        for session_id in ids:
+            state = store.get(session_id)
+            print(
+                f"{session_id:34s} {state.round:5d} "
+                f"{len(state.marked):6d} {state.n_subqueries:8d} "
+                f"{now - state.updated_unix:8.0f}"
+            )
     return 0
 
 
@@ -617,6 +716,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "interactive": _cmd_interactive,
     "experiment": _cmd_experiment,
+    "sessions": _cmd_sessions,
     "bench": _cmd_bench,
 }
 

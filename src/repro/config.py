@@ -330,6 +330,57 @@ class CacheConfig:
         return int(self.capacity_mb * 1024 * 1024)
 
 
+#: Session-store backends accepted by :attr:`SessionStoreConfig.kind`
+#: and the CLI ``--session-store`` flag (see :mod:`repro.sessionstore`).
+SESSION_STORE_KINDS: tuple[str, ...] = ("memory", "sqlite", "jsondir")
+
+
+@dataclass(frozen=True)
+class SessionStoreConfig:
+    """Parameters of the externalized session-state store.
+
+    Attributes
+    ----------
+    enabled:
+        Whether engines built from a :class:`SystemConfig` (or the CLI
+        ``--session-store`` flag) attach a
+        :class:`repro.sessionstore.SessionStore`, making every session
+        auto-checkpoint after each feedback round and resumable by any
+        worker.
+    kind:
+        Backend — ``"memory"`` (in-proc dict), ``"sqlite"`` (one WAL
+        database file, safe under concurrent workers), or ``"jsondir"``
+        (one debuggable JSON file per session).
+    path:
+        Database file (``sqlite``) or record directory (``jsondir``);
+        ignored by ``memory``.
+    ttl_s:
+        Idle time after which :meth:`repro.sessionstore.SessionStore.
+        sweep_expired` removes an abandoned session's record (seconds
+        since its last checkpoint).
+    """
+
+    enabled: bool = False
+    kind: str = "memory"
+    path: str = ""
+    ttl_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SESSION_STORE_KINDS:
+            raise ConfigurationError(
+                f"session store kind must be one of {SESSION_STORE_KINDS},"
+                f" got {self.kind!r}"
+            )
+        if self.kind in ("sqlite", "jsondir") and self.enabled and not self.path:
+            raise ConfigurationError(
+                f"a {self.kind} session store needs a path"
+            )
+        if self.ttl_s <= 0:
+            raise ConfigurationError(
+                f"session ttl_s must be positive, got {self.ttl_s}"
+            )
+
+
 @dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of the synthetic Corel-like dataset.
@@ -371,3 +422,6 @@ class SystemConfig:
     store: StoreConfig = field(default_factory=StoreConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     build: BuildConfig = field(default_factory=BuildConfig)
+    sessions: SessionStoreConfig = field(
+        default_factory=SessionStoreConfig
+    )

@@ -4,6 +4,9 @@
 * :mod:`repro.core.session` — the multi-round feedback session: display
   representatives, accept relevance marks, descend the RFS hierarchy
   along multiple paths,
+* :mod:`repro.core.session_state` — the serializable
+  :class:`SessionState` record that externalizes a session so any
+  worker can resume it (stored via :mod:`repro.sessionstore`),
 * :mod:`repro.core.ranking` — the final localized multipoint k-NN
   computation, proportional merge, and group ranking (§3.3–3.4),
 * :mod:`repro.core.presentation` — result groups and flattened views,
@@ -11,10 +14,11 @@
   :class:`QueryDecompositionEngine`.
 """
 
-from repro.core.clientserver import compare_deployments
+from repro.core.clientserver import SessionFrontEnd, compare_deployments
 from repro.core.engine import QueryDecompositionEngine
 from repro.core.presentation import QueryResult, ResultGroup
 from repro.core.session import FeedbackSession
+from repro.core.session_state import SessionState, SubQueryState
 from repro.core.subquery import SubQuery
 from repro.core.target_search import (
     TargetSearchResult,
@@ -28,7 +32,10 @@ __all__ = [
     "QueryResult",
     "ResultGroup",
     "FeedbackSession",
+    "SessionFrontEnd",
+    "SessionState",
     "SubQuery",
+    "SubQueryState",
     "TargetSearchResult",
     "TargetSearchSession",
     "run_target_search",

@@ -20,9 +20,16 @@ This module quantifies that claim for a given database/RFS pair:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
+from repro.errors import ConfigurationError
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.engine import QueryDecompositionEngine
+    from repro.core.presentation import QueryResult
 
 #: Bytes per float64 feature component.
 _FLOAT_BYTES = 8
@@ -102,6 +109,101 @@ class DeploymentComparison:
             f"{self.server_capacity_multiplier:.1f}x",
         ]
         return "\n".join(lines)
+
+
+class SessionFrontEnd:
+    """A stateless serving worker over externalized session state.
+
+    This is the deployment shape the :mod:`repro.sessionstore` layer
+    unlocks (ROADMAP items 1–2): N interchangeable front-end workers
+    behind a router, none of which holds a session in process memory
+    between requests.  Every request *loads* the session record from
+    the engine's shared store, acts on a rehydrated
+    :class:`~repro.core.session.FeedbackSession`, and re-checkpoints —
+    so consecutive requests of one dialogue may land on different
+    workers (or worker restarts) with bit-identical results.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine; must have a session store attached
+        (:meth:`~repro.core.engine.QueryDecompositionEngine.
+        attach_session_store`).
+    worker_id:
+        Label for metrics, so per-worker request mix is visible when
+        several front-ends share one store.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryDecompositionEngine",
+        *,
+        worker_id: str = "worker0",
+    ) -> None:
+        if engine.session_store is None:
+            raise ConfigurationError(
+                "SessionFrontEnd needs an engine with an attached "
+                "session store"
+            )
+        self.engine = engine
+        self.worker_id = worker_id
+
+    def _count(self, op: str) -> None:
+        get_metrics().counter(
+            "qd_frontend_requests_total",
+            "session front-end requests served",
+            labels={"worker": self.worker_id, "op": op},
+        ).inc()
+
+    # -- request handlers ----------------------------------------------
+    def open(
+        self,
+        *,
+        seed: RandomState = None,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Open a new dialogue; returns its session id."""
+        self._count("open")
+        return self.engine.open_session(
+            seed=seed, session_id=session_id
+        ).session_id
+
+    def display(self, session_id: str, screens: int = 1) -> List[int]:
+        """Serve one screen of representatives for ``session_id``.
+
+        The advanced round (and the live screen's ownership map) is
+        checkpointed before returning, so the follow-up ``submit`` may
+        be served by any worker.
+        """
+        self._count("display")
+        session = self.engine.resume_session(session_id)
+        shown = session.display(screens=screens)
+        session.checkpoint()
+        return shown
+
+    def submit(self, session_id: str, relevant_ids: Iterable[int]) -> int:
+        """Apply one round of relevance marks; returns active branches.
+
+        ``FeedbackSession.submit`` auto-checkpoints, so no explicit
+        checkpoint is needed here.
+        """
+        self._count("submit")
+        session = self.engine.resume_session(session_id)
+        session.submit(relevant_ids)
+        return session.n_subqueries
+
+    def finalize(self, session_id: str, k: int) -> "QueryResult":
+        """Run the final localized k-NN; removes the session record."""
+        self._count("finalize")
+        session = self.engine.resume_session(session_id)
+        return session.finalize(k)
+
+    def abandon(self, session_id: str) -> bool:
+        """Drop a dialogue the user walked away from."""
+        self._count("abandon")
+        store = self.engine.session_store
+        assert store is not None  # checked at construction
+        return store.delete(session_id)
 
 
 def client_payload(

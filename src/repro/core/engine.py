@@ -29,6 +29,7 @@ from repro.utils.timing import TimingLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.cache import SubqueryResultCache
+    from repro.sessionstore import SessionStore
     from repro.store import FeatureStore
 
 # A scripted user: receives the displayed image ids, returns the relevant
@@ -71,6 +72,7 @@ class QueryDecompositionEngine:
         self.rfs = rfs
         self.config = config or QDConfig()
         self._executor = executor
+        self._session_store: Optional["SessionStore"] = None
         if store is not None:
             self.rfs.attach_store(store)
 
@@ -193,11 +195,103 @@ class QueryDecompositionEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def new_session(self, *, seed: RandomState = None) -> FeedbackSession:
-        """Start an interactive feedback session."""
+    # ------------------------------------------------------------------
+    # Session lifecycle: open / resume / checkpoint / expire
+    # ------------------------------------------------------------------
+    @property
+    def session_store(self) -> Optional["SessionStore"]:
+        """The attached session store, if any."""
+        return self._session_store
+
+    def attach_session_store(self, store: "SessionStore") -> None:
+        """Externalize session state through ``store``.
+
+        Every session created afterwards auto-checkpoints after each
+        feedback round (and is removed on finalize), so any worker with
+        the same structure and config can :meth:`resume_session` it.
+        """
+        self._session_store = store
+
+    def detach_session_store(self) -> None:
+        """Stop externalizing session state (existing records remain)."""
+        self._session_store = None
+
+    def new_session(
+        self,
+        *,
+        seed: RandomState = None,
+        session_id: Optional[str] = None,
+    ) -> FeedbackSession:
+        """Start an interactive feedback session.
+
+        With a session store attached, the session auto-checkpoints
+        after every ``submit``; use :meth:`open_session` to also write
+        the round-zero record immediately.
+        """
         return FeedbackSession(
-            self.rfs, self.config, seed=seed, executor=self.executor
+            self.rfs,
+            self.config,
+            seed=seed,
+            executor=self.executor,
+            session_id=session_id,
+            store=self._session_store,
         )
+
+    def open_session(
+        self,
+        *,
+        seed: RandomState = None,
+        session_id: Optional[str] = None,
+    ) -> FeedbackSession:
+        """Start a session and durably register it in the store.
+
+        Requires an attached session store: the round-zero record is
+        checkpointed immediately, so the session is visible to (and
+        resumable by) other workers before its first feedback round.
+        """
+        if self._session_store is None:
+            raise ConfigurationError(
+                "open_session needs an attached session store; call "
+                "attach_session_store() first (or use new_session)"
+            )
+        session = self.new_session(seed=seed, session_id=session_id)
+        session.checkpoint()
+        return session
+
+    def resume_session(self, session_id: str) -> FeedbackSession:
+        """Rehydrate a checkpointed session from the attached store.
+
+        The resumed session continues bit-identically to the
+        never-suspended one (see :meth:`FeedbackSession.restore`).
+        Raises :class:`~repro.errors.SessionNotFoundError` for unknown
+        or already-finalized ids and
+        :class:`~repro.errors.StaleSessionError` when the record no
+        longer matches this engine's structure version or config.
+        """
+        if self._session_store is None:
+            raise ConfigurationError(
+                "resume_session needs an attached session store"
+            )
+        state = self._session_store.get(session_id)
+        return FeedbackSession.restore(
+            self.rfs,
+            state,
+            config=self.config,
+            executor=self.executor,
+            store=self._session_store,
+        )
+
+    def expire_sessions(self, ttl_s: float) -> list[str]:
+        """Sweep sessions idle longer than ``ttl_s``; returns their ids.
+
+        Run periodically (or from ``repro-cbir sessions expire``) so
+        abandoned dialogues do not accumulate in the store.
+        """
+        if self._session_store is None:
+            raise ConfigurationError(
+                "expire_sessions needs an attached session store"
+            )
+        return self._session_store.sweep_expired(ttl_s)
 
     def run_batch(
         self,

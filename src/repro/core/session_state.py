@@ -1,0 +1,234 @@
+"""The serializable session record (externalized session state).
+
+A multi-round feedback dialogue (§3.2) is long-lived: a user browses a
+few screens, thinks, marks, and comes back — possibly minutes later,
+possibly routed to a different worker.  Keeping the
+:class:`~repro.core.session.FeedbackSession` object in one process's
+memory pins the user to that process and caps concurrency at whatever
+one worker's RAM holds.  This module splits the session into *pure
+logic* (the ``FeedbackSession`` methods) and a compact, serializable
+:class:`SessionState` record, so any worker can rehydrate any session
+from a shared :class:`~repro.sessionstore.SessionStore` and continue it
+**bit-identically** — including the "Random" browse picks, because the
+record carries the exact bit-generator state of the session's RNG.
+
+The codec is versioned (``state_format``): decoders for old formats
+stay registered in :data:`_DECODERS`, so records written by an earlier
+release keep loading after the schema grows new fields.
+
+Resume safety is enforced with two fingerprints carried by the record:
+
+* ``structure_version`` — the :attr:`repro.index.rfs.RFSStructure.
+  structure_version` the session was captured against.  Incremental
+  mutations and store swaps bump it; resuming against a different
+  version raises :class:`~repro.errors.StaleSessionError` (node ids and
+  routing may no longer mean the same thing).
+* ``config_fingerprint`` — a digest of the *ranking-relevant* QD
+  parameters (boundary threshold, display size, round budget).  The
+  executor kind and worker count are deliberately excluded: all
+  executors produce bit-identical rankings, so a session may suspend on
+  a serial worker and resume on a process-pool worker.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.config import QDConfig
+from repro.errors import SessionCodecError
+
+#: Current on-the-wire format of :meth:`SessionState.to_dict`.
+STATE_FORMAT_VERSION = 1
+
+
+def config_fingerprint(config: QDConfig) -> str:
+    """Digest of the QD parameters that affect session behaviour.
+
+    Only ranking-relevant fields participate — ``executor``/``workers``
+    change *where* subqueries run, never what they return, so a session
+    may legally hop between differently-configured workers.
+    """
+    material = repr(
+        (
+            "qd-session",
+            config.boundary_threshold,
+            config.display_size,
+            config.max_rounds,
+        )
+    ).encode()
+    return hashlib.blake2b(material, digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class SubQueryState:
+    """Serialized form of one active branch (:class:`~repro.core.subquery.SubQuery`).
+
+    Only ids are stored — the node object is re-resolved from the RFS
+    structure on restore, which is what makes the record small (a few
+    hundred bytes) instead of a pickle of the tree.
+    """
+
+    node_id: int
+    marked: Tuple[int, ...]
+    shown: Tuple[int, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "marked": list(self.marked),
+            "shown": list(self.shown),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubQueryState":
+        return cls(
+            node_id=int(data["node_id"]),
+            marked=tuple(int(i) for i in data["marked"]),
+            shown=tuple(int(i) for i in data["shown"]),
+        )
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """Everything needed to resume a feedback session on any worker.
+
+    Attributes
+    ----------
+    session_id:
+        Stable identifier the session is stored and resumed under.
+    round:
+        Feedback rounds completed or in progress so far.
+    awaiting_feedback:
+        True when the session was suspended between ``display()`` and
+        ``submit()`` — ``display_owner`` then carries the live screen.
+    finalized:
+        Whether ``finalize()`` already ran (a finalized record can no
+        longer accept feedback).
+    active:
+        The decomposed subqueries, one record per active RFS node,
+        sorted by node id.
+    marked:
+        Union of all relevant image ids identified so far.
+    display_owner:
+        ``image id -> owning node id`` for the current round's screen.
+    rng_state:
+        Exact numpy bit-generator state of the session RNG; restoring
+        it makes post-resume "Random" browse picks identical to the
+        never-suspended run.
+    config_fingerprint:
+        :func:`config_fingerprint` of the session's :class:`QDConfig`.
+    structure_version:
+        RFS structure version the session was captured against.
+    created_unix / updated_unix:
+        Wall-clock stamps; ``updated_unix`` drives TTL expiry sweeps.
+    """
+
+    session_id: str
+    round: int
+    awaiting_feedback: bool
+    finalized: bool
+    active: Tuple[SubQueryState, ...]
+    marked: Tuple[int, ...]
+    display_owner: Dict[int, int]
+    rng_state: Dict[str, Any]
+    config_fingerprint: str
+    structure_version: int
+    created_unix: float = 0.0
+    updated_unix: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding (format :data:`STATE_FORMAT_VERSION`)."""
+        return {
+            "state_format": STATE_FORMAT_VERSION,
+            "session_id": self.session_id,
+            "round": self.round,
+            "awaiting_feedback": self.awaiting_feedback,
+            "finalized": self.finalized,
+            "active": [sub.to_dict() for sub in self.active],
+            "marked": list(self.marked),
+            # JSON object keys are strings; decoded back to ints below.
+            "display_owner": {
+                str(k): int(v) for k, v in self.display_owner.items()
+            },
+            "rng_state": copy.deepcopy(self.rng_state),
+            "config_fingerprint": self.config_fingerprint,
+            "structure_version": self.structure_version,
+            "created_unix": self.created_unix,
+            "updated_unix": self.updated_unix,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SessionState":
+        """Decode a record produced by any supported ``state_format``."""
+        if not isinstance(data, Mapping):
+            raise SessionCodecError(
+                f"session record must be an object, got "
+                f"{type(data).__name__}"
+            )
+        version = data.get("state_format")
+        decoder = _DECODERS.get(version)
+        if decoder is None:
+            raise SessionCodecError(
+                f"unsupported session state_format {version!r} "
+                f"(supported: {sorted(_DECODERS)})"
+            )
+        try:
+            return decoder(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SessionCodecError(
+                f"malformed session record: {exc!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def restore_rng(self) -> np.random.Generator:
+        """Rebuild the session RNG exactly as it was at capture time."""
+        name = self.rng_state.get("bit_generator", "PCG64")
+        try:
+            bit_generator = getattr(np.random, name)()
+        except AttributeError as exc:
+            raise SessionCodecError(
+                f"unknown bit generator {name!r} in session record"
+            ) from exc
+        bit_generator.state = copy.deepcopy(self.rng_state)
+        return np.random.Generator(bit_generator)
+
+    @property
+    def n_subqueries(self) -> int:
+        """Number of active branches in the record."""
+        return len(self.active)
+
+
+def _decode_v1(data: Mapping[str, Any]) -> SessionState:
+    return SessionState(
+        session_id=str(data["session_id"]),
+        round=int(data["round"]),
+        awaiting_feedback=bool(data["awaiting_feedback"]),
+        finalized=bool(data["finalized"]),
+        active=tuple(
+            SubQueryState.from_dict(sub) for sub in data["active"]
+        ),
+        marked=tuple(int(i) for i in data["marked"]),
+        display_owner={
+            int(k): int(v) for k, v in data["display_owner"].items()
+        },
+        rng_state=copy.deepcopy(dict(data["rng_state"])),
+        config_fingerprint=str(data["config_fingerprint"]),
+        structure_version=int(data["structure_version"]),
+        created_unix=float(data.get("created_unix", 0.0)),
+        updated_unix=float(data.get("updated_unix", 0.0)),
+        extra=dict(data.get("extra", {})),
+    )
+
+
+#: ``state_format -> decoder``; old formats stay readable forever.
+_DECODERS: Dict[Any, Callable[[Mapping[str, Any]], SessionState]] = {
+    1: _decode_v1,
+}

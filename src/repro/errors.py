@@ -56,6 +56,36 @@ class SessionStateError(QueryError):
     """
 
 
+class StaleSessionError(SessionStateError):
+    """A session record no longer matches the serving structure/config.
+
+    Raised on resume when the record's ``structure_version`` differs
+    from the live RFS structure (the tree mutated since the checkpoint,
+    so node ids and routing may have changed meaning) or when its config
+    fingerprint does not match the resuming worker's ranking-relevant
+    QD parameters.
+    """
+
+
+class SessionStoreError(ReproError):
+    """A session-store backend operation failed."""
+
+
+class SessionNotFoundError(SessionStoreError):
+    """No session record exists under the requested id.
+
+    Raised on resume of an unknown, expired, or already-finalized
+    session id.
+    """
+
+
+class SessionCodecError(SessionStoreError):
+    """A session record could not be encoded or decoded.
+
+    Covers unsupported ``state_format`` versions and structurally
+    malformed payloads (e.g. a truncated JSON file)."""
+
+
 class DatasetError(ReproError):
     """A dataset could not be built, loaded, or validated."""
 

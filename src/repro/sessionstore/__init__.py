@@ -1,0 +1,77 @@
+"""Pluggable persistence for externalized session state.
+
+The multi-round feedback dialogue is the stateful heart of Query
+Decomposition; this package moves that state out of process memory so
+any worker can resume any session (see
+:mod:`repro.core.session_state` for the record itself).  Backend
+selection matrix:
+
+===========  ==========  ============  ===========================
+backend      durability  concurrency   use when
+===========  ==========  ============  ===========================
+``memory``   none        threads       single-process servers, tests
+``sqlite``   one file    threads +     several workers on one host
+                         processes
+``jsondir``  one file    last-write-   debugging, tiny deployments,
+             per session wins          hand-inspecting records
+===========  ==========  ============  ===========================
+
+All backends store the same canonical JSON encoding, so a session
+checkpointed into one backend can be copied into another; rankings
+never depend on the backend choice.
+"""
+
+from repro.sessionstore.base import (
+    SessionStore,
+    decode_state,
+    encode_state,
+)
+from repro.sessionstore.jsondir import JSONDirectorySessionStore
+from repro.sessionstore.memory import InMemorySessionStore
+from repro.sessionstore.sqlite import SQLiteSessionStore
+
+#: Backend names accepted by :func:`make_session_store` and the CLI
+#: ``--session-store`` flag.
+SESSION_STORE_KINDS: tuple[str, ...] = ("memory", "sqlite", "jsondir")
+
+
+def make_session_store(kind: str, path: str = "") -> SessionStore:
+    """Construct a session store by backend name.
+
+    ``memory`` ignores ``path``; ``sqlite`` treats it as the database
+    file; ``jsondir`` as the record directory.  Raises
+    :class:`~repro.errors.SessionStoreError` on an unknown kind or a
+    missing required path.
+    """
+    from repro.errors import SessionStoreError
+
+    if kind == "memory":
+        return InMemorySessionStore()
+    if kind == "sqlite":
+        if not path:
+            raise SessionStoreError(
+                "sqlite session store needs a database file path"
+            )
+        return SQLiteSessionStore(path)
+    if kind == "jsondir":
+        if not path:
+            raise SessionStoreError(
+                "jsondir session store needs a directory path"
+            )
+        return JSONDirectorySessionStore(path)
+    raise SessionStoreError(
+        f"unknown session store kind {kind!r} "
+        f"(expected one of {SESSION_STORE_KINDS})"
+    )
+
+
+__all__ = [
+    "SESSION_STORE_KINDS",
+    "InMemorySessionStore",
+    "JSONDirectorySessionStore",
+    "SQLiteSessionStore",
+    "SessionStore",
+    "decode_state",
+    "encode_state",
+    "make_session_store",
+]

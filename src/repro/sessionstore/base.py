@@ -1,0 +1,191 @@
+"""The pluggable session-store protocol.
+
+A :class:`SessionStore` persists :class:`~repro.core.session_state.
+SessionState` records under their session id so *any* worker can resume
+*any* session, and a process restart loses nothing.  Three backends
+ship (see the package docstring for the selection matrix):
+
+* :class:`~repro.sessionstore.memory.InMemorySessionStore` — dict +
+  lock; fastest, single-process only.
+* :class:`~repro.sessionstore.sqlite.SQLiteSessionStore` — one WAL
+  database file, safe under concurrent threads and worker processes.
+* :class:`~repro.sessionstore.jsondir.JSONDirectorySessionStore` — one
+  JSON file per session, trivially debuggable (``cat`` a session).
+
+Every backend stores the *encoded JSON text* of the record, never live
+objects — the in-memory backend included — so a checkpoint is always a
+full codec round-trip and a resumed session can never alias state with
+the session that wrote it.  The base class owns instrumentation: each
+operation runs inside a ``session_store`` span and feeds the
+``qd_session_store_*`` metric family, labeled by backend and operation,
+so checkpoint overhead is directly visible in the obs layer.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.core.session_state import SessionState
+from repro.errors import SessionCodecError, SessionNotFoundError
+from repro.obs import get_metrics, get_tracer
+
+
+def encode_state(state: SessionState) -> str:
+    """Serialize a session record to its canonical JSON text."""
+    return json.dumps(state.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def decode_state(text: str) -> SessionState:
+    """Parse canonical JSON text back into a session record."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SessionCodecError(
+            f"session record is not valid JSON ({exc})"
+        ) from exc
+    return SessionState.from_dict(data)
+
+
+class SessionStore(abc.ABC):
+    """Persistence protocol for externalized session state.
+
+    Subclasses implement the ``_``-prefixed primitives over their
+    backing; the public methods wrap them with tracing and metrics.
+    All public methods are safe to call from concurrent threads (each
+    backend brings its own locking) and raise
+    :class:`~repro.errors.SessionStoreError` subclasses on failure.
+    """
+
+    #: Backend label used in metrics and the CLI ``--session-store`` flag.
+    kind: str = "abstract"
+
+    # -- public instrumented API ---------------------------------------
+    def put(self, state: SessionState) -> None:
+        """Checkpoint ``state`` (upsert by ``state.session_id``)."""
+        payload = encode_state(state)
+        with self._op_span("put", state.session_id):
+            self._put(state.session_id, payload, state.updated_unix)
+        get_metrics().histogram(
+            "qd_session_state_bytes",
+            "encoded size of checkpointed session records",
+            labels={"backend": self.kind},
+        ).observe(len(payload))
+
+    def get(self, session_id: str) -> SessionState:
+        """Load the record stored under ``session_id``.
+
+        Raises :class:`~repro.errors.SessionNotFoundError` when absent.
+        """
+        with self._op_span("get", session_id):
+            payload = self._get(session_id)
+        if payload is None:
+            raise SessionNotFoundError(
+                f"no session {session_id!r} in {self.kind} store"
+            )
+        return decode_state(payload)
+
+    def delete(self, session_id: str) -> bool:
+        """Remove a record; returns whether one existed."""
+        with self._op_span("delete", session_id):
+            return self._delete(session_id)
+
+    def list_ids(self) -> List[str]:
+        """Ids of every stored session, sorted."""
+        with self._op_span("list", None):
+            return sorted(self._list_ids())
+
+    def sweep_expired(
+        self, ttl_s: float, *, now: Optional[float] = None
+    ) -> List[str]:
+        """Delete sessions idle longer than ``ttl_s``; returns their ids.
+
+        Staleness is judged by each record's ``updated_unix`` stamp
+        (its last checkpoint), not filesystem metadata, so the sweep
+        behaves identically across backends.
+        """
+        cutoff = (time.time() if now is None else now) - ttl_s
+        with self._op_span("sweep", None):
+            swept = self._sweep(cutoff)
+        if swept:
+            get_metrics().counter(
+                "qd_sessions_expired_total",
+                "sessions removed by TTL sweeps",
+                labels={"backend": self.kind},
+            ).inc(len(swept))
+        return sorted(swept)
+
+    def close(self) -> None:
+        """Release backend resources (safe to call twice)."""
+
+    def __enter__(self) -> "SessionStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.list_ids())
+
+    # -- backend primitives --------------------------------------------
+    @abc.abstractmethod
+    def _put(
+        self, session_id: str, payload: str, updated_unix: float
+    ) -> None:
+        """Upsert the encoded record."""
+
+    @abc.abstractmethod
+    def _get(self, session_id: str) -> Optional[str]:
+        """Encoded record, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def _delete(self, session_id: str) -> bool:
+        """Remove a record; return whether it existed."""
+
+    @abc.abstractmethod
+    def _list_ids(self) -> List[str]:
+        """All stored session ids (any order)."""
+
+    def _sweep(self, cutoff_unix: float) -> List[str]:
+        """Delete records with ``updated_unix < cutoff``; default scans.
+
+        Backends with an indexed stamp (SQLite) override this with a
+        single query.
+        """
+        swept: List[str] = []
+        for session_id in self._list_ids():
+            payload = self._get(session_id)
+            if payload is None:  # concurrently deleted mid-sweep
+                continue
+            try:
+                stamp = float(json.loads(payload).get("updated_unix", 0.0))
+            except (json.JSONDecodeError, TypeError, ValueError):
+                continue  # leave corrupt records for a human to inspect
+            if stamp < cutoff_unix and self._delete(session_id):
+                swept.append(session_id)
+        return swept
+
+    # -- instrumentation helpers ---------------------------------------
+    @contextlib.contextmanager
+    def _op_span(self, op: str, session_id: Optional[str]):
+        labels = {"backend": self.kind, "op": op}
+        metrics = get_metrics()
+        metrics.counter(
+            "qd_session_store_ops_total",
+            "session-store operations",
+            labels=labels,
+        ).inc()
+        attrs: Dict[str, object] = dict(labels)
+        if session_id is not None:
+            attrs["session"] = session_id
+        start = time.perf_counter()
+        with get_tracer().span("session_store", **attrs):
+            yield
+        metrics.histogram(
+            "qd_session_store_seconds",
+            "session-store operation latency",
+            labels=labels,
+        ).observe(time.perf_counter() - start)

@@ -1,0 +1,56 @@
+"""In-process session store: a dict under a lock.
+
+The fastest backend and the right default for a single-process server
+or tests.  It still stores *encoded JSON text*, not live objects, so
+resume semantics (full codec round-trip, no aliasing) are identical to
+the durable backends — only durability differs: the records die with
+the process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.sessionstore.base import SessionStore
+
+
+class InMemorySessionStore(SessionStore):
+    """Thread-safe dict-backed store (no durability, no cross-process)."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        # session_id -> (payload, updated_unix)
+        self._records: Dict[str, Tuple[str, float]] = {}
+        self._lock = threading.Lock()
+
+    def _put(
+        self, session_id: str, payload: str, updated_unix: float
+    ) -> None:
+        with self._lock:
+            self._records[session_id] = (payload, updated_unix)
+
+    def _get(self, session_id: str) -> Optional[str]:
+        with self._lock:
+            record = self._records.get(session_id)
+        return record[0] if record is not None else None
+
+    def _delete(self, session_id: str) -> bool:
+        with self._lock:
+            return self._records.pop(session_id, None) is not None
+
+    def _list_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._records)
+
+    def _sweep(self, cutoff_unix: float) -> List[str]:
+        with self._lock:
+            swept = [
+                session_id
+                for session_id, (_, stamp) in self._records.items()
+                if stamp < cutoff_unix
+            ]
+            for session_id in swept:
+                del self._records[session_id]
+        return swept

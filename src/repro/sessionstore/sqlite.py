@@ -1,0 +1,169 @@
+"""SQLite session store: one WAL database shared by many workers.
+
+The durable default for a multi-worker deployment on one host.  WAL
+journaling lets readers proceed while a writer commits, and a generous
+``busy_timeout`` makes concurrent checkpoint bursts block briefly
+instead of failing; every statement runs in autocommit so no worker
+ever holds a long transaction.
+
+Connections are per-thread *and* per-process (keyed by pid), created
+lazily — so a store object may be constructed before a fork and used
+by process-pool workers, each of which transparently opens its own
+connection to the shared database file.  Pickling ships only the path.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import SessionStoreError
+from repro.sessionstore.base import SessionStore
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS qd_sessions (
+    session_id   TEXT PRIMARY KEY,
+    updated_unix REAL NOT NULL,
+    payload      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS qd_sessions_updated
+    ON qd_sessions (updated_unix);
+"""
+
+
+class SQLiteSessionStore(SessionStore):
+    """Session records in one SQLite file (WAL, concurrent-worker safe)."""
+
+    kind = "sqlite"
+
+    def __init__(
+        self, path: Union[str, Path], *, busy_timeout_s: float = 30.0
+    ) -> None:
+        self._path = str(path)
+        self._busy_timeout_s = float(busy_timeout_s)
+        self._local = threading.local()
+        self._conns: List[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        # Create the schema eagerly so a bad path fails at construction,
+        # not at the first checkpoint.
+        self._conn()
+
+    # -- connection management -----------------------------------------
+    def _conn(self) -> sqlite3.Connection:
+        if self._closed:
+            raise SessionStoreError(
+                f"sqlite session store {self._path} is closed"
+            )
+        pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", None) == pid:
+            return conn
+        try:
+            conn = sqlite3.connect(
+                self._path,
+                timeout=self._busy_timeout_s,
+                isolation_level=None,  # autocommit; no lingering txns
+                check_same_thread=False,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                f"PRAGMA busy_timeout={int(self._busy_timeout_s * 1000)}"
+            )
+            conn.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            raise SessionStoreError(
+                f"cannot open sqlite session store {self._path}: {exc}"
+            ) from exc
+        self._local.conn = conn
+        self._local.pid = pid
+        with self._conns_lock:
+            self._conns.append(conn)
+        return conn
+
+    # -- primitives ----------------------------------------------------
+    def _put(
+        self, session_id: str, payload: str, updated_unix: float
+    ) -> None:
+        try:
+            self._conn().execute(
+                "INSERT INTO qd_sessions (session_id, updated_unix, payload)"
+                " VALUES (?, ?, ?)"
+                " ON CONFLICT(session_id) DO UPDATE SET"
+                " updated_unix = excluded.updated_unix,"
+                " payload = excluded.payload",
+                (session_id, updated_unix, payload),
+            )
+        except sqlite3.Error as exc:
+            raise SessionStoreError(
+                f"sqlite checkpoint of {session_id!r} failed: {exc}"
+            ) from exc
+
+    def _get(self, session_id: str) -> Optional[str]:
+        row = self._conn().execute(
+            "SELECT payload FROM qd_sessions WHERE session_id = ?",
+            (session_id,),
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def _delete(self, session_id: str) -> bool:
+        cursor = self._conn().execute(
+            "DELETE FROM qd_sessions WHERE session_id = ?", (session_id,)
+        )
+        return cursor.rowcount > 0
+
+    def _list_ids(self) -> List[str]:
+        rows = self._conn().execute(
+            "SELECT session_id FROM qd_sessions"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def _sweep(self, cutoff_unix: float) -> List[str]:
+        conn = self._conn()
+        # BEGIN IMMEDIATE serializes concurrent sweepers so two workers
+        # never both report having deleted the same session.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            swept = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT session_id FROM qd_sessions"
+                    " WHERE updated_unix < ?",
+                    (cutoff_unix,),
+                )
+            ]
+            conn.execute(
+                "DELETE FROM qd_sessions WHERE updated_unix < ?",
+                (cutoff_unix,),
+            )
+            conn.execute("COMMIT")
+        except sqlite3.Error:
+            conn.execute("ROLLBACK")
+            raise
+        return swept
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Path-only pickling: fork/spawn workers reopen their own
+        # connections against the shared database file.
+        return {
+            "_path": self._path,
+            "_busy_timeout_s": self._busy_timeout_s,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(state["_path"], busy_timeout_s=state["_busy_timeout_s"])

@@ -1,0 +1,567 @@
+"""Externalized session state: codec, stores, and resume parity.
+
+The load-bearing contract (ROADMAP item 2): a feedback session
+checkpointed after any round and resumed — by the same process, another
+thread, or a *fresh* process — must continue **bit-identically** to the
+never-suspended run, for every store backend and every executor kind.
+``scripts/check.sh`` runs the ``Parity`` tests as a no-skip gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.config import QDConfig
+from repro.core.clientserver import SessionFrontEnd
+from repro.core.session import FeedbackSession
+from repro.core.session_state import (
+    STATE_FORMAT_VERSION,
+    SessionState,
+    config_fingerprint,
+)
+from repro.errors import (
+    ConfigurationError,
+    SessionCodecError,
+    SessionNotFoundError,
+    SessionStateError,
+    SessionStoreError,
+    StaleSessionError,
+)
+from repro.exec import ProcessSubqueryExecutor
+from repro.sessionstore import (
+    SESSION_STORE_KINDS,
+    InMemorySessionStore,
+    JSONDirectorySessionStore,
+    SQLiteSessionStore,
+    decode_state,
+    encode_state,
+    make_session_store,
+)
+
+SEED = 1234
+ROUNDS = 3
+K = 60
+SCREENS = 2
+MARKS_PER_ROUND = 6
+
+EXECUTORS = ["serial", "thread", "process"]
+
+needs_fork = pytest.mark.skipif(
+    not ProcessSubqueryExecutor.fork_available(),
+    reason="fork start method unavailable on this platform",
+)
+
+
+def _store(kind: str, tmp_path):
+    """A fresh backend of the requested kind under ``tmp_path``."""
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    return make_session_store(kind, path=str(tmp_path / f"store-{kind}"))
+
+
+def _mark_fn(labels):
+    """Deterministic oracle: mark same-category images as the first shown."""
+
+    def mark(shown):
+        if not shown:
+            return []
+        target = labels[shown[0]]
+        return [i for i in shown if labels[i] == target][:MARKS_PER_ROUND]
+
+    return mark
+
+
+def _signature(result):
+    """Everything rank-relevant about a final result, exactly."""
+    return [
+        (
+            group.leaf_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+def _run_session(
+    rfs,
+    labels,
+    config,
+    *,
+    store=None,
+    suspend_after=None,
+    session_id="sess",
+):
+    """Drive one full dialogue; optionally suspend+resume mid-way.
+
+    With ``suspend_after=r`` the live session object is dropped after
+    round ``r``'s submit and a new one is rehydrated from the store —
+    the only continuity is the externalized record.  Returns
+    (per-round shown tuples, final ranking signature).
+    """
+    session = FeedbackSession(
+        rfs, config, seed=SEED, session_id=session_id, store=store
+    )
+    mark = _mark_fn(labels)
+    shown_log = []
+    for rnd in range(1, ROUNDS + 1):
+        shown = session.display(screens=SCREENS)
+        shown_log.append(tuple(shown))
+        session.submit(mark(shown))
+        if store is not None and suspend_after == rnd:
+            del session  # nothing survives but the store record
+            session = FeedbackSession.restore(
+                rfs, store.get(session_id), config=config, store=store
+            )
+    return shown_log, _signature(session.finalize(K))
+
+
+# ---------------------------------------------------------------------------
+# Resume parity — gated no-skip by scripts/check.sh (-k Parity)
+# ---------------------------------------------------------------------------
+class TestResumeParity:
+    """Checkpoint/resume must never change what the user sees or gets."""
+
+    @pytest.mark.parametrize("backend", SESSION_STORE_KINDS)
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            "serial",
+            "thread",
+            pytest.param("process", marks=needs_fork),
+        ],
+    )
+    def test_suspend_at_every_round_parity(
+        self, rfs, rendered_db, executor, backend, tmp_path
+    ):
+        """Suspend after each round in turn; all must match the reference."""
+        config = QDConfig(executor=executor, workers=2)
+        reference = _run_session(rfs, rendered_db.labels, config)
+        for suspend_after in range(1, ROUNDS + 1):
+            with _store(backend, tmp_path / str(suspend_after)) as store:
+                resumed = _run_session(
+                    rfs,
+                    rendered_db.labels,
+                    config,
+                    store=store,
+                    suspend_after=suspend_after,
+                )
+                assert resumed == reference, (
+                    f"suspend after round {suspend_after} diverged "
+                    f"({executor}/{backend})"
+                )
+                # finalize() removes the completed dialogue's record.
+                assert store.list_ids() == []
+
+    @pytest.mark.parametrize("backend", SESSION_STORE_KINDS)
+    def test_mid_round_suspend_parity(self, rfs, rendered_db, backend, tmp_path):
+        """Suspending between display() and submit() carries the screen."""
+        config = QDConfig()
+        reference = _run_session(rfs, rendered_db.labels, config)
+        mark = _mark_fn(rendered_db.labels)
+        with _store(backend, tmp_path) as store:
+            session = FeedbackSession(
+                rfs, config, seed=SEED, session_id="mid", store=store
+            )
+            shown_log = [tuple(session.display(screens=SCREENS))]
+            session.checkpoint()  # explicit: mid-round state
+            session = FeedbackSession.restore(
+                rfs, store.get("mid"), config=config, store=store
+            )
+            session.submit(mark(list(shown_log[0])))
+            for _ in range(ROUNDS - 1):
+                shown = session.display(screens=SCREENS)
+                shown_log.append(tuple(shown))
+                session.submit(mark(shown))
+            assert (shown_log, _signature(session.finalize(K))) == reference
+
+    @pytest.mark.parametrize("backend", ["sqlite", "jsondir"])
+    def test_fresh_process_resume_parity(self, rfs, rendered_db, backend, tmp_path):
+        """A brand-new interpreter resumes to the identical final ranking.
+
+        The child process shares nothing with this one but the store
+        directory and the deterministic build seeds.
+        """
+        config = QDConfig()
+        reference = _run_session(rfs, rendered_db.labels, config)
+        with _store(backend, tmp_path) as store:
+            session = FeedbackSession(
+                rfs, config, seed=SEED, session_id="handover", store=store
+            )
+            mark = _mark_fn(rendered_db.labels)
+            shown_log = []
+            shown = session.display(screens=SCREENS)
+            shown_log.append(tuple(shown))
+            session.submit(mark(shown))  # auto-checkpoints round 1
+        store_path = str(tmp_path / f"store-{backend}")
+        script = (
+            "import json, sys\n"
+            "from repro.config import DatasetConfig, QDConfig, RFSConfig\n"
+            "from repro.core.session import FeedbackSession\n"
+            "from repro.datasets.build import build_rendered_database\n"
+            "from repro.index.rfs import RFSStructure\n"
+            "from repro.sessionstore import make_session_store\n"
+            "from tests.test_sessionstore import (\n"
+            "    K, ROUNDS, SCREENS, _mark_fn, _signature,\n"
+            ")\n"
+            "from tests.conftest import (\n"
+            "    SMALL_DB_CATEGORIES, SMALL_DB_IMAGES, SMALL_RFS,\n"
+            ")\n"
+            "backend, path = sys.argv[1], sys.argv[2]\n"
+            "db = build_rendered_database(DatasetConfig(\n"
+            "    total_images=SMALL_DB_IMAGES,\n"
+            "    n_categories=SMALL_DB_CATEGORIES, seed=123))\n"
+            "rfs = RFSStructure.build(db.features, SMALL_RFS, seed=77)\n"
+            "store = make_session_store(backend, path=path)\n"
+            "session = FeedbackSession.restore(\n"
+            "    rfs, store.get('handover'), config=QDConfig(), store=store)\n"
+            "mark = _mark_fn(db.labels)\n"
+            "shown_log = []\n"
+            "for _ in range(ROUNDS - 1):\n"
+            "    shown = session.display(screens=SCREENS)\n"
+            "    shown_log.append(list(shown))\n"
+            "    session.submit(mark(shown))\n"
+            "print(json.dumps(\n"
+            "    {'shown': shown_log,\n"
+            "     'sig': _signature(session.finalize(K))}))\n"
+        )
+        env = dict(os.environ)
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo_root, "src"), repo_root]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, backend, store_path],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        child = json.loads(proc.stdout.strip().splitlines()[-1])
+        child_shown = [tuple(s) for s in child["shown"]]
+        child_sig = [
+            (leaf, tuple((i, s) for i, s in items))
+            for leaf, items in child["sig"]
+        ]
+        assert shown_log + child_shown == reference[0]
+        assert child_sig == reference[1]
+
+    def test_frontend_handoff_parity(self, rfs, rendered_db, tmp_path):
+        """Every request on a different stateless worker, same ranking."""
+        from repro.core.engine import QueryDecompositionEngine
+
+        config = QDConfig()
+        reference = _run_session(rfs, rendered_db.labels, config)
+        engine = QueryDecompositionEngine(rendered_db, rfs, config)
+        with _store("sqlite", tmp_path) as store:
+            engine.attach_session_store(store)
+            workers = [
+                SessionFrontEnd(engine, worker_id=f"w{i}") for i in range(3)
+            ]
+            sid = workers[0].open(seed=SEED, session_id="hopper")
+            mark = _mark_fn(rendered_db.labels)
+            shown_log = []
+            for rnd in range(ROUNDS):
+                shown = workers[(2 * rnd + 1) % 3].display(
+                    sid, screens=SCREENS
+                )
+                shown_log.append(tuple(shown))
+                workers[(2 * rnd + 2) % 3].submit(sid, mark(shown))
+            result = workers[0].finalize(sid, K)
+            assert (shown_log, _signature(result)) == reference
+            assert store.list_ids() == []
+            engine.detach_session_store()
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+class TestCodec:
+    def _captured_state(self, rfs, rendered_db) -> SessionState:
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        mark = _mark_fn(rendered_db.labels)
+        session.submit(mark(session.display(screens=SCREENS)))
+        return session.capture()
+
+    def test_roundtrip_is_exact(self, rfs, rendered_db):
+        state = self._captured_state(rfs, rendered_db)
+        assert decode_state(encode_state(state)) == state
+        # Canonical text is stable under a second round-trip.
+        text = encode_state(state)
+        assert encode_state(decode_state(text)) == text
+
+    def test_rng_restore_is_bit_identical(self, rfs, rendered_db):
+        state = self._captured_state(rfs, rendered_db)
+        draws = state.restore_rng().integers(0, 2**31, size=16)
+        again = decode_state(encode_state(state)).restore_rng().integers(
+            0, 2**31, size=16
+        )
+        assert draws.tolist() == again.tolist()
+
+    def test_unsupported_format_rejected(self, rfs, rendered_db):
+        data = self._captured_state(rfs, rendered_db).to_dict()
+        data["state_format"] = STATE_FORMAT_VERSION + 1
+        with pytest.raises(SessionCodecError, match="state_format"):
+            SessionState.from_dict(data)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(SessionCodecError):
+            decode_state("{not json")
+        with pytest.raises(SessionCodecError):
+            SessionState.from_dict({"state_format": 1})  # missing fields
+        with pytest.raises(SessionCodecError):
+            SessionState.from_dict([1, 2, 3])
+
+    def test_fingerprint_tracks_ranking_relevant_fields_only(self):
+        base = config_fingerprint(QDConfig())
+        assert config_fingerprint(QDConfig(display_size=9)) != base
+        assert config_fingerprint(QDConfig(boundary_threshold=0.7)) != base
+        # Executor placement never changes rankings, so it is excluded.
+        assert config_fingerprint(QDConfig(executor="thread", workers=8)) == base
+
+
+# ---------------------------------------------------------------------------
+# Store backends
+# ---------------------------------------------------------------------------
+class TestStoreBackends:
+    @pytest.mark.parametrize("backend", SESSION_STORE_KINDS)
+    def test_crud_cycle(self, rfs, rendered_db, backend, tmp_path):
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        mark = _mark_fn(rendered_db.labels)
+        session.submit(mark(session.display()))
+        state = session.capture()
+        with _store(backend, tmp_path) as store:
+            assert len(store) == 0
+            with pytest.raises(SessionNotFoundError):
+                store.get(state.session_id)
+            store.put(state)
+            assert store.get(state.session_id) == state
+            assert store.list_ids() == [state.session_id]
+            # Upsert: a later checkpoint replaces the record.
+            later = dataclasses.replace(state, round=state.round + 1)
+            store.put(later)
+            assert store.get(state.session_id).round == state.round + 1
+            assert store.delete(state.session_id) is True
+            assert store.delete(state.session_id) is False
+            assert len(store) == 0
+
+    @pytest.mark.parametrize("backend", SESSION_STORE_KINDS)
+    def test_ttl_sweep_removes_only_stale_records(
+        self, rfs, rendered_db, backend, tmp_path
+    ):
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        mark = _mark_fn(rendered_db.labels)
+        session.submit(mark(session.display()))
+        state = session.capture()
+        now = state.updated_unix
+        with _store(backend, tmp_path) as store:
+            store.put(dataclasses.replace(state, session_id="fresh"))
+            store.put(
+                dataclasses.replace(
+                    state, session_id="stale", updated_unix=now - 7200.0
+                )
+            )
+            assert store.sweep_expired(3600.0, now=now) == ["stale"]
+            assert store.list_ids() == ["fresh"]
+            # A second sweep is a no-op.
+            assert store.sweep_expired(3600.0, now=now) == []
+
+    def test_factory_rejects_bad_inputs(self, tmp_path):
+        with pytest.raises(SessionStoreError, match="unknown"):
+            make_session_store("redis", path=str(tmp_path))
+        with pytest.raises(SessionStoreError, match="path"):
+            make_session_store("sqlite")
+        assert isinstance(make_session_store("memory"), InMemorySessionStore)
+
+    def test_jsondir_rejects_unsafe_session_ids(self, tmp_path):
+        store = JSONDirectorySessionStore(tmp_path / "dir")
+        with pytest.raises(SessionStoreError, match="safe"):
+            store.get("../escape")
+
+    def test_sqlite_two_worker_checkpoint_contention(
+        self, rfs, rendered_db, tmp_path
+    ):
+        """Two workers checkpoint interleaved dialogues into one DB file.
+
+        WAL + busy_timeout must serialize the writes without errors or
+        lost records; every surviving record must decode cleanly.
+        """
+        n_sessions, n_rounds = 6, 3
+        store = SQLiteSessionStore(tmp_path / "contended.db")
+        barrier = threading.Barrier(2)
+        errors = []
+        labels = rendered_db.labels
+
+        def worker(worker_idx: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                sessions = [
+                    FeedbackSession(
+                        rfs,
+                        QDConfig(),
+                        seed=SEED + worker_idx * 100 + i,
+                        session_id=f"w{worker_idx}-s{i}",
+                        store=store,
+                    )
+                    for i in range(n_sessions)
+                ]
+                mark = _mark_fn(labels)
+                for _ in range(n_rounds):  # interleave rounds, not sessions
+                    for session in sessions:
+                        session.submit(mark(session.display()))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        ids = store.list_ids()
+        assert len(ids) == 2 * n_sessions
+        for session_id in ids:
+            record = store.get(session_id)
+            assert record.round == n_rounds
+            # Each record is independently resumable.
+            FeedbackSession.restore(rfs, record, config=QDConfig())
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Staleness fencing and lifecycle errors
+# ---------------------------------------------------------------------------
+class TestStalenessFencing:
+    def _state_after_round(self, rfs, rendered_db) -> SessionState:
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        mark = _mark_fn(rendered_db.labels)
+        session.submit(mark(session.display()))
+        return session.capture()
+
+    def test_structure_version_mismatch_rejected(self, rfs, rendered_db):
+        state = self._state_after_round(rfs, rendered_db)
+        stale = dataclasses.replace(
+            state, structure_version=state.structure_version + 1
+        )
+        with pytest.raises(StaleSessionError, match="structure version"):
+            FeedbackSession.restore(rfs, stale, config=QDConfig())
+
+    def test_config_fingerprint_mismatch_rejected(self, rfs, rendered_db):
+        state = self._state_after_round(rfs, rendered_db)
+        with pytest.raises(StaleSessionError, match="configuration"):
+            FeedbackSession.restore(
+                rfs, state, config=QDConfig(display_size=9)
+            )
+
+    def test_vanished_node_rejected(self, rfs, rendered_db):
+        state = self._state_after_round(rfs, rendered_db)
+        ghost = dataclasses.replace(
+            state,
+            active=tuple(
+                dataclasses.replace(sub, node_id=10**9)
+                for sub in state.active
+            ),
+        )
+        with pytest.raises(StaleSessionError, match="no longer exists"):
+            FeedbackSession.restore(rfs, ghost, config=QDConfig())
+
+    def test_finalized_record_rejected(self, rfs, rendered_db):
+        state = self._state_after_round(rfs, rendered_db)
+        done = dataclasses.replace(state, finalized=True)
+        with pytest.raises(SessionStateError, match="finalized"):
+            FeedbackSession.restore(rfs, done, config=QDConfig())
+
+    def test_checkpoint_without_store_rejected(self, rfs):
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        with pytest.raises(SessionStateError, match="store"):
+            session.checkpoint()
+
+
+# ---------------------------------------------------------------------------
+# Engine lifecycle: open / resume / expire
+# ---------------------------------------------------------------------------
+class TestEngineLifecycle:
+    def test_open_requires_attached_store(self, rfs, rendered_db):
+        from repro.core.engine import QueryDecompositionEngine
+
+        engine = QueryDecompositionEngine(rendered_db, rfs, QDConfig())
+        with pytest.raises(ConfigurationError, match="attach_session_store"):
+            engine.open_session(seed=SEED)
+
+    def test_open_resume_expire_flow(self, rfs, rendered_db, tmp_path):
+        from repro.core.engine import QueryDecompositionEngine
+
+        engine = QueryDecompositionEngine(rendered_db, rfs, QDConfig())
+        with _store("jsondir", tmp_path) as store:
+            engine.attach_session_store(store)
+            session = engine.open_session(seed=SEED, session_id="flow")
+            # Round-zero record is durable before any feedback.
+            assert store.get("flow").round == 0
+            mark = _mark_fn(rendered_db.labels)
+            session.submit(mark(session.display()))
+            resumed = engine.resume_session("flow")
+            assert resumed.round == 1
+            assert resumed.marked_ids == session.marked_ids
+            assert engine.expire_sessions(3600.0) == []
+            assert engine.expire_sessions(-1.0) == ["flow"]
+            with pytest.raises(SessionNotFoundError):
+                engine.resume_session("flow")
+            engine.detach_session_store()
+
+
+# ---------------------------------------------------------------------------
+# Submit atomicity (the PR's bugfix)
+# ---------------------------------------------------------------------------
+class TestSubmitAtomicity:
+    def test_rejected_batch_leaves_no_partial_state(self, rfs, rendered_db):
+        """A batch with one bad id must not mark the good ones."""
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        mark = _mark_fn(rendered_db.labels)
+        shown = session.display(screens=SCREENS)
+        good = mark(shown)
+        assert good, "oracle should mark something on the first screen"
+        before_active = session.active_node_ids
+        with pytest.raises(SessionStateError, match="not displayed"):
+            session.submit(good + [10**9])
+        # Nothing moved: no marks recorded, no decomposition happened.
+        assert session.marked_ids == []
+        assert session.active_node_ids == before_active
+        # The round is still open — a corrected batch goes through.
+        session.submit(good)
+        assert session.marked_ids == sorted(good)
+
+    def test_non_integer_ids_rejected_atomically(self, rfs, rendered_db):
+        session = FeedbackSession(rfs, QDConfig(), seed=SEED)
+        mark = _mark_fn(rendered_db.labels)
+        shown = session.display(screens=SCREENS)
+        good = mark(shown)
+        with pytest.raises(SessionStateError, match="integers"):
+            session.submit(good + ["not-an-id"])
+        assert session.marked_ids == []
+        session.submit(good)
+        assert session.marked_ids == sorted(good)
+
+    def test_resumed_session_keeps_atomicity(self, rfs, rendered_db, tmp_path):
+        """The fix survives a checkpoint/resume cycle."""
+        with _store("memory", tmp_path) as store:
+            session = FeedbackSession(
+                rfs, QDConfig(), seed=SEED, session_id="atomic", store=store
+            )
+            shown = session.display(screens=SCREENS)
+            session.checkpoint()
+            resumed = FeedbackSession.restore(
+                rfs, store.get("atomic"), config=QDConfig(), store=store
+            )
+            with pytest.raises(SessionStateError, match="not displayed"):
+                resumed.submit([10**9])
+            resumed.submit(_mark_fn(rendered_db.labels)(shown))
+            assert resumed.round == 1
