@@ -1,0 +1,328 @@
+"""Extension — compressed scan tiers of the leaf-contiguous store.
+
+The quantized store tiers (``repro.store.quantize``) keep the exact
+float32 rows for re-ranking but serve every leaf block scan from a
+compressed codes sidecar — float16 (2x) or int8 scalar quantization
+(4x).  Rankings are bit-identical to the pure-float32 store (the
+ε-bounded candidate set provably contains the true top-k, which is then
+re-ranked through the exact rows and kernels); only the bytes moved per
+scan shrink.  This bench measures:
+
+* the on-disk scan-bytes compression ratio per tier,
+* the ``bytes_read`` reduction of a final-round workload (the disk
+  model charges leaf blocks at their compressed size),
+* the cold-scan wall-time win under a simulated device with per-page
+  latency plus a transfer-rate term (``read_bandwidth_bytes_per_s``),
+* the item→leaf lookup throughput: the vectorized batch
+  ``leaf_nodes_of`` against the per-item loop it replaced.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_quantized_store.py`` — report/benchmark
+  fixtures, rows appended to ``benchmarks/results/latest.txt``.
+* ``python benchmarks/bench_quantized_store.py [--tiny]`` —
+  fixture-free script entry for CI smoke (same rows, same results
+  file).
+
+``QD_BENCH_TINY=1`` (or ``--tiny``) shrinks the workload for CI.
+
+Acceptance (ISSUE): >= 4x int8 scan-byte reduction at >= 100k items
+with rankings bit-identical across tiers and a cold-scan speedup under
+the simulated disk model.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from _harness import TINY_ENV, emit, tiny_arg_parser
+from repro import obs
+from repro.config import BuildConfig, QDConfig, RFSConfig
+from repro.core.ranking import execute_final_round
+from repro.datasets.build import build_synthetic_database
+from repro.index.rfs import RFSStructure
+from repro.store import FeatureStore
+
+TINY = os.environ.get("QD_BENCH_TINY") == "1"
+SEED = 2006
+N_QUERY_CATEGORIES = 3
+MARKS_PER_CATEGORY = 4
+ROUNDS_USED = 3
+LOOKUP_IDS = 10_000
+
+#: Simulated device for the cold-scan legs: fixed per-page seek latency
+#: plus a transfer term, so moving fewer bytes is measurably faster.
+PAGE_LATENCY_S = 100e-6
+READ_BANDWIDTH = 64e6  # bytes/s
+
+
+def _params(tiny: bool) -> dict:
+    """Workload shape: few groups, large quotas -> multi-leaf scans."""
+    if tiny:
+        return dict(n_images=2_000, n_categories=30, k=300, repeats=3,
+                    min_bytes_reduction=3.0, min_cold_speedup=1.1)
+    return dict(n_images=100_000, n_categories=150, k=1_200, repeats=3,
+                min_bytes_reduction=3.5, min_cold_speedup=1.2)
+
+
+def _build_workload(p: dict):
+    database = build_synthetic_database(
+        p["n_images"], n_categories=p["n_categories"], seed=SEED
+    )
+    rfs = RFSStructure.build(
+        database.features,
+        RFSConfig(),
+        seed=SEED,
+        build=BuildConfig(executor="thread"),
+    )
+    categories = np.linspace(
+        3, p["n_categories"] - 10, N_QUERY_CATEGORIES
+    ).astype(int)
+    marks = [
+        int(image_id)
+        for cat in categories
+        for image_id in np.flatnonzero(database.labels == cat)[
+            :MARKS_PER_CATEGORY
+        ]
+    ]
+    assert len(marks) == N_QUERY_CATEGORIES * MARKS_PER_CATEGORY
+    return rfs, marks
+
+
+def _signature(result):
+    return [
+        (
+            group.leaf_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+def _run_round(rfs, marks, k):
+    return execute_final_round(
+        rfs, marks, k, QDConfig(), rounds_used=ROUNDS_USED
+    )
+
+
+def _timed_cold_round(rfs, store_dir, marks, k, repeats):
+    """Best-of cold round under the simulated device.
+
+    "Cold" = fresh memmap attach + one final round; the io counter's
+    latency/bandwidth model dominates, so OS page-cache warmth does not
+    swamp the measurement.  Returns (best seconds, bytes read, result).
+    """
+    io = rfs.io
+    best = float("inf")
+    bytes_read = 0
+    result = None
+    for _ in range(repeats):
+        rfs.detach_store()
+        io.reset()
+        io.page_read_latency_s = PAGE_LATENCY_S
+        io.read_bandwidth_bytes_per_s = READ_BANDWIDTH
+        try:
+            start = time.perf_counter()
+            rfs.attach_store(
+                FeatureStore.open(store_dir, mode="memmap"),
+                validate=False,
+            )
+            result = _run_round(rfs, marks, k)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            io.page_read_latency_s = 0.0
+            io.read_bandwidth_bytes_per_s = 0.0
+        bytes_read = io.bytes_read
+    return best, bytes_read, result
+
+
+def _lookup_bench(rfs, n_items):
+    """(per-item loop s, batch s) for one round of item→leaf lookups."""
+    store = rfs.store
+    rng = np.random.default_rng(SEED)
+    ids = rng.integers(0, n_items, size=min(LOOKUP_IDS, n_items))
+
+    def best_of(fn, iters=3):
+        best = float("inf")
+        for _ in range(iters):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    loop_s = best_of(
+        lambda: [store.leaf_node_of(int(i)) for i in ids]
+    )
+    batch_s = best_of(lambda: store.leaf_nodes_of(ids))
+    agree = np.array_equal(
+        store.leaf_nodes_of(ids),
+        np.array([store.leaf_node_of(int(i)) for i in ids]),
+    )
+    assert agree
+    return loop_s, batch_s
+
+
+def run_quantized_bench(tiny: bool) -> tuple[list[str], dict]:
+    """Run every measurement; returns (report rows, metrics dict)."""
+    p = _params(tiny)
+    rfs, marks = _build_workload(p)
+
+    metrics: dict = {}
+    signatures = {}
+    cold_s = {}
+    bytes_read = {}
+    compression = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for tier in ("f32", "f16", "int8"):
+            store = FeatureStore.build(rfs, tier=tier)
+            compression[tier] = store.compression_ratio
+            directory = os.path.join(tmp, tier)
+            store.save(directory)
+            cold_s[tier], bytes_read[tier], result = _timed_cold_round(
+                rfs, directory, marks, p["k"], p["repeats"]
+            )
+            signatures[tier] = _signature(result)
+        loop_s, batch_s = _lookup_bench(rfs, p["n_images"])
+        rfs.detach_store()
+
+    # The acceptance property: compressed scans, identical rankings.
+    assert signatures["f16"] == signatures["f32"]
+    assert signatures["int8"] == signatures["f32"]
+
+    metrics.update(
+        int8_compression=compression["int8"],
+        f16_compression=compression["f16"],
+        int8_bytes_reduction=bytes_read["f32"] / max(1, bytes_read["int8"]),
+        f16_bytes_reduction=bytes_read["f32"] / max(1, bytes_read["f16"]),
+        int8_cold_speedup=cold_s["f32"] / cold_s["int8"],
+        f16_cold_speedup=cold_s["f32"] / cold_s["f16"],
+        lookup_speedup=loop_s / batch_s,
+        f32_cold_s=cold_s["f32"],
+        f16_cold_s=cold_s["f16"],
+        int8_cold_s=cold_s["int8"],
+        f32_bytes_read=float(bytes_read["f32"]),
+        int8_bytes_read=float(bytes_read["int8"]),
+        lookup_loop_s=loop_s,
+        lookup_batch_s=batch_s,
+        min_bytes_reduction=p["min_bytes_reduction"],
+        min_cold_speedup=p["min_cold_speedup"],
+    )
+
+    scale = "tiny" if tiny else "full"
+    rows = [
+        "Quantized store tiers: final round, "
+        f"{p['n_images']} images, {len(marks)} marks, k={p['k']} "
+        f"({scale}); device {PAGE_LATENCY_S * 1e6:.0f}us + "
+        f"{READ_BANDWIDTH / 1e6:.0f}MB/s",
+        f"  f32  cold scan  {cold_s['f32'] * 1000:8.1f} ms   "
+        f"{bytes_read['f32'] / 1e6:8.3f} MB read   1.00x",
+        f"  f16  cold scan  {cold_s['f16'] * 1000:8.1f} ms   "
+        f"{bytes_read['f16'] / 1e6:8.3f} MB read   "
+        f"{metrics['f16_cold_speedup']:.2f}x "
+        f"({compression['f16']:.1f}x compression)",
+        f"  int8 cold scan  {cold_s['int8'] * 1000:8.1f} ms   "
+        f"{bytes_read['int8'] / 1e6:8.3f} MB read   "
+        f"{metrics['int8_cold_speedup']:.2f}x "
+        f"({compression['int8']:.1f}x compression)",
+        "  rankings bit-identical across all three tiers",
+        f"  item->leaf lookup: batch {batch_s * 1e6:8.1f} us vs "
+        f"per-item loop {loop_s * 1e6:8.1f} us "
+        f"({metrics['lookup_speedup']:.1f}x, "
+        f"{min(LOOKUP_IDS, p['n_images'])} ids)",
+    ]
+    return rows, metrics
+
+
+def _bench_result(tiny: bool, metrics: dict) -> obs.BenchResult:
+    """The canonical ``BENCH_quantized_store.json`` record."""
+    p = _params(tiny)
+    result = obs.BenchResult.new("quantized_store", {**p, "tiny": tiny})
+    result.record(
+        "int8_compression", metrics["int8_compression"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "f16_compression", metrics["f16_compression"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "int8_bytes_reduction", metrics["int8_bytes_reduction"],
+        unit="x", higher_is_better=True,
+    )
+    result.record(
+        "int8_cold_speedup", metrics["int8_cold_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    result.record(
+        "lookup_speedup", metrics["lookup_speedup"], unit="x",
+        higher_is_better=True,
+    )
+    for name in ("f16_bytes_reduction", "f16_cold_speedup"):
+        result.record(
+            name, metrics[name], unit="x", higher_is_better=True,
+            compare=False,
+        )
+    for name in ("f32_cold_s", "f16_cold_s", "int8_cold_s",
+                 "lookup_loop_s", "lookup_batch_s"):
+        result.record(
+            name, metrics[name], unit="s", higher_is_better=False,
+            compare=False,
+        )
+    for name in ("f32_bytes_read", "int8_bytes_read"):
+        result.record(
+            name, metrics[name], unit="B", higher_is_better=False,
+            compare=False,
+        )
+    return result
+
+
+def _check(metrics: dict) -> None:
+    # Acceptance: int8 stores exactly 1 byte/dim vs 4 -> 4x scan bytes.
+    assert metrics["int8_compression"] >= 4.0
+    assert metrics["f16_compression"] >= 2.0
+    # The disk model charges leaf blocks at compressed size; the scan
+    # traffic of the same workload must shrink accordingly (slightly
+    # under 4x is legal — the ε-pruning bound may scan an extra leaf).
+    assert metrics["int8_bytes_reduction"] >= metrics["min_bytes_reduction"]
+    # Moving fewer bytes through the simulated device is faster.
+    assert metrics["int8_cold_speedup"] >= metrics["min_cold_speedup"]
+    # The batch lookup never loses to the per-item loop.
+    assert metrics["lookup_speedup"] >= 1.0
+
+
+def test_quantized_store(report, benchmark):
+    rows, metrics = run_quantized_bench(TINY)
+    report("\n".join(rows))
+    _bench_result(TINY, metrics).write(
+        os.path.join(os.path.dirname(__file__), "results")
+    )
+    benchmark.extra_info["int8_bytes_reduction"] = round(
+        metrics["int8_bytes_reduction"], 2
+    )
+    benchmark.extra_info["int8_cold_speedup"] = round(
+        metrics["int8_cold_speedup"], 2
+    )
+    benchmark.pedantic(
+        lambda: None, rounds=1, iterations=1
+    )  # timing captured manually above; keep the bench in the report
+    _check(metrics)
+
+
+def main(argv=None) -> int:
+    parser = tiny_arg_parser(
+        "Quantized store tier benchmark (fixture-free entry)"
+    )
+    args = parser.parse_args(argv)
+    tiny = args.tiny or TINY_ENV
+    rows, metrics = run_quantized_bench(tiny)
+    emit(rows, _bench_result(tiny, metrics))
+    _check(metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

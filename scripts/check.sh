@@ -125,3 +125,20 @@ if grep -qE '[1-9][0-9]* skipped' "$RESUME_LOG"; then
     echo "== session resume tests were skipped; failing ==" >&2
     exit 1
 fi
+
+# The quantized-parity tests guard the compressed scan tiers' core
+# contract (f16/int8 rankings bit-identical to pure float32 across
+# executors, backings, and cached reruns); like the gates above, they
+# must actually run, not be skipped away.
+echo "== quantized parity gate =="
+QUANT_LOG=/tmp/qd-check-quantized-parity.log
+PYTHONPATH=src python -m pytest tests/test_store_quantized.py -k Parity \
+    -q -rs | tee "$QUANT_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$QUANT_LOG"; then
+    echo "== no quantized parity test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$QUANT_LOG"; then
+    echo "== quantized parity tests were skipped; failing ==" >&2
+    exit 1
+fi

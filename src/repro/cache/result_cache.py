@@ -12,8 +12,11 @@ answer depends on —
 * the query-point matrix (actual bytes, so a float32 store and the raw
   float64 matrix can never alias),
 * the per-dimension feature weights (or their absence),
-* the requested result count, and
-* the boundary-expansion threshold.
+* the requested result count,
+* the boundary-expansion threshold, and
+* the attached store's tier fingerprint (dtype + quantization params),
+  so rankings served from an int8/f16 scan tier never alias entries
+  computed against float32 rows (or against no store at all).
 
 Every entry is stamped with the **RFS structure version**
 (:attr:`repro.index.rfs.RFSStructure.structure_version`) current at
@@ -65,6 +68,7 @@ def subquery_cache_key(
     requested: int,
     boundary_threshold: float,
     weights: Optional[np.ndarray] = None,
+    store_fingerprint: str = "",
 ) -> str:
     """Canonical digest of one localized subquery.
 
@@ -75,6 +79,14 @@ def subquery_cache_key(
     ``requested`` is the uncapped fetch size (quota + over-fetch); the
     cap against the search-node size is deterministic given the
     structure version, so it does not belong in the key.
+
+    ``store_fingerprint`` is the serving store's tier fingerprint
+    (:meth:`repro.index.rfs.RFSStructure.store_fingerprint` — dtype,
+    scan tier, quantization params; ``""`` with no store attached).
+    Keying on it makes cross-tier aliasing structurally impossible: an
+    entry computed against a float32-era configuration can never be
+    served after an int8 store is attached, independent of the
+    structure-version stamp.
     """
     points = np.ascontiguousarray(query_points)
     digest = hashlib.blake2b(digest_size=20)
@@ -82,6 +94,7 @@ def subquery_cache_key(
         struct.pack("<qqqd", int(node_id), int(requested),
                     points.shape[0], float(boundary_threshold))
     )
+    digest.update(store_fingerprint.encode())
     digest.update(str(points.dtype).encode())
     digest.update(struct.pack("<q", points.shape[1] if points.ndim > 1 else 1))
     digest.update(points.tobytes())

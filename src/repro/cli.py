@@ -25,6 +25,7 @@ from repro import obs
 from repro.config import (
     EXECUTOR_KINDS,
     STORE_KINDS,
+    STORE_TIERS,
     BuildConfig,
     DatasetConfig,
     QDConfig,
@@ -88,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_store.add_argument(
         "--dtype", choices=("float32", "float64"), default="float32"
     )
+    p_store.add_argument(
+        "--tier",
+        choices=STORE_TIERS,
+        default="f32",
+        help=(
+            "scan tier: f16/int8 store a compressed codes sidecar that "
+            "leaf scans read, with exact float32 re-ranking — rankings "
+            "stay bit-identical, bytes moved shrink (default: f32)"
+        ),
+    )
     p_store.add_argument("--seed", type=int, default=2006)
     _add_build_flags(p_store)
 
@@ -111,6 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="describe a database file")
     p_info.add_argument("--db", required=True)
+
+    p_storecmd = sub.add_parser(
+        "store", help="inspect saved feature-store directories"
+    )
+    store_sub = p_storecmd.add_subparsers(
+        dest="store_command", required=True
+    )
+    p_sinfo = store_sub.add_parser(
+        "info",
+        help=(
+            "describe a saved store: tier, dtype, bytes on disk, "
+            "compression ratio"
+        ),
+    )
+    p_sinfo.add_argument(
+        "--path", required=True, help="saved store directory"
+    )
 
     p_int = sub.add_parser(
         "interactive",
@@ -276,6 +304,16 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="saved store directory (required with --store memmap)",
     )
+    parser.add_argument(
+        "--store-tier",
+        choices=STORE_TIERS,
+        default="f32",
+        help=(
+            "scan tier for '--store inmem' builds (memmap stores carry "
+            "their tier in meta.npz); rankings are bit-identical across "
+            "tiers, only scan bytes differ (default: f32)"
+        ),
+    )
 
 
 def _add_session_flags(
@@ -359,7 +397,10 @@ def _attach_store_from_args(
     from repro.store import FeatureStore
 
     if kind == "inmem":
-        rfs.attach_store(FeatureStore.build(rfs), validate=False)
+        tier = getattr(args, "store_tier", "f32")
+        rfs.attach_store(
+            FeatureStore.build(rfs, tier=tier), validate=False
+        )
         return
     path = getattr(args, "store_path", None)
     if not path:
@@ -489,12 +530,20 @@ def _cmd_build_store(args: argparse.Namespace) -> int:
             build=_build_config_from_args(args),
             progress=_progress_printer(args),
         )
-    store = FeatureStore.build(rfs, dtype=args.dtype)
+    store = FeatureStore.build(rfs, dtype=args.dtype, tier=args.tier)
     store.save(args.out)
+    tier_note = (
+        ""
+        if store.tier == "f32"
+        else (
+            f", {store.tier} scan tier {store.scan_nbytes / 1e6:.1f} MB"
+            f" ({store.compression_ratio:.1f}x)"
+        )
+    )
     print(
         f"built store: {store.n_rows} rows x {store.dims} dims "
         f"({store.dtype.name}, {store.nbytes / 1e6:.1f} MB, "
-        f"{len(store.spans)} node spans) -> {args.out}"
+        f"{len(store.spans)} node spans{tier_note}) -> {args.out}"
     )
     return 0
 
@@ -615,6 +664,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``store info``: describe a saved feature-store directory."""
+    from repro.store import FeatureStore
+
+    store = FeatureStore.open(args.path, mode="memmap")
+    try:
+        print(f"path:              {args.path}")
+        print(f"rows x dims:       {store.n_rows} x {store.dims}")
+        print(f"dtype:             {store.dtype.name}")
+        print(f"tier:              {store.tier}")
+        print(f"exact bytes:       {store.nbytes}")
+        print(f"scan bytes:        {store.scan_nbytes}")
+        print(f"compression:       {store.compression_ratio:.2f}x")
+        print(f"node spans:        {len(store.spans)}")
+        print(f"fingerprint:       {store.fingerprint()}")
+        if store.tier != "f32":
+            quant = store.quant
+            print(f"quant err bound:   {quant.err_bound:.6g}")
+            print(
+                "quant dim err:     "
+                f"max {float(quant.dim_err.max()):.6g} / "
+                f"mean {float(quant.dim_err.mean()):.6g}"
+            )
+    finally:
+        store.close()
+    return 0
+
+
 def _cmd_sessions(args: argparse.Namespace) -> int:
     """``sessions list|expire``: operate on an externalized store."""
     import time as _time
@@ -714,6 +791,7 @@ _COMMANDS = {
     "build-store": _cmd_build_store,
     "query": _cmd_query,
     "info": _cmd_info,
+    "store": _cmd_store,
     "interactive": _cmd_interactive,
     "experiment": _cmd_experiment,
     "sessions": _cmd_sessions,

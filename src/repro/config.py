@@ -254,6 +254,11 @@ class BuildConfig:
 #: CLI ``--store`` flag (see :mod:`repro.store`).
 STORE_KINDS: tuple[str, ...] = ("inmem", "memmap")
 
+#: Scan tiers accepted by :attr:`StoreConfig.tier` — re-exported from
+#: :mod:`repro.store.quantize` (kept literal here so importing the
+#: config module never pulls in numpy-heavy store code).
+STORE_TIERS: tuple[str, ...] = ("f32", "f16", "int8")
+
 
 @dataclass(frozen=True)
 class StoreConfig:
@@ -269,6 +274,17 @@ class StoreConfig:
     dtype:
         Storage dtype: ``"float32"`` (default; halves kernel memory
         traffic) or ``"float64"`` (bit-exact with the raw matrix).
+    tier:
+        Scan tier — ``"f32"`` (default: leaf scans read the exact rows),
+        ``"f16"`` or ``"int8"`` (leaf scans read a compressed codes
+        sidecar, survivors are re-ranked through exact float32 gathers;
+        rankings stay bit-identical, only the bytes moved shrink).  See
+        :mod:`repro.store.quantize` for the exactness contract.
+    rerank_margin:
+        Minimum extra candidates (beyond ``take``) the quantized scan
+        keeps for exact re-ranking.  Larger margins cost a few more
+        float32 gathers; correctness never depends on it (the ε-bound
+        candidate set is already sufficient).
     path:
         Store directory for ``memmap`` stores (where ``features.bin`` /
         ``meta.npz`` live); empty for never-saved in-RAM stores.
@@ -276,6 +292,8 @@ class StoreConfig:
 
     kind: str = "inmem"
     dtype: str = "float32"
+    tier: str = "f32"
+    rerank_margin: int = 32
     path: str = ""
 
     def __post_init__(self) -> None:
@@ -288,6 +306,16 @@ class StoreConfig:
             raise ConfigurationError(
                 "store dtype must be 'float32' or 'float64', got "
                 f"{self.dtype!r}"
+            )
+        if self.tier not in STORE_TIERS:
+            raise ConfigurationError(
+                f"store tier must be one of {STORE_TIERS}, got "
+                f"{self.tier!r}"
+            )
+        if self.rerank_margin < 0:
+            raise ConfigurationError(
+                f"store rerank_margin must be >= 0, got "
+                f"{self.rerank_margin}"
             )
         if self.kind == "memmap" and not self.path:
             raise ConfigurationError(

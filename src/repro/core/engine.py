@@ -87,6 +87,8 @@ class QueryDecompositionEngine:
         io: Optional[DiskAccessCounter] = None,
         store: Optional[str] = None,
         store_dtype: str = "float32",
+        store_tier: str = "f32",
+        store_rerank_margin: int = 32,
         cache: Optional[CacheConfig] = None,
         build: Optional[BuildConfig] = None,
         progress: Optional[ProgressCallback] = None,
@@ -101,6 +103,11 @@ class QueryDecompositionEngine:
         ``build-store`` command), then ``attach_store(FeatureStore.open
         (dir))`` or pass ``store=`` to the constructor.  The default
         (``None``) keeps the original in-memory path untouched.
+        ``store_tier`` selects the scan tier (``"f32"``, ``"f16"``, or
+        ``"int8"``); quantized tiers scan compressed codes and re-rank
+        through exact float32 rows, so rankings stay bit-identical (see
+        :mod:`repro.store.quantize`).  ``store_rerank_margin`` floors
+        the candidate count kept for that exact re-rank.
 
         ``cache`` optionally attaches a cross-session subquery result
         cache (see :mod:`repro.cache`) sized by
@@ -129,7 +136,12 @@ class QueryDecompositionEngine:
                     "saved store directory for 'memmap'"
                 )
             rfs.attach_store(
-                FeatureStore.build(rfs, dtype=store_dtype),
+                FeatureStore.build(
+                    rfs,
+                    dtype=store_dtype,
+                    tier=store_tier,
+                    rerank_margin=store_rerank_margin,
+                ),
                 validate=False,
             )
         if cache is not None and cache.enabled:

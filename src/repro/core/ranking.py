@@ -40,11 +40,20 @@ from repro.retrieval.topk import RankedList, proportional_allocation
 def group_marks_by_leaf(
     rfs: RFSStructure, marked_ids: Sequence[int]
 ) -> Dict[int, List[int]]:
-    """Group relevant image ids by the RFS leaf containing them."""
+    """Group relevant image ids by the RFS leaf containing them.
+
+    One batched :meth:`RFSStructure.leaves_of_items` lookup for the
+    whole mark set (store binary search or dense map) — no per-item
+    Python pass, which matters for the large scripted final rounds of
+    the scalability sweeps.
+    """
+    ids = np.unique(np.asarray(list(marked_ids), dtype=np.int64))
+    if ids.size == 0:
+        return {}
+    leaf_ids = rfs.leaves_of_items(ids)
     groups: Dict[int, List[int]] = {}
-    for image_id in sorted(set(int(i) for i in marked_ids)):
-        leaf = rfs.leaf_of_item(image_id)
-        groups.setdefault(leaf.node_id, []).append(image_id)
+    for leaf_id, image_id in zip(leaf_ids.tolist(), ids.tolist()):
+        groups.setdefault(leaf_id, []).append(image_id)
     return groups
 
 

@@ -90,6 +90,14 @@ class DatasetError(ReproError):
     """A dataset could not be built, loaded, or validated."""
 
 
+class StoreCodecError(DatasetError):
+    """A saved feature store could not be decoded.
+
+    Covers unsupported store format versions and unknown quantization
+    tier tags — cases where silently reinterpreting the bytes would
+    corrupt every ranking served from the store."""
+
+
 class UnknownConceptError(DatasetError):
     """A query referenced a concept absent from the dataset registry."""
 

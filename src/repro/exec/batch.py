@@ -249,6 +249,7 @@ def _resolve_slot(
             requested,
             config.boundary_threshold,
             slot.dim_weights,
+            store_fingerprint=rfs.store_fingerprint(),
         )
         entry = cache.get(slot.key, version)
         if entry is not None:

@@ -158,6 +158,7 @@ def run_subquery_task(
                 requested,
                 config.boundary_threshold,
                 dim_weights,
+                store_fingerprint=rfs.store_fingerprint(),
             )
             entry = cache.get(key, version)
             if entry is not None:

@@ -43,6 +43,12 @@ class DiskAccessCounter:
     page_read_latency_s:
         Simulated device latency charged per physical read (buffer
         miss).  ``0.0`` (default) keeps the model free.
+    read_bandwidth_bytes_per_s:
+        Simulated transfer rate.  When positive, each physical read
+        additionally sleeps ``nbytes / bandwidth`` on top of the fixed
+        latency — so a scan that moves fewer bytes (a compressed store
+        tier) finishes measurably sooner under the same device model.
+        ``0.0`` (default) charges no transfer time.
 
     Attributes
     ----------
@@ -69,6 +75,7 @@ class DiskAccessCounter:
 
     buffer_pages: int = 0
     page_read_latency_s: float = 0.0
+    read_bandwidth_bytes_per_s: float = 0.0
     physical_reads: int = 0
     logical_reads: int = 0
     bytes_read: int = 0
@@ -124,8 +131,11 @@ class DiskAccessCounter:
                 self._buffer[page_id] = None
                 if len(self._buffer) > self.buffer_pages:
                     self._buffer.popitem(last=False)
-        if self.page_read_latency_s > 0:
-            time.sleep(self.page_read_latency_s)
+        delay = self.page_read_latency_s
+        if self.read_bandwidth_bytes_per_s > 0 and nbytes > 0:
+            delay += nbytes / self.read_bandwidth_bytes_per_s
+        if delay > 0:
+            time.sleep(delay)
         return True
 
     def reset(self) -> None:

@@ -19,7 +19,11 @@ Pieces:
   (``save`` / ``open_store``), and block-read accounting;
 * :mod:`repro.store.kernels` — fused batched distance kernels
   (:func:`~repro.store.kernels.multipoint_distances` and friends) built
-  on the ``‖x‖² + ‖q‖² − 2·x·q`` expansion with cached row norms.
+  on the ``‖x‖² + ‖q‖² − 2·x·q`` expansion with cached row norms;
+* :mod:`repro.store.quantize` — optional compressed scan tiers (f16 /
+  int8 scalar quantization with measured error bounds): block scans
+  read 2–4x fewer bytes and an exact float32 re-rank keeps final
+  rankings bit-identical to the uncompressed path.
 
 Attach a store with :meth:`repro.index.rfs.RFSStructure.attach_store`;
 `localized_knn`, the final-round subqueries, and mark grouping all pick
@@ -34,17 +38,33 @@ from repro.store.feature_store import (
     open_store,
 )
 from repro.store.kernels import (
+    approx_point_distances,
+    approx_weighted_point_distances,
     multipoint_distances,
     pairwise_distances,
     point_distances,
     weighted_point_distances,
+)
+from repro.store.quantize import (
+    STORE_TIERS,
+    QuantizationParams,
+    dequantize,
+    dequantized_sqnorms,
+    quantize_matrix,
 )
 
 __all__ = [
     "FeatureStore",
     "STORE_DTYPES",
     "STORE_FORMAT_VERSION",
+    "STORE_TIERS",
+    "QuantizationParams",
     "open_store",
+    "quantize_matrix",
+    "dequantize",
+    "dequantized_sqnorms",
+    "approx_point_distances",
+    "approx_weighted_point_distances",
     "multipoint_distances",
     "pairwise_distances",
     "point_distances",

@@ -21,10 +21,20 @@ Because both backings hold identical bytes and the same kernels consume
 them, rankings are bit-identical between the two (the store parity
 tests assert this under the serial, thread, and process executors).
 
+A store may additionally carry a compressed **scan tier** (``f16`` or
+``int8`` scalar-quantized codes of the same rows, see
+:mod:`repro.store.quantize`): leaf block scans then read the compressed
+codes — 2–4x fewer bytes through the disk model — and the final ranking
+is recovered bit-identically by re-ranking a provably sufficient
+candidate set through the exact matrix (the ε-bound contract documented
+in :mod:`repro.store.quantize`).
+
 Disk layout of a saved store directory::
 
     <dir>/features.bin   raw C-order matrix bytes (np.memmap target)
-    <dir>/meta.npz       permutation maps, node spans, shape, dtype
+    <dir>/codes.bin      compressed scan-tier codes (quantized tiers)
+    <dir>/meta.npz       permutation maps, node spans, shape, dtype,
+                         tier tag + quantization params + cached norms
 
 Pickling contract (zero-copy worker sharing): a ``memmap`` store
 serialises only its metadata and path — unpickling reopens the mapping,
@@ -34,26 +44,45 @@ kilobytes of maps, never the feature matrix itself.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DatasetError, NodeNotFoundError
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    NodeNotFoundError,
+    StoreCodecError,
+)
 from repro.obs import get_metrics
+from repro.store.quantize import (
+    STORE_TIERS,
+    QuantizationParams,
+    dequantized_sqnorms,
+    quantize_matrix,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.index.rfs import RFSNode, RFSStructure
 
-STORE_FORMAT_VERSION = 1
+#: Version 2 added the quantized scan tier (``codes.bin``, the tier tag
+#: and quantization params in ``meta.npz``, persisted row norms).
+#: Version-1 directories still open — they simply carry no scan tier.
+STORE_FORMAT_VERSION = 2
 
 #: Dtypes a store may hold.  float32 halves memory traffic through the
 #: distance kernels; float64 matches the in-memory matrix bit-for-bit.
 STORE_DTYPES: Tuple[str, ...] = ("float32", "float64")
 
 _FEATURES_FILE = "features.bin"
+_CODES_FILE = "codes.bin"
 _META_FILE = "meta.npz"
+
+#: Tier tag -> numpy dtype of the stored codes.
+_TIER_CODE_DTYPE = {"f16": np.float16, "int8": np.int8}
 
 
 def _dfs_leaves(node: "RFSNode") -> Iterator["RFSNode"]:
@@ -83,6 +112,14 @@ class FeatureStore:
     path:
         Directory the store was opened from (memmap stores reopen from
         it on unpickling); ``None`` for never-saved in-RAM stores.
+    tier:
+        Scan tier — ``"f32"`` (scans read the exact matrix, the
+        default) or ``"f16"`` / ``"int8"`` (scans read ``codes`` and
+        re-rank through the exact matrix).
+    codes / quant:
+        The compressed (n, d) code matrix and its
+        :class:`~repro.store.quantize.QuantizationParams`; both ``None``
+        on the ``f32`` tier.
     """
 
     def __init__(
@@ -94,16 +131,44 @@ class FeatureStore:
         *,
         kind: str = "inmem",
         path: Optional[Path] = None,
+        tier: str = "f32",
+        codes: Optional[np.ndarray] = None,
+        quant: Optional[QuantizationParams] = None,
+        sqnorms: Optional[np.ndarray] = None,
+        dq_sqnorms: Optional[np.ndarray] = None,
+        rerank_margin: int = 32,
     ) -> None:
+        if rerank_margin < 0:
+            raise ConfigurationError(
+                f"rerank_margin must be >= 0, got {rerank_margin}"
+            )
+        if tier not in STORE_TIERS:
+            raise StoreCodecError(
+                f"store tier must be one of {STORE_TIERS}, got {tier!r}"
+            )
+        if tier != "f32" and (codes is None or quant is None):
+            raise ConfigurationError(
+                f"tier {tier!r} needs codes and quantization params"
+            )
         self.matrix = matrix
         self.id_of_row = id_of_row
         self.row_of_id = row_of_id
         self.spans = spans
         self.kind = kind
         self.path = Path(path) if path is not None else None
-        self._sqnorms: Optional[np.ndarray] = None
+        self.tier = tier
+        self.codes = codes
+        self.quant = quant
+        # Extra candidates the quantized scan re-ranks beyond the
+        # ε-bound set.  Correctness never depends on it (the ε rule
+        # already provably covers the true top-k); it is a safety floor
+        # so the re-rank gather amortizes over a few extra rows.
+        self.rerank_margin = int(rerank_margin)
+        self._sqnorms = sqnorms
+        self._dq_sqnorms = dq_sqnorms
         self._leaf_starts: Optional[np.ndarray] = None
         self._leaf_node_ids: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
         self.stats: Dict[str, int] = {
             "block_reads": 0,
             "cache_hits": 0,
@@ -113,9 +178,12 @@ class FeatureStore:
         # stats increments are read-modify-write; the thread executor
         # scans blocks concurrently, so they must be serialized.
         self._stats_lock = threading.Lock()
+        mapped = float(matrix.nbytes)
+        if codes is not None:
+            mapped += float(codes.nbytes)
         get_metrics().gauge(
             "qd_store_bytes_mapped", "bytes of feature data backing the store"
-        ).set(float(matrix.nbytes))
+        ).set(mapped)
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,18 +194,28 @@ class FeatureStore:
         rfs: "RFSStructure",
         *,
         dtype: str | np.dtype = "float32",
+        tier: str = "f32",
+        rerank_margin: int = 32,
     ) -> "FeatureStore":
         """Build a store from a built RFS structure.
 
         Walks the leaves in depth-first order, concatenates their member
         ids into the row permutation, and registers one contiguous span
         per node (leaves *and* internal nodes — DFS order makes every
-        subtree contiguous).
+        subtree contiguous).  ``tier`` additionally quantizes a
+        compressed scan copy of the permuted rows (``"f16"`` or
+        ``"int8"``; see :mod:`repro.store.quantize`) — final rankings
+        stay bit-identical to ``"f32"``, block scans read 2–4x fewer
+        bytes.
         """
         dt = np.dtype(dtype)
         if dt.name not in STORE_DTYPES:
             raise ConfigurationError(
                 f"store dtype must be one of {STORE_DTYPES}, got {dt.name!r}"
+            )
+        if tier not in STORE_TIERS:
+            raise ConfigurationError(
+                f"store tier must be one of {STORE_TIERS}, got {tier!r}"
             )
         leaves = list(_dfs_leaves(rfs.root))
         id_of_row = np.concatenate(
@@ -167,7 +245,22 @@ class FeatureStore:
         matrix.setflags(write=False)
         id_of_row.setflags(write=False)
         row_of_id.setflags(write=False)
-        return cls(matrix, id_of_row, row_of_id, spans, kind="inmem")
+        codes = quant = dq_sq = None
+        if tier != "f32":
+            codes, quant = quantize_matrix(matrix, tier)
+            dq_sq = dequantized_sqnorms(codes, quant)
+        return cls(
+            matrix,
+            id_of_row,
+            row_of_id,
+            spans,
+            kind="inmem",
+            tier=tier,
+            codes=codes,
+            quant=quant,
+            dq_sqnorms=dq_sq,
+            rerank_margin=rerank_margin,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,14 +282,50 @@ class FeatureStore:
 
     @property
     def nbytes(self) -> int:
-        """Bytes of feature data backing the store."""
+        """Bytes of exact feature data backing the store."""
         return int(self.matrix.nbytes)
+
+    @property
+    def scan_itemsize(self) -> int:
+        """Bytes per element a leaf block scan reads on this tier."""
+        if self.codes is not None:
+            return int(self.codes.dtype.itemsize)
+        return int(self.dtype.itemsize)
+
+    @property
+    def scan_nbytes(self) -> int:
+        """Bytes of the matrix the leaf block scans actually read."""
+        if self.codes is not None:
+            return int(self.codes.nbytes)
+        return self.nbytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Exact-tier bytes over scan-tier bytes (1.0 on ``f32``)."""
+        return self.nbytes / max(1, self.scan_nbytes)
+
+    def fingerprint(self) -> str:
+        """Digest of everything tier-shaped about this store.
+
+        Dtype name, tier tag, and (for quantized tiers) the quantization
+        parameter digest.  Folded into the subquery cache key so entries
+        computed against one tier configuration can never be served to
+        another (see :func:`repro.cache.result_cache.subquery_cache_key`).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=12)
+            digest.update(self.dtype.name.encode())
+            digest.update(self.tier.encode())
+            if self.quant is not None:
+                digest.update(self.quant.fingerprint().encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FeatureStore(kind={self.kind!r}, shape="
             f"{self.matrix.shape}, dtype={self.dtype.name}, "
-            f"nodes={len(self.spans)})"
+            f"tier={self.tier!r}, nodes={len(self.spans)})"
         )
 
     # ------------------------------------------------------------------
@@ -228,10 +357,38 @@ class FeatureStore:
             self.sqnorms[start:stop],
         )
 
-    def block_nbytes(self, node_id: int) -> int:
-        """Bytes of feature data in a node's block."""
+    def scan_block(
+        self, node_id: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(codes, ids, dq_sqnorms)`` views of a node's scan-tier block.
+
+        The quantized analogue of :meth:`node_block`: the compressed
+        codes the approximate distance kernels consume, plus the
+        squared norms of their reconstructions.  Only valid on a
+        quantized tier — the ``f32`` scan path reads :meth:`node_block`
+        directly.
+        """
+        self._require_open()
+        if self.codes is None:
+            raise ConfigurationError(
+                "scan_block needs a quantized tier; this store is 'f32'"
+            )
         start, stop = self.span_of(node_id)
-        return (stop - start) * self.dims * self.dtype.itemsize
+        return (
+            self.codes[start:stop],
+            self.id_of_row[start:stop],
+            self.dq_sqnorms[start:stop],
+        )
+
+    def block_nbytes(self, node_id: int) -> int:
+        """Bytes a scan of this node's block reads *on its tier*.
+
+        The disk model charges what the scan path actually touches: the
+        compressed codes on a quantized tier (4x fewer bytes on
+        ``int8``), the exact rows on ``f32``.
+        """
+        start, stop = self.span_of(node_id)
+        return (stop - start) * self.dims * self.scan_itemsize
 
     @property
     def sqnorms(self) -> np.ndarray:
@@ -243,11 +400,51 @@ class FeatureStore:
             self._sqnorms = sq
         return self._sqnorms
 
+    @property
+    def dq_sqnorms(self) -> np.ndarray:
+        """Squared norms of the dequantized scan-tier rows.
+
+        Persisted by :meth:`save` / loaded by :meth:`open` — computing
+        them lazily on a cold memmap store would page in the whole codes
+        file before the first query.
+        """
+        if self._dq_sqnorms is None:
+            if self.codes is None or self.quant is None:
+                raise ConfigurationError(
+                    "dq_sqnorms need a quantized tier; this store is 'f32'"
+                )
+            self._dq_sqnorms = dequantized_sqnorms(self.codes, self.quant)
+        return self._dq_sqnorms
+
     def vectors_for(self, ids: np.ndarray) -> np.ndarray:
         """Gather the vectors of arbitrary image ids (small copies)."""
         self._require_open()
         rows = self.row_of_id[np.asarray(ids, dtype=np.int64)]
         return self.matrix[rows]
+
+    def _build_leaf_index(self) -> None:
+        """Vectorized build of the leaf-span binary-search index.
+
+        Leaves are exactly the spans that partition [0, n): an inner
+        node's span strictly contains its children's, so the
+        minimal-width span starting at each leaf start is the leaf.
+        One lexsort by (start, stop) puts the narrowest span first
+        within each start group; the group heads are the leaves — no
+        per-span Python pass, which matters at 1M rows / tens of
+        thousands of spans.
+        """
+        node_ids = np.fromiter(
+            self.spans.keys(), dtype=np.int64, count=len(self.spans)
+        )
+        bounds = np.array(
+            list(self.spans.values()), dtype=np.int64
+        ).reshape(len(self.spans), 2)
+        order = np.lexsort((bounds[:, 1], bounds[:, 0]))
+        starts = bounds[order, 0]
+        heads = np.ones(starts.shape[0], dtype=bool)
+        heads[1:] = starts[1:] != starts[:-1]
+        self._leaf_starts = starts[heads]
+        self._leaf_node_ids = node_ids[order][heads]
 
     def leaf_node_of(self, image_id: int) -> int:
         """Leaf node id containing ``image_id`` (binary-search lookup).
@@ -261,25 +458,34 @@ class FeatureStore:
                 f"item {image_id} not present in the store"
             )
         if self._leaf_starts is None:
-            # Leaves are exactly the spans that partition [0, n): an
-            # inner node's span strictly contains its children's, so
-            # the minimal-width span starting at each leaf start is the
-            # leaf.  Collect spans, keep the narrowest per start.
-            narrowest: Dict[int, Tuple[int, int]] = {}
-            for node_id, (start, stop) in self.spans.items():
-                held = narrowest.get(start)  # (stop, node_id)
-                if held is None or stop < held[0]:
-                    narrowest[start] = (stop, node_id)
-            starts = np.array(sorted(narrowest), dtype=np.int64)
-            self._leaf_starts = starts
-            self._leaf_node_ids = np.array(
-                [narrowest[int(s)][1] for s in starts], dtype=np.int64
-            )
+            self._build_leaf_index()
         row = int(self.row_of_id[image_id])
         idx = int(
             np.searchsorted(self._leaf_starts, row, side="right") - 1
         )
         return int(self._leaf_node_ids[idx])
+
+    def leaf_nodes_of(self, image_ids: np.ndarray) -> np.ndarray:
+        """Leaf node ids of many items in one vectorized pass.
+
+        The batch form of :meth:`leaf_node_of`: one gather through the
+        row permutation plus one ``searchsorted`` for the whole id
+        array, so grouping a round's marks by leaf costs no per-item
+        Python at any database size.
+        """
+        ids = np.asarray(image_ids, dtype=np.int64)
+        if ids.size and (
+            int(ids.min()) < 0 or int(ids.max()) >= self.n_rows
+        ):
+            bad = ids[(ids < 0) | (ids >= self.n_rows)][0]
+            raise NodeNotFoundError(
+                f"item {int(bad)} not present in the store"
+            )
+        if self._leaf_starts is None:
+            self._build_leaf_index()
+        rows = self.row_of_id[ids]
+        idx = np.searchsorted(self._leaf_starts, rows, side="right") - 1
+        return self._leaf_node_ids[idx]
 
     # ------------------------------------------------------------------
     # Accounting
@@ -340,19 +546,23 @@ class FeatureStore:
         handle is released when the last view dies.
         """
         matrix = self.matrix
+        codes = self.codes
         self.matrix = None
+        self.codes = None
         self._sqnorms = None
+        self._dq_sqnorms = None
         self._leaf_starts = None
         self._leaf_node_ids = None
-        if matrix is None:
-            return
-        mm = getattr(matrix, "_mmap", None)
-        del matrix
-        if mm is not None:
-            try:
-                mm.close()
-            except BufferError:  # pragma: no cover - live exported views
-                pass
+        for array in (matrix, codes):
+            if array is None:
+                continue
+            mm = getattr(array, "_mmap", None)
+            del array
+            if mm is not None:
+                try:
+                    mm.close()
+                except BufferError:  # pragma: no cover - live views
+                    pass
 
     @property
     def closed(self) -> bool:
@@ -370,7 +580,14 @@ class FeatureStore:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> Path:
-        """Persist the store to ``directory`` (created if missing)."""
+        """Persist the store to ``directory`` (created if missing).
+
+        Quantized tiers additionally write ``codes.bin`` and persist
+        the tier tag, the scale/offset/error-bound arrays, and both
+        cached norm vectors in ``meta.npz`` (format version 2), so a
+        reopened store serves cold scans without touching the exact
+        feature file.
+        """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         np.ascontiguousarray(self.matrix).tofile(target / _FEATURES_FILE)
@@ -381,16 +598,28 @@ class FeatureStore:
         stops = np.array(
             [self.spans[int(i)][1] for i in node_ids], dtype=np.int64
         )
+        extra: Dict[str, np.ndarray] = {}
+        if self.tier != "f32":
+            np.ascontiguousarray(self.codes).tofile(target / _CODES_FILE)
+            extra = {
+                "quant_scale": self.quant.scale,
+                "quant_offset": self.quant.offset,
+                "quant_dim_err": self.quant.dim_err,
+                "dq_sqnorms": np.ascontiguousarray(self.dq_sqnorms),
+            }
         np.savez_compressed(
             target / _META_FILE,
             format_version=np.int64(STORE_FORMAT_VERSION),
             shape=np.array(self.matrix.shape, dtype=np.int64),
             dtype=np.array(self.dtype.name),
+            tier=np.array(self.tier),
+            sqnorms=np.ascontiguousarray(self.sqnorms),
             id_of_row=self.id_of_row,
             row_of_id=self.row_of_id,
             span_node_ids=node_ids,
             span_starts=starts,
             span_stops=stops,
+            **extra,
         )
         self.path = target
         return target
@@ -415,14 +644,24 @@ class FeatureStore:
         bin_path = source / _FEATURES_FILE
         if not meta_path.exists() or not bin_path.exists():
             raise DatasetError(f"no feature store at {source}")
+        quant: Optional[QuantizationParams] = None
+        sqnorms = dq_sq = None
         with np.load(meta_path) as meta:
             version = int(meta["format_version"])
-            if version != STORE_FORMAT_VERSION:
-                raise DatasetError(
-                    f"unsupported store format version {version}"
+            if version not in (1, STORE_FORMAT_VERSION):
+                raise StoreCodecError(
+                    f"unsupported store format version {version} "
+                    f"(this build reads versions 1-{STORE_FORMAT_VERSION})"
                 )
             shape = tuple(int(v) for v in meta["shape"])
             dtype = np.dtype(str(meta["dtype"]))
+            # Version 1 predates scan tiers: exact-f32/f64 rows only.
+            tier = str(meta["tier"]) if version >= 2 else "f32"
+            if tier not in STORE_TIERS:
+                raise StoreCodecError(
+                    f"unknown store tier tag {tier!r} (this build knows "
+                    f"{STORE_TIERS}); refusing to reinterpret the bytes"
+                )
             id_of_row = meta["id_of_row"].copy()
             row_of_id = meta["row_of_id"].copy()
             spans = {
@@ -433,6 +672,21 @@ class FeatureStore:
                     meta["span_stops"],
                 )
             }
+            if version >= 2:
+                sqnorms = meta["sqnorms"].copy()
+                sqnorms.setflags(write=False)
+            if tier != "f32":
+                quant = QuantizationParams(
+                    tier=tier,
+                    scale=meta["quant_scale"].copy(),
+                    offset=meta["quant_offset"].copy(),
+                    dim_err=meta["quant_dim_err"].copy(),
+                    err_bound=float(
+                        np.sqrt(np.sum(meta["quant_dim_err"] ** 2))
+                    ),
+                )
+                dq_sq = meta["dq_sqnorms"].copy()
+                dq_sq.setflags(write=False)
         expected = shape[0] * shape[1] * dtype.itemsize
         actual = bin_path.stat().st_size
         if actual != expected:
@@ -447,10 +701,42 @@ class FeatureStore:
         else:
             matrix = np.fromfile(bin_path, dtype=dtype).reshape(shape)
             matrix.setflags(write=False)
+        codes: Optional[np.ndarray] = None
+        if tier != "f32":
+            codes_path = source / _CODES_FILE
+            code_dtype = np.dtype(_TIER_CODE_DTYPE[tier])
+            expected_codes = shape[0] * shape[1] * code_dtype.itemsize
+            if (
+                not codes_path.exists()
+                or codes_path.stat().st_size != expected_codes
+            ):
+                raise StoreCodecError(
+                    f"store tier {tier!r} needs {expected_codes} code "
+                    f"bytes at {codes_path}"
+                )
+            if mode == "memmap":
+                codes = np.memmap(
+                    codes_path, dtype=code_dtype, mode="r", shape=shape
+                )
+            else:
+                codes = np.fromfile(
+                    codes_path, dtype=code_dtype
+                ).reshape(shape)
+                codes.setflags(write=False)
         id_of_row.setflags(write=False)
         row_of_id.setflags(write=False)
         return cls(
-            matrix, id_of_row, row_of_id, spans, kind=mode, path=source
+            matrix,
+            id_of_row,
+            row_of_id,
+            spans,
+            kind=mode,
+            path=source,
+            tier=tier,
+            codes=codes,
+            quant=quant,
+            sqnorms=sqnorms,
+            dq_sqnorms=dq_sq,
         )
 
     # ------------------------------------------------------------------
@@ -459,13 +745,15 @@ class FeatureStore:
     def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()
         state["_sqnorms"] = None
+        state["_dq_sqnorms"] = None
         state["_leaf_starts"] = None
         state["_leaf_node_ids"] = None
         del state["_stats_lock"]  # locks don't pickle; workers get fresh
         if self.kind == "memmap" and self.path is not None:
             # Ship the path, not the bytes: the worker reopens the
-            # mapping and shares pages through the OS cache.
+            # mappings and shares pages through the OS cache.
             state["matrix"] = None
+            state["codes"] = None
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -478,6 +766,9 @@ class FeatureStore:
                 )
             reopened = FeatureStore.open(self.path, mode="memmap")
             self.matrix = reopened.matrix
+            self.codes = reopened.codes
+            self._sqnorms = reopened._sqnorms
+            self._dq_sqnorms = reopened._dq_sqnorms
 
 
 def open_store(

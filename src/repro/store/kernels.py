@@ -159,6 +159,75 @@ def weighted_point_distances(
     return dists
 
 
+def approx_point_distances(
+    codes: np.ndarray,
+    query: np.ndarray,
+    params,
+    *,
+    dq_sqnorms: np.ndarray,
+) -> np.ndarray:
+    """(n,) distances from *reconstructed* tier codes to one point.
+
+    The quantized scan path's kernel: distances to the dequantized rows
+    ``x̂``, within ``params.err_bound`` of the exact distances (see
+    :mod:`repro.store.quantize`).  ``dq_sqnorms`` are the persisted
+    ``‖x̂‖²`` norms, so an int8 block scan touches only the 1-byte codes:
+    the norm expansion needs just ``x̂ · q``, computed on the shifted
+    codes against a pre-scaled query —
+
+        ``x̂ · q = (codes + 128) · (scale ∘ q) + offset · q``
+
+    — one (n, d) cast plus one gemv, no full dequantized matrix kept.
+    """
+    t0 = time.perf_counter()
+    q = np.asarray(query, dtype=np.float32)
+    if params.tier == "int8":
+        scaled_q = params.scale * q
+        shifted = codes.astype(np.float32)
+        shifted += 128.0
+        dists = shifted @ scaled_q
+        dists += float(params.offset @ q)
+        kernel = "int8_point"
+    else:  # f16: dequantize is a plain cast
+        dists = codes.astype(np.float32) @ q
+        kernel = "f16_point"
+    dists *= -2.0
+    dists += dq_sqnorms
+    dists += q @ q
+    np.maximum(dists, 0.0, out=dists)
+    np.sqrt(dists, out=dists)
+    _observe(t0, codes.shape[0], kernel)
+    return dists
+
+
+def approx_weighted_point_distances(
+    codes: np.ndarray,
+    query: np.ndarray,
+    params,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """(n,) weighted distances from reconstructed tier codes to a point.
+
+    Like :func:`weighted_point_distances`, the diagonal metric does not
+    factor through cached norms, so the block is dequantized and the
+    direct form runs on it — the bytes *read* are still the compressed
+    tier; the float32 reconstruction is scan-local scratch.
+    """
+    from repro.store.quantize import dequantize
+
+    t0 = time.perf_counter()
+    q = np.asarray(query, dtype=np.float32)
+    w = np.asarray(weights, dtype=np.float32)
+    diff = dequantize(codes, params)
+    diff -= q
+    diff *= diff
+    dists = diff @ w
+    np.maximum(dists, 0.0, out=dists)
+    np.sqrt(dists, out=dists)
+    _observe(t0, codes.shape[0], f"{params.tier}_weighted_point")
+    return dists
+
+
 def multipoint_distances(
     block: np.ndarray,
     reps: np.ndarray,

@@ -1,0 +1,209 @@
+"""Scalar quantization for the compressed store scan tier.
+
+A :class:`FeatureStore` can carry, next to its exact float32/float64
+matrix, a *compressed* copy of the same rows — the **scan tier** — that
+the leaf block scans read instead of the exact bytes:
+
+``int8``
+    Per-dimension min/max affine codes.  Each dimension ``d`` stores a
+    ``scale_d = (max_d - min_d) / 255`` and ``offset_d = min_d``; a
+    value quantizes to ``round((x - offset_d) / scale_d)`` shifted into
+    the signed int8 range.  4x smaller than float32, worst-case
+    per-dimension reconstruction error ``scale_d / 2``.
+``f16``
+    IEEE half precision (``np.float16``).  2x smaller than float32,
+    value-dependent roundoff error.
+
+Exactness contract — the reason this module records **error bounds**:
+the scan computes *approximate* distances on dequantized codes, but the
+store keeps the exact matrix, and the scan re-ranks a provably
+sufficient candidate set through it (see
+:meth:`repro.index.rfs.RFSStructure._scan_leaves_quantized`).  For any
+row
+``x`` with reconstruction ``x̂`` and any query ``q``, the triangle
+inequality gives
+
+    ``|dist(x̂, q) − dist(x, q)| ≤ ‖x̂ − x‖ ≤ ε``
+
+where ``ε = ‖(e_1, …, e_D)‖₂`` and ``e_d`` is the *measured* maximum
+absolute reconstruction error of dimension ``d`` (measured at quantize
+time, so the bound is tight for the actual data, not the worst case).
+The weighted-metric variant is ``ε_w = sqrt(Σ_d w_d · e_d²)``.  With
+``κ̂`` the k-th smallest approximate distance seen so far:
+
+* an unscanned leaf with ``MINDIST > κ̂ + ε`` cannot hold a true
+  top-k row (every row there has true distance ≥ MINDIST, while the
+  true k-th best is ≤ κ̂ + ε), and
+* every true top-k row — ties at the k-th distance included — has
+  approximate distance ≤ κ̂ + 2ε,
+
+so pruning on ``κ̂ + ε`` and re-ranking the ``d̂ ≤ κ̂ + 2ε`` candidates
+through the exact matrix reproduces the float32 ranking **bit for
+bit**.  One subtlety makes the *shape* of the re-rank kernel call part
+of the contract: BLAS matrix-vector products change their reduction
+order with the matrix's row count, so the same row can yield a
+last-ulp-different distance inside a small gathered candidate matrix
+than inside its full leaf block.  The re-rank therefore reruns the
+exact kernel over the *full* float32 blocks of the leaves holding
+survivors — byte-for-byte the calls the ``f32`` scan makes — and
+selects the survivors' entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StoreCodecError
+
+#: Scan tiers a store may carry.  ``f32`` means "no compressed tier":
+#: scans read the exact matrix directly (the pre-quantization behaviour).
+STORE_TIERS: Tuple[str, ...] = ("f32", "f16", "int8")
+
+#: Bytes per element each tier's scan path reads.
+TIER_ITEMSIZE = {"f32": 4, "f16": 2, "int8": 1}
+
+
+@dataclass(frozen=True)
+class QuantizationParams:
+    """Reconstruction parameters and error bounds of a quantized tier.
+
+    Attributes
+    ----------
+    tier:
+        ``"f16"`` or ``"int8"`` (``"f32"`` stores carry no params).
+    scale / offset:
+        (d,) float32 affine reconstruction arrays; int8 codes decode as
+        ``(code + 128) * scale + offset``.  For ``f16`` both are
+        identity placeholders (scale 1, offset 0) — kept so the cache
+        fingerprint and the on-disk format are uniform across tiers.
+    dim_err:
+        (d,) float64 measured max absolute reconstruction error per
+        dimension (``max_rows |x̂ - x|``).
+    err_bound:
+        ``‖dim_err‖₂`` — the global distance-error bound ε.
+    """
+
+    tier: str
+    scale: np.ndarray
+    offset: np.ndarray
+    dim_err: np.ndarray
+    err_bound: float
+
+    def weighted_err_bound(self, weights: Optional[np.ndarray]) -> float:
+        """Distance-error bound under a diagonal weighted metric.
+
+        ``sqrt(Σ_d w_d · e_d²)``; with ``weights=None`` this is the
+        plain Euclidean ``err_bound``.
+        """
+        if weights is None:
+            return self.err_bound
+        w = np.asarray(weights, dtype=np.float64)
+        return float(np.sqrt(np.sum(w * self.dim_err * self.dim_err)))
+
+    def fingerprint(self) -> str:
+        """Digest of the tier tag and reconstruction arrays.
+
+        Folded into the subquery cache key: two stores with the same
+        exact matrix but different quantization parameters scan
+        different approximate distances, so their *intermediate* work
+        differs even though final rankings agree — and a future lossy
+        tier must never alias a lossless one.
+        """
+        digest = hashlib.blake2b(digest_size=12)
+        digest.update(self.tier.encode())
+        digest.update(np.ascontiguousarray(self.scale).tobytes())
+        digest.update(np.ascontiguousarray(self.offset).tobytes())
+        return digest.hexdigest()
+
+
+def quantize_matrix(
+    matrix: np.ndarray, tier: str
+) -> Tuple[np.ndarray, QuantizationParams]:
+    """Compress ``matrix`` into ``tier`` codes with measured error bounds.
+
+    Returns ``(codes, params)``; ``codes`` is (n, d) ``int8`` or
+    ``float16``.  Constant dimensions get scale 1.0 (every value maps to
+    code 0 and reconstructs exactly), so the affine decode never divides
+    by zero and ``dim_err`` stays 0 there.
+    """
+    if tier not in ("f16", "int8"):
+        raise ConfigurationError(
+            f"quantizable tiers are 'f16' and 'int8', got {tier!r}"
+        )
+    src = np.asarray(matrix, dtype=np.float32)
+    if tier == "f16":
+        # Clamp to the finite f16 range: an overflow would make the
+        # measured error bound infinite and degrade every scan to a
+        # full re-rank (still correct, never fast).
+        f16_max = np.float32(np.finfo(np.float16).max)
+        codes = np.clip(src, -f16_max, f16_max).astype(np.float16)
+        dims = src.shape[1]
+        scale = np.ones(dims, dtype=np.float32)
+        offset = np.zeros(dims, dtype=np.float32)
+        dim_err = np.max(
+            np.abs(codes.astype(np.float32) - src), axis=0
+        ).astype(np.float64)
+    else:
+        lo = src.min(axis=0).astype(np.float32)
+        hi = src.max(axis=0).astype(np.float32)
+        scale = (hi - lo) / 255.0
+        scale = np.where(scale > 0, scale, np.float32(1.0)).astype(
+            np.float32
+        )
+        offset = lo
+        steps = np.rint((src - offset) / scale)
+        np.clip(steps, 0.0, 255.0, out=steps)
+        codes = (steps - 128.0).astype(np.int8)
+        recon = (steps * scale + offset).astype(np.float32)
+        dim_err = np.max(np.abs(recon - src), axis=0).astype(np.float64)
+    codes.setflags(write=False)
+    err_bound = float(np.sqrt(np.sum(dim_err * dim_err)))
+    return codes, QuantizationParams(
+        tier=tier,
+        scale=scale,
+        offset=offset,
+        dim_err=dim_err,
+        err_bound=err_bound,
+    )
+
+
+def dequantize(codes: np.ndarray, params: QuantizationParams) -> np.ndarray:
+    """Reconstruct float32 rows from tier codes."""
+    if params.tier == "f16":
+        return codes.astype(np.float32)
+    if params.tier == "int8":
+        shifted = codes.astype(np.float32)
+        shifted += 128.0
+        shifted *= params.scale
+        shifted += params.offset
+        return shifted
+    raise StoreCodecError(f"unknown quantization tier {params.tier!r}")
+
+
+def dequantized_sqnorms(
+    codes: np.ndarray, params: QuantizationParams
+) -> np.ndarray:
+    """Squared row norms of the *reconstructed* vectors.
+
+    Computed once at build/save time and persisted — recomputing them on
+    a cold memmap store would page in the whole codes file before the
+    first query.
+    """
+    recon = dequantize(codes, params)
+    sq = np.einsum("ij,ij->i", recon, recon)
+    sq.setflags(write=False)
+    return sq
+
+
+__all__ = [
+    "STORE_TIERS",
+    "TIER_ITEMSIZE",
+    "QuantizationParams",
+    "quantize_matrix",
+    "dequantize",
+    "dequantized_sqnorms",
+]

@@ -1,0 +1,476 @@
+"""Tests for the compressed scan tiers (repro.store.quantize).
+
+Covers the quantization round-trip error bounds (property-based, via
+hypothesis), the tier-aware byte accounting, the save -> open format
+(version 2 with codes + params, version-1 back-compat, unknown-tag
+rejection), zero-copy pickling of quantized stores, and — the
+acceptance property, targeted by the no-skip ``Parity`` gate in
+``scripts/check.sh`` — rankings on the ``f16`` and ``int8`` tiers
+staying bit-identical to the pure-float32 path across executors,
+backings, and cached reruns.
+
+The small-``fetch`` sweep in ``TestQuantizedParity`` is a regression
+test for a subtle trap: BLAS matrix-vector reductions change summation
+order with the matrix's row count, so re-ranking a *gathered* candidate
+matrix produces last-ulp-different distances than the full-block scan.
+The re-rank must rerun the exact kernel over full leaf blocks.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SubqueryResultCache
+from repro.config import QDConfig, RFSConfig
+from repro.core.engine import QueryDecompositionEngine
+from repro.errors import ConfigurationError, StoreCodecError
+from repro.exec import ProcessSubqueryExecutor
+from repro.index.rfs import RFSStructure
+from repro.index.serialize import load_rfs, save_rfs
+from repro.store import (
+    FeatureStore,
+    QuantizationParams,
+    dequantize,
+    dequantized_sqnorms,
+    quantize_matrix,
+)
+
+N_IMAGES = 900
+SEED = 2006
+RFS_CONFIG = RFSConfig(
+    node_max_entries=60, node_min_entries=30, leaf_subclusters=4
+)
+
+_EXECUTORS = ["serial", "thread"] + (
+    ["process"] if ProcessSubqueryExecutor.fork_available() else []
+)
+_QUANT_TIERS = ["f16", "int8"]
+
+
+@pytest.fixture(scope="module")
+def database():
+    from repro.datasets.build import build_synthetic_database
+
+    return build_synthetic_database(N_IMAGES, n_categories=30, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def rfs_f32(database):
+    return _build_rfs(database)
+
+
+def _build_rfs(database) -> RFSStructure:
+    return RFSStructure.build(database.features, RFS_CONFIG, seed=SEED)
+
+
+def _signature(result):
+    return [
+        (
+            group.leaf_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+def _run_session(database, store, executor, *, k=50, cache=None, seed=11):
+    rfs = _build_rfs(database)
+    if store is not None:
+        rfs.attach_store(store)
+    if cache is not None:
+        rfs.attach_cache(cache)
+    relevant = set(np.flatnonzero(database.labels == 3).tolist())
+    relevant |= set(np.flatnonzero(database.labels == 7).tolist())
+    engine = QueryDecompositionEngine(
+        database, rfs, QDConfig(executor=executor, workers=2)
+    )
+    with engine:
+        result = engine.run_scripted(
+            lambda shown: [i for i in shown if i in relevant],
+            k=k,
+            seed=seed,
+        )
+    return _signature(result)
+
+
+# ----------------------------------------------------------------------
+# Quantization round-trip error bounds (property-based)
+# ----------------------------------------------------------------------
+_matrices = st.integers(0, 2**32 - 1).flatmap(
+    lambda seed: st.tuples(
+        st.just(seed),
+        st.integers(2, 40),
+        st.integers(2, 12),
+        st.floats(0.01, 100.0),
+    )
+)
+
+
+def _random_matrix(seed, rows, dims, spread):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, spread, size=(rows, dims)).astype(np.float32)
+
+
+class TestRoundTripBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(_matrices)
+    def test_int8_error_within_half_step(self, params):
+        seed, rows, dims, spread = params
+        matrix = _random_matrix(seed, rows, dims, spread)
+        codes, quant = quantize_matrix(matrix, "int8")
+        assert codes.dtype == np.int8
+        recon = dequantize(codes, quant)
+        err = np.abs(recon - matrix)
+        # Nearest-step rounding: per-dim error <= scale/2 (tiny float
+        # slack for the affine decode arithmetic itself).
+        limit = quant.scale * 0.5 * (1.0 + 1e-4) + 1e-9
+        assert np.all(err <= limit[None, :])
+        # The recorded per-dim bound is the measured max, so it is both
+        # valid and tight.
+        assert np.all(err <= quant.dim_err[None, :] + 1e-12)
+        assert np.allclose(err.max(axis=0), quant.dim_err, atol=1e-12)
+        assert quant.err_bound == pytest.approx(
+            float(np.sqrt(np.sum(quant.dim_err**2)))
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_matrices)
+    def test_f16_error_within_half_ulp(self, params):
+        seed, rows, dims, spread = params
+        matrix = _random_matrix(seed, rows, dims, spread)
+        codes, quant = quantize_matrix(matrix, "f16")
+        assert codes.dtype == np.float16
+        recon = dequantize(codes, quant)
+        err = np.abs(recon - matrix)
+        # Round-to-nearest half precision: error <= ulp(x)/2, i.e.
+        # <= |x| * 2^-11 for normal values (+ the subnormal floor).
+        limit = np.abs(matrix) * 2.0**-11 + 2.0**-24
+        assert np.all(err <= limit)
+        assert np.all(err <= quant.dim_err[None, :] + 1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_matrices, st.integers(0, 2**32 - 1))
+    def test_distance_error_bounded_by_epsilon(self, params, qseed):
+        """|dist(x̂,q) - dist(x,q)| <= ε — the scan's pruning contract."""
+        seed, rows, dims, spread = params
+        matrix = _random_matrix(seed, rows, dims, spread)
+        query = np.random.default_rng(qseed).normal(
+            0.0, spread, size=dims
+        )
+        for tier in _QUANT_TIERS:
+            codes, quant = quantize_matrix(matrix, tier)
+            recon = dequantize(codes, quant).astype(np.float64)
+            exact = np.linalg.norm(matrix.astype(np.float64) - query, axis=1)
+            approx = np.linalg.norm(recon - query, axis=1)
+            slack = quant.err_bound * (1.0 + 1e-6) + 1e-9
+            assert np.all(np.abs(approx - exact) <= slack)
+
+    def test_constant_dimensions_reconstruct_exactly(self):
+        matrix = np.full((10, 4), 3.25, dtype=np.float32)
+        matrix[:, 2] = -1.5
+        codes, quant = quantize_matrix(matrix, "int8")
+        assert np.all(quant.scale[np.ptp(matrix, axis=0) == 0] == 1.0)
+        assert np.array_equal(dequantize(codes, quant), matrix)
+        assert quant.err_bound == 0.0
+
+    def test_weighted_err_bound(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(30, 6)).astype(np.float32)
+        _, quant = quantize_matrix(matrix, "int8")
+        w = rng.uniform(0.1, 3.0, size=6)
+        expected = float(np.sqrt(np.sum(w * quant.dim_err**2)))
+        assert quant.weighted_err_bound(w) == pytest.approx(expected)
+        assert quant.weighted_err_bound(None) == quant.err_bound
+
+    def test_dequantize_unknown_tier_raises(self):
+        params = QuantizationParams(
+            tier="pq4",
+            scale=np.ones(2, dtype=np.float32),
+            offset=np.zeros(2, dtype=np.float32),
+            dim_err=np.zeros(2),
+            err_bound=0.0,
+        )
+        with pytest.raises(StoreCodecError):
+            dequantize(np.zeros((1, 2), dtype=np.int8), params)
+
+    def test_quantize_rejects_f32(self):
+        with pytest.raises(ConfigurationError):
+            quantize_matrix(np.zeros((2, 2), dtype=np.float32), "f32")
+
+
+# ----------------------------------------------------------------------
+# Tier-aware store accounting
+# ----------------------------------------------------------------------
+class TestTierAccounting:
+    @pytest.mark.parametrize(
+        "tier,ratio", [("f32", 1.0), ("f16", 2.0), ("int8", 4.0)]
+    )
+    def test_compression_ratio_and_block_bytes(
+        self, rfs_f32, tier, ratio
+    ):
+        store = FeatureStore.build(rfs_f32, tier=tier)
+        assert store.compression_ratio == pytest.approx(ratio)
+        leaf = next(
+            n.node_id for n in rfs_f32.iter_nodes() if n.is_leaf
+        )
+        start, stop = store.span_of(leaf)
+        dims = store.matrix.shape[1]
+        assert store.block_nbytes(leaf) == (
+            (stop - start) * dims * store.scan_itemsize
+        )
+
+    def test_dq_sqnorms_match_reconstruction(self, rfs_f32):
+        store = FeatureStore.build(rfs_f32, tier="int8")
+        recon = dequantize(np.asarray(store.codes), store.quant)
+        assert np.array_equal(
+            store.dq_sqnorms, np.einsum("ij,ij->i", recon, recon)
+        )
+        assert np.array_equal(
+            store.dq_sqnorms,
+            dequantized_sqnorms(np.asarray(store.codes), store.quant),
+        )
+
+    def test_fingerprint_separates_tiers(self, rfs_f32):
+        prints = {
+            FeatureStore.build(rfs_f32, tier=tier).fingerprint()
+            for tier in ("f32", "f16", "int8")
+        }
+        assert len(prints) == 3
+
+    def test_build_rejects_bad_tier_and_margin(self, rfs_f32):
+        with pytest.raises(ConfigurationError):
+            FeatureStore.build(rfs_f32, tier="pq4")
+        with pytest.raises(ConfigurationError):
+            FeatureStore.build(rfs_f32, rerank_margin=-1)
+
+
+# ----------------------------------------------------------------------
+# Persistence: format v2, v1 back-compat, corrupt/unknown rejection
+# ----------------------------------------------------------------------
+class TestQuantizedRoundtrip:
+    @pytest.mark.parametrize("tier", _QUANT_TIERS)
+    @pytest.mark.parametrize("mode", ["memmap", "inmem"])
+    def test_save_open_preserves_tier(self, rfs_f32, tmp_path, tier, mode):
+        store = FeatureStore.build(rfs_f32, tier=tier, rerank_margin=17)
+        directory = tmp_path / tier
+        store.save(directory)
+        loaded = FeatureStore.open(directory, mode=mode)
+        assert loaded.tier == tier
+        assert np.array_equal(
+            np.asarray(loaded.codes), np.asarray(store.codes)
+        )
+        assert np.array_equal(loaded.quant.scale, store.quant.scale)
+        assert np.array_equal(loaded.quant.offset, store.quant.offset)
+        assert np.array_equal(loaded.quant.dim_err, store.quant.dim_err)
+        assert np.array_equal(loaded.dq_sqnorms, store.dq_sqnorms)
+        assert np.array_equal(loaded.sqnorms, store.sqnorms)
+        assert loaded.fingerprint() == store.fingerprint()
+        if mode == "memmap":
+            assert isinstance(loaded.codes, np.memmap)
+
+    def test_version1_directory_opens_as_f32(self, rfs_f32, tmp_path):
+        store = FeatureStore.build(rfs_f32)
+        directory = tmp_path / "v1"
+        store.save(directory)
+        meta = dict(np.load(directory / "meta.npz"))
+        # Version 1 predates scan tiers and persisted norms.
+        del meta["tier"], meta["sqnorms"]
+        meta["format_version"] = np.int64(1)
+        np.savez_compressed(directory / "meta.npz", **meta)
+        loaded = FeatureStore.open(directory)
+        assert loaded.tier == "f32"
+        assert np.array_equal(
+            np.asarray(loaded.matrix), np.asarray(store.matrix)
+        )
+
+    def test_unknown_tier_tag_rejected(self, rfs_f32, tmp_path):
+        store = FeatureStore.build(rfs_f32, tier="int8")
+        directory = tmp_path / "tagged"
+        store.save(directory)
+        meta = dict(np.load(directory / "meta.npz"))
+        meta["tier"] = np.array("pq4")
+        np.savez_compressed(directory / "meta.npz", **meta)
+        with pytest.raises(StoreCodecError):
+            FeatureStore.open(directory)
+
+    def test_future_format_version_rejected(self, rfs_f32, tmp_path):
+        store = FeatureStore.build(rfs_f32)
+        directory = tmp_path / "future"
+        store.save(directory)
+        meta = dict(np.load(directory / "meta.npz"))
+        meta["format_version"] = np.int64(99)
+        np.savez_compressed(directory / "meta.npz", **meta)
+        with pytest.raises(StoreCodecError):
+            FeatureStore.open(directory)
+
+    def test_missing_codes_file_rejected(self, rfs_f32, tmp_path):
+        store = FeatureStore.build(rfs_f32, tier="int8")
+        directory = tmp_path / "codeless"
+        store.save(directory)
+        (directory / "codes.bin").unlink()
+        with pytest.raises(StoreCodecError):
+            FeatureStore.open(directory)
+
+    def test_pickle_ships_paths_not_code_bytes(self, rfs_f32, tmp_path):
+        store = FeatureStore.build(rfs_f32, tier="int8")
+        directory = tmp_path / "pickled"
+        store.save(directory)
+        loaded = FeatureStore.open(directory, mode="memmap")
+        blob = pickle.dumps(loaded)
+        assert len(blob) < loaded.nbytes / 2
+        clone = pickle.loads(blob)
+        assert clone.tier == "int8"
+        assert np.array_equal(
+            np.asarray(clone.codes), np.asarray(loaded.codes)
+        )
+
+    def test_save_load_rfs_keeps_quantization(self, database, tmp_path):
+        rfs = _build_rfs(database)
+        rfs.attach_store(
+            FeatureStore.build(rfs, tier="int8"), validate=False
+        )
+        rfs_path = tmp_path / "rfs.npz"
+        store_dir = tmp_path / "store"
+        save_rfs(rfs, rfs_path, store_dir=store_dir)
+        loaded = load_rfs(
+            rfs_path, database.features, store_dir=store_dir
+        )
+        assert loaded.store is not None
+        assert loaded.store.tier == "int8"
+        assert loaded.store.fingerprint() == rfs.store.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Bit-identical rankings vs the float32 tier (the check.sh gate)
+# ----------------------------------------------------------------------
+class TestQuantizedParity:
+    @pytest.fixture(scope="class")
+    def f32_baselines(self, database):
+        return {
+            (executor, k): _run_session(
+                database, self._store(database, "f32"), executor, k=k
+            )
+            for executor in _EXECUTORS
+            for k in (50, 200)
+        }
+
+    @staticmethod
+    def _store(database, tier):
+        return FeatureStore.build(_build_rfs(database), tier=tier)
+
+    @pytest.mark.parametrize("tier", _QUANT_TIERS)
+    @pytest.mark.parametrize("executor", _EXECUTORS)
+    @pytest.mark.parametrize("k", [50, 200])
+    def test_sessions_bit_identical_to_f32(
+        self, database, f32_baselines, tier, executor, k
+    ):
+        sig = _run_session(
+            database, self._store(database, tier), executor, k=k
+        )
+        assert sig == f32_baselines[(executor, k)]
+
+    @pytest.mark.parametrize("tier", _QUANT_TIERS)
+    @pytest.mark.parametrize("mode", ["memmap", "inmem"])
+    def test_reopened_backings_bit_identical_to_f32(
+        self, database, f32_baselines, tmp_path, tier, mode
+    ):
+        directory = tmp_path / f"{tier}-{mode}"
+        self._store(database, tier).save(directory)
+        sig = _run_session(
+            database,
+            FeatureStore.open(directory, mode=mode),
+            "serial",
+            k=200,
+        )
+        assert sig == f32_baselines[("serial", 200)]
+
+    @pytest.mark.parametrize("tier", _QUANT_TIERS)
+    def test_cached_rerun_bit_identical_to_f32(
+        self, database, f32_baselines, tier
+    ):
+        cache = SubqueryResultCache(16 << 20)
+        store = self._store(database, tier)
+        cold = _run_session(
+            database, store, "serial", k=200, cache=cache
+        )
+        warm = _run_session(
+            database, store, "serial", k=200, cache=cache
+        )
+        assert cold == f32_baselines[("serial", 200)]
+        assert warm == f32_baselines[("serial", 200)]
+        assert cache.snapshot()["hits"] > 0
+
+    @pytest.mark.parametrize("tier", _QUANT_TIERS)
+    def test_batch_scheduler_bit_identical_to_f32(self, database, tier):
+        from repro.core.ranking import execute_final_round
+        from repro.exec import BatchQuery, run_final_round_batch
+
+        def marks(label):
+            return tuple(
+                int(i)
+                for i in np.flatnonzero(database.labels == label)[:6]
+            )
+
+        queries = [
+            BatchQuery(marked_ids=marks(3), k=40),
+            BatchQuery(marked_ids=marks(7), k=25),
+            BatchQuery(marked_ids=marks(3), k=40),  # coalesces with #0
+        ]
+        f32 = _build_rfs(database)
+        f32.attach_store(FeatureStore.build(f32, tier="f32"))
+        baseline = [
+            _signature(
+                execute_final_round(
+                    f32, q.marked_ids, q.k, QDConfig(), rounds_used=1
+                )
+            )
+            for q in queries
+        ]
+        quant = _build_rfs(database)
+        quant.attach_store(FeatureStore.build(quant, tier=tier))
+        quant.attach_cache(SubqueryResultCache(8 << 20))
+        results = run_final_round_batch(
+            quant,
+            queries,
+            QDConfig(executor="thread", workers=2),
+            rounds_used=1,
+        )
+        assert [_signature(r) for r in results] == baseline
+
+    @pytest.mark.parametrize("tier", _QUANT_TIERS)
+    def test_small_fetch_localized_knn_parity(self, database, tier):
+        """Regression: tiny fetches once diverged in the last ulp.
+
+        The gathered-candidate re-rank fed BLAS a matrix with a
+        different row count than the full-block scan, and gemv's
+        reduction order (hence the final float) depends on that count.
+        Sweep every node at small fetch sizes where the old
+        implementation reliably diverged.
+        """
+        f32 = _build_rfs(database)
+        f32.attach_store(FeatureStore.build(f32, tier="f32"))
+        quant = _build_rfs(database)
+        quant.attach_store(FeatureStore.build(quant, tier=tier))
+        rng = np.random.default_rng(7)
+        queries = database.features[
+            rng.integers(0, database.size, size=3)
+        ]
+        weights = rng.uniform(0.5, 2.0, size=database.features.shape[1])
+        for node in f32.iter_nodes():
+            other = quant.get_node(node.node_id)
+            for fetch in (1, 3, 10):
+                take = min(fetch, node.size)
+                for query in queries:
+                    assert f32.localized_knn(
+                        node, query, take
+                    ) == quant.localized_knn(other, query, take)
+            assert f32.localized_knn(
+                node, queries[0], min(10, node.size), weights=weights
+            ) == quant.localized_knn(
+                other, queries[0], min(10, node.size), weights=weights
+            )
