@@ -1,0 +1,361 @@
+"""Perf — sharded scatter-gather serving under a simulated disk.
+
+Closes the loop on ROADMAP item 1 (scaling the paper's design): the
+same multi-user dialogue workload is served by :class:`repro.serve.
+QDServer` over :class:`repro.shard.ShardedEngine` routers at 1, 2, and
+4 shards, with every physical page read charged a simulated device
+latency (:class:`repro.index.diskmodel.DiskAccessCounter`).  Because a
+final-round scan fans out to the shards in parallel, its device time
+is the *slowest shard's* pages instead of the sum — so session
+throughput should scale with the shard count while rankings stay
+bit-identical to single-node (asserted per session, per shard count).
+
+A second leg measures the admission-control story under overload: a
+burst far beyond queue capacity must be *shed* (structured retriable
+responses, shed rate > 0) while every admitted-and-executed request
+stays within its deadline (violations == 0) and executed p99 stays
+bounded by the queue depth — the point of bounding the queue.
+
+Measured:
+
+* **speedup_4shard_vs_1** — session throughput ratio, 4 shards over 1,
+* **parity** — fraction of (session, shard count) rankings
+  bit-identical to the 1-shard reference (must be 1.0),
+* **throughput_Nshard** — completed sessions/sec at each shard count,
+* **shed_rate** — fraction of the overload burst refused at admission,
+* **overload_p99_ms** — p99 total latency of executed burst requests,
+* **deadline_violations** — executed requests past their deadline
+  (must be 0).
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_sharded_serving.py`` — report/benchmark
+  fixtures, rows appended to ``benchmarks/results/latest.txt``.
+* ``python benchmarks/bench_sharded_serving.py [--tiny]`` —
+  fixture-free script entry for CI smoke (same rows, same results
+  file), emitting the canonical ``BENCH_sharded_serving.json``.
+
+``QD_BENCH_TINY=1`` (or ``--tiny``) shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from _harness import TINY_ENV, emit, tiny_arg_parser
+from repro.config import QDConfig, RFSConfig, ServeConfig
+from repro.datasets.build import build_synthetic_database
+from repro.index.diskmodel import DiskAccessCounter
+from repro.obs.bench import BenchResult
+from repro.serve import QDServer
+from repro.sessionstore import InMemorySessionStore
+from repro.shard import ShardedEngine
+
+TINY = os.environ.get("QD_BENCH_TINY") == "1"
+SEED = 2006
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _params(tiny: bool) -> dict:
+    if tiny:
+        return dict(
+            n_images=600, n_categories=30, sessions=6, rounds=2,
+            k=40, screens=2, workers=2, page_latency_ms=5.0,
+            # Near-zero boundary threshold pushes expansions wide, so
+            # final-round scans span many leaves (and hence shards).
+            boundary_threshold=0.05,
+            overload_workers=1, overload_queue=4, overload_burst=40,
+            overload_deadline_s=60.0,
+            # Sanity floor only (observed ~2-3x at 4 shards); drift is
+            # caught by bench-regress against the committed baseline.
+            min_speedup=1.05,
+        )
+    return dict(
+        n_images=4_000, n_categories=60, sessions=16, rounds=3,
+        k=60, screens=2, workers=3, page_latency_ms=6.0,
+        boundary_threshold=0.05,
+        overload_workers=1, overload_queue=6, overload_burst=80,
+        overload_deadline_s=120.0,
+        min_speedup=1.2,
+    )
+
+
+def _signature(result) -> list:
+    return [
+        (
+            group.leaf_node_id,
+            tuple((item.item_id, item.score) for item in group.items),
+        )
+        for group in result.groups
+    ]
+
+
+def _build_engine(p: dict, database, shards: int) -> ShardedEngine:
+    engine = ShardedEngine.build(
+        database,
+        RFSConfig(
+            node_max_entries=40, node_min_entries=16, leaf_subclusters=3
+        ),
+        QDConfig(boundary_threshold=p["boundary_threshold"]),
+        shards=shards,
+        # Interleave neighboring leaves across shards: every localized
+        # scan then spans all shards, which is the scatter-gather case
+        # this bench measures (contiguous would colocate a scan's
+        # leaves and leave nothing to overlap).
+        partition="roundrobin",
+        seed=SEED,
+        io=DiskAccessCounter(
+            page_read_latency_s=p["page_latency_ms"] / 1000.0
+        ),
+        store="inmem",
+    )
+    engine.attach_session_store(InMemorySessionStore())
+    return engine
+
+
+def _drive_sessions(
+    p: dict, database, server: QDServer
+) -> Tuple[float, Dict[int, list]]:
+    """Run every dialogue through the server; returns (wall_s, sigs)."""
+    relevant = set(np.flatnonzero(database.labels <= 4).tolist())
+    signatures: Dict[int, list] = {}
+    errors: List[str] = []
+
+    def dialogue(seed: int) -> None:
+        opened = server.request("open", seed=seed)
+        if not opened.ok:
+            errors.append(opened.error)
+            return
+        sid = opened.value
+        for _ in range(p["rounds"]):
+            shown = server.request(
+                "display", session_id=sid, screens=p["screens"]
+            )
+            if not shown.ok:
+                errors.append(shown.error)
+                return
+            marks = [i for i in shown.value if i in relevant]
+            marked = server.request(
+                "submit",
+                session_id=sid,
+                relevant_ids=marks or list(shown.value[:3]),
+            )
+            if not marked.ok:
+                errors.append(marked.error)
+                return
+        final = server.request("finalize", session_id=sid, k=p["k"])
+        if not final.ok:
+            errors.append(final.error)
+            return
+        signatures[seed] = _signature(final.value)
+
+    threads = [
+        threading.Thread(target=dialogue, args=(1000 + i,), daemon=True)
+        for i in range(p["sessions"])
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"serving errors: {errors[:3]}")
+    return wall, signatures
+
+
+def _overload_leg(p: dict, database) -> dict:
+    """Burst one slow server far past its queue bound.
+
+    The burst is made of ``finalize`` requests — the final-round scan
+    is where the disk model charges its pages, so service time is real.
+    Each request gets its own prepared dialogue (opened, displayed,
+    marked) so every finalize is a full scatter scan.
+    """
+    relevant = set(np.flatnonzero(database.labels <= 4).tolist())
+    engine = _build_engine(p, database, shards=1)
+    try:
+        prepared = []
+        for i in range(p["overload_burst"]):
+            session = engine.open_session(seed=3000 + i)
+            shown = session.display(screens=p["screens"])
+            marks = [i for i in shown if i in relevant] or shown[:3]
+            session.submit(marks)
+            prepared.append(session.session_id)
+        server = QDServer(
+            engine,
+            ServeConfig(
+                workers=p["overload_workers"],
+                queue_limit=p["overload_queue"],
+                default_deadline_s=p["overload_deadline_s"],
+            ),
+        )
+        futures = [
+            server.submit("finalize", session_id=sid, k=p["k"])
+            for sid in prepared
+        ]
+        responses = [f.result(timeout=300.0) for f in futures]
+        server.close()
+    finally:
+        engine.close()
+    executed = [r for r in responses if r.status == "ok"]
+    shed = [r for r in responses if r.status == "shed"]
+    assert executed, "overload leg executed nothing"
+    latencies_ms = sorted(
+        (r.queue_wait_s + r.service_s) * 1000.0 for r in executed
+    )
+    p99 = latencies_ms[
+        min(len(latencies_ms) - 1, int(0.99 * len(latencies_ms)))
+    ]
+    violations = sum(
+        1
+        for r in executed
+        if r.queue_wait_s + r.service_s > p["overload_deadline_s"]
+    )
+    return dict(
+        shed_rate=len(shed) / len(responses),
+        executed=float(len(executed)),
+        overload_p99_ms=p99,
+        deadline_violations=float(violations),
+    )
+
+
+def run_sharded_serving_bench(tiny: bool) -> tuple:
+    p = _params(tiny)
+    database = build_synthetic_database(
+        p["n_images"], n_categories=p["n_categories"], seed=SEED
+    )
+
+    throughput: Dict[int, float] = {}
+    reference: Dict[int, list] = {}
+    matches = 0
+    comparisons = 0
+    for shards in SHARD_COUNTS:
+        engine = _build_engine(p, database, shards)
+        try:
+            server = QDServer(
+                engine, ServeConfig(workers=p["workers"])
+            )
+            wall, signatures = _drive_sessions(p, database, server)
+            server.close()
+        finally:
+            engine.close()
+        throughput[shards] = p["sessions"] / wall
+        if not reference:
+            reference = signatures
+        else:
+            for seed, signature in signatures.items():
+                comparisons += 1
+                matches += signature == reference[seed]
+
+    overload = _overload_leg(p, database)
+    metrics = dict(
+        parity=(matches / comparisons) if comparisons else 0.0,
+        speedup_4shard_vs_1=throughput[4] / throughput[1],
+        min_speedup=p["min_speedup"],
+        **{
+            f"throughput_{s}shard": throughput[s] for s in SHARD_COUNTS
+        },
+        **overload,
+    )
+
+    rows = [
+        "sharded scatter-gather serving "
+        f"({'tiny' if tiny else 'full'}: {p['n_images']} images, "
+        f"{p['sessions']} sessions x {p['rounds']} rounds, "
+        f"{p['page_latency_ms']}ms/page, {p['workers']} workers)",
+        "  shards  sessions/s  speedup",
+    ]
+    for shards in SHARD_COUNTS:
+        rows.append(
+            f"  {shards:>6}  {throughput[shards]:>10.2f}  "
+            f"{throughput[shards] / throughput[1]:>6.2f}x"
+        )
+    rows.append(
+        f"  parity vs 1-shard: {metrics['parity']:.3f} "
+        f"({comparisons} comparisons)"
+    )
+    rows.append(
+        f"  overload: burst={p['overload_burst']} "
+        f"queue={p['overload_queue']} -> "
+        f"shed {100 * metrics['shed_rate']:.0f}%, "
+        f"executed {int(metrics['executed'])}, "
+        f"p99 {metrics['overload_p99_ms']:.0f}ms, "
+        f"deadline violations {int(metrics['deadline_violations'])}"
+    )
+    return rows, metrics
+
+
+def _bench_result(tiny: bool, metrics: dict) -> BenchResult:
+    """The canonical ``BENCH_sharded_serving.json`` record."""
+    p = _params(tiny)
+    result = BenchResult.new("sharded_serving", {**p, "tiny": tiny})
+    result.record(
+        "parity", metrics["parity"], unit="ratio",
+        higher_is_better=True, min_abs=0.0,
+    )
+    result.record(
+        "speedup_4shard_vs_1", metrics["speedup_4shard_vs_1"],
+        unit="x", higher_is_better=True, min_abs=0.75,
+    )
+    result.record(
+        "deadline_violations", metrics["deadline_violations"],
+        unit="", higher_is_better=False, min_abs=0.4,
+    )
+    for shards in SHARD_COUNTS:
+        result.record(
+            f"throughput_{shards}shard",
+            metrics[f"throughput_{shards}shard"],
+            unit="1/s", higher_is_better=True, compare=False,
+        )
+    for name in ("shed_rate", "overload_p99_ms", "executed"):
+        result.record(name, metrics[name], unit="", compare=False)
+    return result
+
+
+def _check(metrics: dict) -> None:
+    # Sharding must never change a ranking.
+    assert metrics["parity"] == 1.0
+    # Scatter-gather must actually buy wall-clock under the disk model.
+    assert metrics["speedup_4shard_vs_1"] > metrics["min_speedup"]
+    # Overload is shed, not queued unboundedly ...
+    assert metrics["shed_rate"] > 0.0
+    # ... and whatever was admitted and executed met its deadline.
+    assert metrics["deadline_violations"] == 0.0
+
+
+def test_sharded_serving(report, benchmark):
+    rows, metrics = run_sharded_serving_bench(TINY)
+    report("\n".join(rows))
+    _bench_result(TINY, metrics).write(
+        os.path.join(os.path.dirname(__file__), "results")
+    )
+    benchmark.extra_info["speedup_4shard_vs_1"] = round(
+        metrics["speedup_4shard_vs_1"], 2
+    )
+    benchmark.extra_info["shed_rate"] = round(metrics["shed_rate"], 2)
+    benchmark.pedantic(
+        lambda: None, rounds=1, iterations=1
+    )  # timing captured manually above; keep the bench in the report
+    _check(metrics)
+
+
+def main(argv=None) -> int:
+    parser = tiny_arg_parser(
+        "Sharded scatter-gather serving benchmark (fixture-free entry)"
+    )
+    args = parser.parse_args(argv)
+    tiny = args.tiny or TINY_ENV
+    rows, metrics = run_sharded_serving_bench(tiny)
+    emit(rows, _bench_result(tiny, metrics))
+    _check(metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

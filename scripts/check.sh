@@ -142,3 +142,21 @@ if grep -qE '[1-9][0-9]* skipped' "$QUANT_LOG"; then
     echo "== quantized parity tests were skipped; failing ==" >&2
     exit 1
 fi
+
+# The sharded-parity tests guard the scatter-gather contract (rankings
+# from a sharded router bit-identical to single-node for every shard
+# count, partition strategy, executor, store backing, and cache state,
+# including sessions resumed across routers with different shard
+# counts); like the gates above, they must actually run.
+echo "== sharded parity gate =="
+SHARD_LOG=/tmp/qd-check-shard-parity.log
+PYTHONPATH=src python -m pytest tests/test_shard.py -k Parity \
+    -q -rs | tee "$SHARD_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$SHARD_LOG"; then
+    echo "== no sharded parity test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$SHARD_LOG"; then
+    echo "== sharded parity tests were skipped; failing ==" >&2
+    exit 1
+fi

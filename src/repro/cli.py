@@ -114,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result size (0 = ground-truth size)")
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--rounds", type=int, default=3)
+    _add_shard_flags(p_query)
     _add_exec_flags(p_query)
     _add_store_flags(p_query)
     _add_cache_flags(p_query)
@@ -194,6 +195,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="idle time after which a session record is removed",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve concurrent feedback sessions over TCP (JSON lines) "
+            "with admission control"
+        ),
+    )
+    p_serve.add_argument("--db", required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7306,
+        help="TCP port (0 = OS-assigned)",
+    )
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument(
+        "--serve-workers", type=int, default=4, metavar="N",
+        help="serving worker threads behind the admission queue",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission-queue bound; requests beyond it are shed",
+    )
+    p_serve.add_argument(
+        "--deadline-s", type=float, default=30.0, metavar="SECONDS",
+        help="default per-request deadline",
+    )
+    p_serve.add_argument(
+        "--drain-timeout-s", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-drain budget on shutdown (0 = wait forever)",
+    )
+    _add_shard_flags(p_serve)
+    _add_exec_flags(p_serve)
+    _add_store_flags(p_serve)
+    _add_cache_flags(p_serve)
+    _add_session_flags(p_serve, required=True)
+    _add_obs_flags(p_serve)
+
     p_bench = sub.add_parser(
         "bench", help="inspect canonical benchmark results"
     )
@@ -222,6 +260,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared sharding flags (query/serve)."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "partition the index across N shards with scatter-gather "
+            "scans (0 = single-node; rankings are identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--partition",
+        choices=("contiguous", "roundrobin"),
+        default="contiguous",
+        help="how leaves are dealt across shards (with --shards)",
+    )
+
+
+def _build_serving_engine(
+    args: argparse.Namespace,
+    database: ImageDatabase,
+    qd_config: QDConfig,
+) -> QueryDecompositionEngine:
+    """The engine the query/serve commands run — sharded when asked.
+
+    With ``--shards N`` the store/cache flags translate into *per-shard*
+    stores and caches (a sharded deployment has no global store), so
+    ``--store memmap``/``--rfs`` combinations that imply one are
+    rejected with a clear error instead of silently ignored.
+    """
+    shards = getattr(args, "shards", 0)
+    if shards <= 0:
+        if getattr(args, "rfs", None):
+            rfs = load_rfs(args.rfs, database.features)
+            engine = QueryDecompositionEngine(database, rfs, qd_config)
+        else:
+            engine = QueryDecompositionEngine.build(
+                database, qd_config=qd_config, seed=args.seed
+            )
+        _attach_store_from_args(engine.rfs, args)
+        _attach_cache_from_args(engine.rfs, args)
+        return engine
+    from repro.config import CacheConfig
+    from repro.shard import ShardedEngine
+
+    if getattr(args, "rfs", None):
+        raise ReproError(
+            "--shards builds its own (identical) global tree; drop "
+            "--rfs or run single-node"
+        )
+    store_kind = getattr(args, "store", None)
+    if store_kind == "memmap":
+        raise ReproError(
+            "--shards cannot map one saved store across shards; use "
+            "--store inmem (per-shard stores) or run single-node"
+        )
+    cache = None
+    if getattr(args, "cache", False):
+        cache = CacheConfig(
+            enabled=True, capacity_mb=getattr(args, "cache_mb", 64.0)
+        )
+    return ShardedEngine.build(
+        database,
+        qd_config=qd_config,
+        shards=shards,
+        partition=getattr(args, "partition", "contiguous"),
+        seed=args.seed,
+        store=store_kind,
+        store_tier=getattr(args, "store_tier", "f32") or "f32",
+        cache=cache,
+    )
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -551,15 +664,7 @@ def _cmd_build_store(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     database = ImageDatabase.load(args.db)
     qd_config = _qd_config_from_args(args)
-    if args.rfs:
-        rfs = load_rfs(args.rfs, database.features)
-        engine = QueryDecompositionEngine(database, rfs, qd_config)
-    else:
-        engine = QueryDecompositionEngine.build(
-            database, qd_config=qd_config, seed=args.seed
-        )
-    _attach_store_from_args(engine.rfs, args)
-    _attach_cache_from_args(engine.rfs, args)
+    engine = _build_serving_engine(args, database, qd_config)
     session_store = _session_store_from_args(args)
     if session_store is not None:
         engine.attach_session_store(session_store)
@@ -785,6 +890,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.config import ServeConfig
+    from repro.serve import QDServer, serve_tcp
+
+    database = ImageDatabase.load(args.db)
+    qd_config = _qd_config_from_args(args)
+    serve_config = ServeConfig(
+        workers=args.serve_workers,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline_s,
+        drain_timeout_s=args.drain_timeout_s,
+        shards=max(0, args.shards),
+    )
+    engine = _build_serving_engine(args, database, qd_config)
+    session_store = _session_store_from_args(args)
+    assert session_store is not None  # --session-store is required
+    engine.attach_session_store(session_store)
+    core = QDServer(engine, serve_config)
+    shape = (
+        f"{args.shards} shard(s)" if args.shards > 0 else "single-node"
+    )
+    print(
+        f"serving {database.size} images ({shape}, "
+        f"{serve_config.workers} workers, queue {serve_config.queue_limit},"
+        f" deadline {serve_config.default_deadline_s:g}s) on "
+        f"{args.host}:{args.port} — one JSON request per line, "
+        "Ctrl-C drains and exits"
+    )
+    with _obs_scope(args), engine:
+        serve_tcp(core, args.host, args.port)
+    return 0
+
+
 _COMMANDS = {
     "build-db": _cmd_build_db,
     "build-rfs": _cmd_build_rfs,
@@ -795,6 +933,7 @@ _COMMANDS = {
     "interactive": _cmd_interactive,
     "experiment": _cmd_experiment,
     "sessions": _cmd_sessions,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

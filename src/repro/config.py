@@ -12,6 +12,7 @@ Defaults reproduce the paper's prototype settings:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -403,9 +404,86 @@ class SessionStoreConfig:
             raise ConfigurationError(
                 f"a {self.kind} session store needs a path"
             )
-        if self.ttl_s <= 0:
+        if not (math.isfinite(self.ttl_s) and self.ttl_s > 0):
+            # Validated here, not deep in the sweep loop: a NaN or
+            # non-positive TTL would silently reap (or never reap)
+            # every live session record.
             raise ConfigurationError(
-                f"session ttl_s must be positive, got {self.ttl_s}"
+                f"session ttl_s must be a positive finite number, got "
+                f"{self.ttl_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of the concurrent serving front-end (:mod:`repro.serve`).
+
+    Every bound is validated here, up front, with a clear
+    :class:`~repro.errors.ConfigurationError` — a non-positive queue
+    limit or deadline would otherwise only surface deep inside the
+    server loop as requests that can never be admitted or always
+    expire.
+
+    Attributes
+    ----------
+    workers:
+        Serving worker threads, each wrapping its own stateless
+        :class:`~repro.core.SessionFrontEnd` over the shared session
+        store.
+    queue_limit:
+        Bound of the admission queue.  A request arriving while the
+        queue is full is *shed* immediately with a retriable response
+        instead of waiting unboundedly — the queue bound is what keeps
+        tail latency finite under overload.
+    default_deadline_s:
+        Per-request deadline applied when the caller does not set one.
+        A request still queued past its deadline is answered
+        ``deadline_expired`` without executing (running it would waste
+        server time on an answer the client has given up on).
+    drain_timeout_s:
+        How long :meth:`repro.serve.QDServer.close` waits for queued
+        requests to finish during a graceful drain before abandoning
+        the remainder (``0`` waits forever).
+    shards:
+        Shard count used when the CLI ``serve`` command builds its
+        engine (``0`` = unsharded single-node engine).
+    """
+
+    workers: int = 4
+    queue_limit: int = 64
+    default_deadline_s: float = 30.0
+    drain_timeout_s: float = 5.0
+    shards: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"serve workers must be >= 1, got {self.workers}"
+            )
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"serve queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if not (
+            math.isfinite(self.default_deadline_s)
+            and self.default_deadline_s > 0
+        ):
+            raise ConfigurationError(
+                "serve default_deadline_s must be a positive finite "
+                f"number of seconds, got {self.default_deadline_s}"
+            )
+        if not (
+            math.isfinite(self.drain_timeout_s)
+            and self.drain_timeout_s >= 0
+        ):
+            raise ConfigurationError(
+                "serve drain_timeout_s must be >= 0 and finite "
+                f"(0 = wait forever), got {self.drain_timeout_s}"
+            )
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"serve shards must be >= 0 (0 = unsharded), got "
+                f"{self.shards}"
             )
 
 
@@ -453,3 +531,4 @@ class SystemConfig:
     sessions: SessionStoreConfig = field(
         default_factory=SessionStoreConfig
     )
+    serve: ServeConfig = field(default_factory=ServeConfig)

@@ -14,7 +14,11 @@
   :class:`QueryDecompositionEngine`.
 """
 
-from repro.core.clientserver import SessionFrontEnd, compare_deployments
+from repro.core.clientserver import (
+    FrontEndResult,
+    SessionFrontEnd,
+    compare_deployments,
+)
 from repro.core.engine import QueryDecompositionEngine
 from repro.core.presentation import QueryResult, ResultGroup
 from repro.core.session import FeedbackSession
@@ -32,6 +36,7 @@ __all__ = [
     "QueryResult",
     "ResultGroup",
     "FeedbackSession",
+    "FrontEndResult",
     "SessionFrontEnd",
     "SessionState",
     "SubQuery",

@@ -20,9 +20,15 @@ This module quantifies that claim for a given database/RFS pair:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    QueryError,
+    SessionNotFoundError,
+    SessionStateError,
+    StaleSessionError,
+)
 from repro.index.rfs import RFSStructure
 from repro.obs import get_metrics, get_tracer
 from repro.utils.rng import RandomState
@@ -109,6 +115,34 @@ class DeploymentComparison:
             f"{self.server_capacity_multiplier:.1f}x",
         ]
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FrontEndResult:
+    """Structured outcome of one front-end request.
+
+    A worker boundary (thread pool, RPC layer) must never see a raw
+    :class:`~repro.errors.StaleSessionError` traceback — stale state is
+    an *expected* condition of a long-lived service (the index was
+    rebuilt or mutated under a checkpointed session), and the right
+    client reaction is to re-open the dialogue and try again.
+    :meth:`SessionFrontEnd.handle` therefore folds session-layer
+    exceptions into this record:
+
+    * ``error_kind="stale_session"``, ``retriable=True`` — the record
+      no longer matches the serving structure/config; re-open and
+      retry,
+    * ``error_kind="not_found"`` — unknown/expired/finalized id,
+    * ``error_kind="invalid_state"`` — out-of-order op (e.g. finalize
+      before any feedback),
+    * ``error_kind="invalid_request"`` — malformed arguments.
+    """
+
+    ok: bool
+    value: Any = None
+    error_kind: str = ""
+    retriable: bool = False
+    error: str = ""
 
 
 class SessionFrontEnd:
@@ -204,6 +238,55 @@ class SessionFrontEnd:
         store = self.engine.session_store
         assert store is not None  # checked at construction
         return store.delete(session_id)
+
+    #: Ops :meth:`handle` dispatches, mapped to their raw methods.
+    OPS = ("open", "display", "submit", "finalize", "abandon")
+
+    def handle(self, op: str, **kwargs: Any) -> FrontEndResult:
+        """Serve one request, folding session faults into the result.
+
+        The raw per-op methods above raise — fine for in-process
+        callers that own the session lifecycle.  Serving workers call
+        this instead: a stale or vanished session becomes a structured
+        :class:`FrontEndResult` (``retriable`` set for stale state, the
+        condition a client fixes by re-opening) rather than an
+        exception crossing the worker boundary.
+        """
+        if op not in self.OPS:
+            return FrontEndResult(
+                ok=False,
+                error_kind="invalid_request",
+                error=f"unknown op {op!r} (expected one of {self.OPS})",
+            )
+        try:
+            value = getattr(self, op)(**kwargs)
+        except StaleSessionError as exc:
+            get_metrics().counter(
+                "qd_frontend_stale_sessions_total",
+                "requests that hit a stale session record",
+                labels={"worker": self.worker_id},
+            ).inc()
+            return FrontEndResult(
+                ok=False,
+                error_kind="stale_session",
+                retriable=True,
+                error=str(exc),
+            )
+        except SessionNotFoundError as exc:
+            return FrontEndResult(
+                ok=False, error_kind="not_found", error=str(exc)
+            )
+        except SessionStateError as exc:
+            return FrontEndResult(
+                ok=False, error_kind="invalid_state", error=str(exc)
+            )
+        except (QueryError, ConfigurationError, TypeError) as exc:
+            # Bad arguments (wrong k, unexpected kwargs, …): the
+            # request was malformed, the session itself is untouched.
+            return FrontEndResult(
+                ok=False, error_kind="invalid_request", error=str(exc)
+            )
+        return FrontEndResult(ok=True, value=value)
 
 
 def client_payload(

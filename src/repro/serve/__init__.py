@@ -1,0 +1,12 @@
+"""Concurrent serving stack: admission-controlled core + TCP front.
+
+See :mod:`repro.serve.server` for the admission-control design (bounded
+queue, load shedding, per-request deadlines, graceful drain, the
+``qd_server_*`` SLO metrics) and :mod:`repro.serve.tcp` for the
+JSON-lines wire front the CLI ``serve`` command exposes.
+"""
+
+from repro.serve.server import QDServer, ServerResponse
+from repro.serve.tcp import QDTCPServer, serve_tcp
+
+__all__ = ["QDServer", "QDTCPServer", "ServerResponse", "serve_tcp"]

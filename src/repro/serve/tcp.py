@@ -1,0 +1,187 @@
+"""A JSON-lines TCP front for :class:`~repro.serve.server.QDServer`.
+
+One request per line, one response per line — deliberately minimal (no
+HTTP dependency; the repo's rule is stdlib-only).  Each connection gets
+a handler thread (:class:`socketserver.ThreadingTCPServer`), but all
+actual session work funnels through the server core's bounded
+admission queue, so connection count never defeats admission control.
+
+Request object::
+
+    {"op": "open" | "display" | "submit" | "finalize" | "abandon",
+     "session_id": "...",        # all ops but open
+     "seed": 7,                  # open (optional)
+     "screens": 2,               # display (optional)
+     "relevant_ids": [3, 17],    # submit
+     "k": 50,                    # finalize
+     "deadline_s": 5.0}          # any op (optional)
+
+Response object mirrors :class:`~repro.serve.server.ServerResponse`:
+``{"status": ..., "retriable": ..., "error": ..., "value": ...}`` with
+``value`` JSON-safe (a finalize result becomes ``{"rounds_used",
+"groups": [{"leaf_node_id", "search_node_id", "items": [[id, score],
+...]}]}``).
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.server import QDServer, ServerResponse
+
+#: Arguments each op forwards to the front-end (anything else in the
+#: request object is rejected before touching the admission queue).
+_OP_ARGS: Dict[str, Tuple[str, ...]] = {
+    "open": ("seed", "session_id"),
+    "display": ("session_id", "screens"),
+    "submit": ("session_id", "relevant_ids"),
+    "finalize": ("session_id", "k"),
+    "abandon": ("session_id",),
+}
+
+
+def _json_value(value: Any) -> Any:
+    """Fold a front-end return value into JSON-safe data."""
+    groups = getattr(value, "groups", None)
+    if groups is not None:  # a QueryResult
+        return {
+            "rounds_used": value.rounds_used,
+            "groups": [
+                {
+                    "leaf_node_id": group.leaf_node_id,
+                    "search_node_id": group.search_node_id,
+                    "items": [
+                        [item.item_id, item.score]
+                        for item in group.items
+                    ],
+                }
+                for group in groups
+            ],
+        }
+    return value
+
+
+def response_to_json(response: ServerResponse) -> str:
+    """One response line (no trailing newline)."""
+    return json.dumps(
+        {
+            "op": response.op,
+            "status": response.status,
+            "retriable": response.retriable,
+            "error": response.error,
+            "value": _json_value(response.value),
+        },
+        sort_keys=True,
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via client
+        server: "QDTCPServer" = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                response = server.core_request(payload)
+            except (ValueError, TypeError) as exc:
+                response = ServerResponse(
+                    op="?", status="invalid_request", error=str(exc)
+                )
+            self.wfile.write(
+                (response_to_json(response) + "\n").encode()
+            )
+            self.wfile.flush()
+
+
+class QDTCPServer(socketserver.ThreadingTCPServer):
+    """Serve a :class:`QDServer` over newline-delimited JSON."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], core: QDServer) -> None:
+        super().__init__(address, _Handler)
+        self.core = core
+
+    def core_request(self, payload: Dict[str, Any]) -> ServerResponse:
+        """Validate one decoded request and run it through the core."""
+        op = payload.get("op")
+        if op not in _OP_ARGS:
+            return ServerResponse(
+                op=str(op),
+                status="invalid_request",
+                error=f"unknown op {op!r} (expected one of "
+                f"{sorted(_OP_ARGS)})",
+            )
+        allowed = _OP_ARGS[op]
+        unknown = set(payload) - set(allowed) - {"op", "deadline_s"}
+        if unknown:
+            return ServerResponse(
+                op=op,
+                status="invalid_request",
+                error=f"unexpected fields for {op}: {sorted(unknown)}",
+            )
+        kwargs = {key: payload[key] for key in allowed if key in payload}
+        if op in ("display", "submit", "finalize", "abandon") and (
+            "session_id" not in kwargs
+        ):
+            return ServerResponse(
+                op=op,
+                status="invalid_request",
+                error=f"{op} needs a session_id",
+            )
+        return self.core.request(
+            op, deadline_s=payload.get("deadline_s"), **kwargs
+        )
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread; returns it."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name="qd-tcp-accept",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop accepting, close the socket, drain the core."""
+        self.shutdown()
+        self.server_close()
+        self.core.close()
+
+
+def serve_tcp(
+    core: QDServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    background: bool = False,
+) -> QDTCPServer:
+    """Bind and start a TCP front over ``core``.
+
+    With ``background=True`` the accept loop runs on a daemon thread
+    and the (bound) server is returned immediately — ``server_address``
+    carries the OS-assigned port when ``port=0``.  Otherwise this
+    blocks in ``serve_forever`` until interrupted.
+    """
+    server = QDTCPServer((host, port), core)
+    if background:
+        server.serve_background()
+        return server
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        core.close()
+    return server
+
+
+__all__ = ["QDTCPServer", "response_to_json", "serve_tcp"]

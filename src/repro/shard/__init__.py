@@ -1,0 +1,35 @@
+"""Sharded scatter-gather deployment of the QD engine (ROADMAP item 1).
+
+Public surface:
+
+* :func:`~repro.shard.partition.partition_leaves` /
+  :class:`~repro.shard.partition.ShardAssignment` — deterministic
+  leaf-granular partitioning,
+* :func:`~repro.shard.partition.build_shard_structure` — pruned
+  per-shard tree copies keeping global node identity,
+* :class:`~repro.shard.engine.Shard` /
+  :class:`~repro.shard.engine.ShardedRFS` /
+  :class:`~repro.shard.engine.ShardedEngine` — the router and engine
+  whose rankings are bit-identical to single-node (see the parity
+  argument in :mod:`repro.shard.engine`).
+"""
+
+from repro.shard.engine import Shard, ShardedEngine, ShardedRFS
+from repro.shard.partition import (
+    PARTITION_STRATEGIES,
+    ShardAssignment,
+    build_shard_structure,
+    dfs_leaves,
+    partition_leaves,
+)
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "Shard",
+    "ShardAssignment",
+    "ShardedEngine",
+    "ShardedRFS",
+    "build_shard_structure",
+    "dfs_leaves",
+    "partition_leaves",
+]

@@ -1,0 +1,471 @@
+"""Sharded scatter-gather execution of localized k-NN subqueries.
+
+The scale jump of ROADMAP item 1: partition the database across N
+shards — each owning a pruned RFS tree, an optional leaf-contiguous
+:class:`~repro.store.FeatureStore`, and an optional
+:class:`~repro.cache.SubqueryResultCache` — and route every localized
+scan through a scatter-gather merge, while feedback rounds keep running
+on the one global tree (they only touch representatives, which the
+paper keeps client-side anyway).
+
+Bit-parity argument
+-------------------
+Sharded rankings are **bit-identical** to single-node because the merge
+never re-computes a float:
+
+1. Leaves are never split across shards, and a shard store's per-leaf
+   blocks hold the same rows, in the same order, converted element-wise
+   to the same dtype, as the corresponding single-node store blocks —
+   so each per-leaf kernel call sees byte-identical inputs and produces
+   bit-identical distances.
+2. A shard scans *its* leaves of the search node with the unchanged
+   single-node scan (MINDIST-ordered with the strict ``>`` early
+   break), so any member of the global top-``take`` is necessarily in
+   its own shard's local top-``take``; leaves no shard scanned hold
+   only distances strictly beyond the global k-th.
+3. The gather sorts the union of shard candidates by ``(distance, id)``
+   and truncates — exactly the order and tie-break of
+   :func:`repro.retrieval.topk.top_pairs`, which defines the
+   single-node result.
+
+:class:`ShardedRFS` subclasses the global structure and overrides only
+:meth:`localized_knn`, so the entire stack above it — feedback
+sessions, :func:`~repro.core.ranking.plan_final_round` /
+``merge_outcomes``, the serial/thread/process subquery executors, the
+coalescing batch scheduler, session checkpoint/resume — runs unchanged
+on a sharded deployment.  ``structure_version`` is inherited from the
+global tree, so a session checkpointed under one router resumes
+bit-identically under a router with a different shard count.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import (
+    BuildConfig,
+    CacheConfig,
+    QDConfig,
+    RFSConfig,
+)
+from repro.core.engine import QueryDecompositionEngine
+from repro.errors import ConfigurationError, EmptyIndexError
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.rfs import BlockReader, RFSNode, RFSStructure
+from repro.obs import get_metrics, get_tracer
+from repro.shard.partition import (
+    ShardAssignment,
+    build_shard_structure,
+    dfs_leaves,
+    partition_leaves,
+)
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.cache import SubqueryResultCache
+    from repro.datasets.database import ImageDatabase
+    from repro.index.rfs import ProgressCallback
+
+#: Sentinel folded into per-shard cache keys in place of the boundary
+#: threshold (shard-level scans happen *after* boundary expansion, so
+#: no real threshold — always in [0, 1] — can collide with it).
+_SHARD_KEY_TAG = -1.0
+
+
+class Shard:
+    """One shard: a pruned tree plus optional store and cache.
+
+    All distance arithmetic happens here, through the unchanged
+    single-node scan of the pruned tree.  The shard-level cache
+    memoizes whole per-shard scans keyed by (node, query, k, weights,
+    store fingerprint) at the global structure version, so a warm
+    rerun never touches leaf blocks yet returns bit-identical pairs.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        rfs: RFSStructure,
+        cache: Optional["SubqueryResultCache"] = None,
+    ) -> None:
+        self.index = index
+        self.rfs = rfs
+        self.cache = cache
+
+    @property
+    def n_items(self) -> int:
+        return self.rfs.root.size
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.rfs.nodes.values() if n.is_leaf)
+
+    def covers(self, node_id: int) -> bool:
+        """Whether this shard holds any leaf under global ``node_id``."""
+        return node_id in self.rfs.nodes
+
+    def localized_knn(
+        self,
+        node_id: int,
+        query: np.ndarray,
+        k: int,
+        *,
+        io_category: str = "localized_knn",
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[float, int]]:
+        """This shard's top-``k`` of its slice of global ``node_id``."""
+        node = self.rfs.nodes[node_id]
+        if self.cache is None:
+            return self.rfs.localized_knn(
+                node, query, k, io_category=io_category, weights=weights
+            )
+        from repro.cache import subquery_cache_key
+
+        key = subquery_cache_key(
+            node_id,
+            np.ascontiguousarray(query).reshape(1, -1),
+            k,
+            _SHARD_KEY_TAG,
+            weights,
+            store_fingerprint=self.rfs.store_fingerprint(),
+        )
+        hit = self.cache.get(key, self.rfs.structure_version)
+        if hit is not None:
+            return list(hit.ranked)
+        ranked = self.rfs.localized_knn(
+            node, query, k, io_category=io_category, weights=weights
+        )
+        self.cache.put(
+            key, self.rfs.structure_version, node_id, query, ranked
+        )
+        return ranked
+
+
+class ShardedRFS(RFSStructure):
+    """The global tree with scatter-gather localized scans.
+
+    Shares the global structure's nodes, features, config, and disk
+    counter (feedback rounds, planning, boundary expansion, and leaf
+    lookup all run on global state), and overrides exactly one method
+    — :meth:`localized_knn` — to fan the scan out to the shards that
+    hold leaves of the search node and merge their candidates.
+
+    Per-shard stores replace a global store: :meth:`attach_store`
+    refuses (gathers route to shard stores via :meth:`vectors_for`),
+    and ``store``/``result_cache`` stay ``None`` so planner and merge
+    labels read ``store="none"``/``cache="off"`` at the router level.
+    """
+
+    def __init__(
+        self,
+        base: RFSStructure,
+        shards: Sequence[Shard],
+        *,
+        assignment: Optional[ShardAssignment] = None,
+        parallel_fanout: bool = True,
+    ) -> None:
+        super().__init__(
+            base.features, base.root, base.nodes, base.config, base.io
+        )
+        if not shards:
+            raise ConfigurationError("a sharded RFS needs >= 1 shard")
+        self.structure_version = base.structure_version
+        self.build_meta = dict(base.build_meta)
+        self.base = base
+        self.shards = list(shards)
+        self.assignment = assignment
+        self._parallel_fanout = parallel_fanout and len(self.shards) > 1
+        kinds = {
+            None if s.rfs.store is None else s.rfs.store.dtype.name
+            for s in self.shards
+        }
+        if len(kinds) > 1:
+            raise ConfigurationError(
+                "all shards must agree on store presence and dtype "
+                f"(got {sorted(map(str, kinds))}); mixed backings would "
+                "change gather arithmetic mid-query"
+            )
+        self._stores_attached = next(iter(kinds)) is not None
+        # id -> owning shard index, for routing store gathers.
+        self._item_shard: Optional[np.ndarray] = None
+        # Router fan-out pool, created lazily and re-created after a
+        # fork (process executors inherit this object by fork; the
+        # parent's pool threads do not survive into the child).
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_pid: Optional[int] = None
+        self._pool_lock = threading.Lock()
+
+    # -- routing -------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def _shard_of_items(self, ids: np.ndarray) -> np.ndarray:
+        if self._item_shard is None:
+            table = np.full(self.features.shape[0], -1, dtype=np.int32)
+            for shard in self.shards:
+                for node in shard.rfs.nodes.values():
+                    if node.is_leaf:
+                        table[node.item_ids] = shard.index
+            table.setflags(write=False)
+            self._item_shard = table
+        return self._item_shard[ids]
+
+    def _fanout_pool(self) -> ThreadPoolExecutor:
+        pid = os.getpid()
+        with self._pool_lock:
+            if self._pool is None or self._pool_pid != pid:
+                # Oversubscribe relative to the shard count: the pool
+                # is shared by every concurrently-served request (the
+                # serving front-end runs several workers over one
+                # router), and shard scans mostly sleep in the disk
+                # model or release the GIL in kernels — with exactly
+                # n_shards threads, two concurrent fan-outs would
+                # serialize behind each other.
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(64, len(self.shards) * 8),
+                    thread_name_prefix="qd-shard-router",
+                )
+                self._pool_pid = pid
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the router pool down (safe to call twice)."""
+        with self._pool_lock:
+            if self._pool is not None and self._pool_pid == os.getpid():
+                self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_pid = None
+
+    # -- overridden structure surface ----------------------------------
+    def attach_store(self, store, *, validate: bool = True) -> None:
+        raise ConfigurationError(
+            "a ShardedRFS has no global store; build per-shard stores "
+            "via ShardedEngine.build(store=...)"
+        )
+
+    def vectors_for(self, ids: np.ndarray) -> np.ndarray:
+        """Gather rows, from shard stores when attached.
+
+        Routes each id to its owning shard's store so the gathered
+        values (and dtype) are bit-identical to a single-node store's
+        ``vectors_for`` — the centroids derived from marked images must
+        not depend on the deployment shape.
+        """
+        if not self._stores_attached:
+            return super().vectors_for(ids)
+        ids = np.asarray(ids, dtype=np.int64)
+        owners = self._shard_of_items(ids)
+        first = self.shards[0].rfs.store
+        assert first is not None
+        out = np.empty((ids.shape[0], first.dims), dtype=first.dtype)
+        for shard in self.shards:
+            mask = owners == shard.index
+            if not mask.any():
+                continue
+            store = shard.rfs.store
+            assert store is not None
+            out[mask] = store.vectors_for(ids[mask])
+        return out
+
+    def store_fingerprint(self) -> str:
+        """Fingerprint of the (uniform) shard stores (``""`` when none).
+
+        Router-level consumers (the engine-level subquery cache, batch
+        scheduler keys) must key on the same tier identity a
+        single-node store would expose, or warm entries could alias
+        across tiers after a re-deployment.
+        """
+        if not self._stores_attached:
+            return ""
+        store = self.shards[0].rfs.store
+        assert store is not None
+        return store.fingerprint()
+
+    def localized_knn(
+        self,
+        node: RFSNode,
+        query_point: np.ndarray,
+        k: int,
+        *,
+        io_category: str = "localized_knn",
+        weights: Optional[np.ndarray] = None,
+        read_block: Optional[BlockReader] = None,
+    ) -> List[tuple[float, int]]:
+        """Scatter the scan to covering shards, gather by (dist, id).
+
+        ``read_block`` (the batch scheduler's memoizing reader) is
+        accepted for interface compatibility but unused: shards own
+        their blocks and charge the shared disk model themselves, and
+        the shard-level cache already deduplicates repeated scans.
+        """
+        del read_block
+        if node.size == 0:
+            raise EmptyIndexError(f"node {node.node_id} covers no images")
+        query = np.asarray(query_point, dtype=np.float64)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != query.shape:
+                raise ConfigurationError(
+                    f"weights shape {weights.shape} != query "
+                    f"{query.shape}"
+                )
+        take = min(k, node.size)
+        participants = [
+            shard for shard in self.shards if shard.covers(node.node_id)
+        ]
+        tracer = get_tracer()
+        with tracer.span(
+            "sharded_knn",
+            node=node.node_id,
+            k=int(k),
+            shards=len(participants),
+        ) as span:
+            if self._parallel_fanout and len(participants) > 1:
+                parent = tracer.current
+
+                def scan(shard: Shard) -> List[Tuple[float, int]]:
+                    with tracer.adopt(parent):
+                        return shard.localized_knn(
+                            node.node_id, query, take,
+                            io_category=io_category, weights=weights,
+                        )
+
+                partials = list(self._fanout_pool().map(scan, participants))
+            else:
+                partials = [
+                    shard.localized_knn(
+                        node.node_id, query, take,
+                        io_category=io_category, weights=weights,
+                    )
+                    for shard in participants
+                ]
+            merged: List[Tuple[float, int]] = []
+            for ranked in partials:
+                merged.extend(ranked)
+            # Same order and tie-break as topk.top_pairs: ascending
+            # score, then ascending id among equals.
+            merged.sort(key=lambda pair: (pair[0], pair[1]))
+            del merged[take:]
+            span.set(candidates=sum(len(r) for r in partials))
+        get_metrics().counter(
+            "qd_shard_scans_total",
+            "per-shard localized scans dispatched by the router",
+        ).inc(len(participants))
+        return merged
+
+
+class ShardedEngine(QueryDecompositionEngine):
+    """A :class:`QueryDecompositionEngine` over a sharded deployment.
+
+    Inherits the whole session lifecycle (scripted runs, batch
+    scheduling, session stores, checkpoint/resume) — the only
+    difference is that ``self.rfs`` is a :class:`ShardedRFS`, so every
+    localized scan scatter-gathers across shards.
+    """
+
+    @classmethod
+    def build(  # type: ignore[override]
+        cls,
+        database: "ImageDatabase",
+        rfs_config: Optional[RFSConfig] = None,
+        qd_config: Optional[QDConfig] = None,
+        *,
+        shards: int = 2,
+        partition: str = "contiguous",
+        parallel_fanout: bool = True,
+        seed: RandomState = None,
+        io: Optional[DiskAccessCounter] = None,
+        store: Optional[str] = None,
+        store_dtype: str = "float32",
+        store_tier: str = "f32",
+        store_rerank_margin: int = 32,
+        cache: Optional[CacheConfig] = None,
+        build: Optional[BuildConfig] = None,
+        progress: Optional["ProgressCallback"] = None,
+    ) -> "ShardedEngine":
+        """Build the global tree, partition it, and wrap the router.
+
+        The global tree build is identical to the single-node one
+        (same seed ⇒ same tree), then its leaves are dealt across
+        ``shards`` pruned copies.  ``store="inmem"`` builds one
+        leaf-contiguous store *per shard*; ``cache`` likewise sizes one
+        result cache per shard (each holding that shard's scans).
+        """
+        base = RFSStructure.build(
+            database.features,
+            rfs_config,
+            seed=seed,
+            io=io,
+            build=build,
+            progress=progress,
+        )
+        if store is not None and store != "inmem":
+            raise ConfigurationError(
+                "build() can only create 'inmem' shard stores; got "
+                f"{store!r}"
+            )
+        assignment = partition_leaves(
+            dfs_leaves(base.root), shards, partition
+        )
+        shard_objs: List[Shard] = []
+        for index, leaf_ids in enumerate(assignment.shards):
+            shard_rfs = build_shard_structure(base, leaf_ids)
+            if store == "inmem":
+                from repro.store import FeatureStore
+
+                shard_rfs.attach_store(
+                    FeatureStore.build(
+                        shard_rfs,
+                        dtype=store_dtype,
+                        tier=store_tier,
+                        rerank_margin=store_rerank_margin,
+                    ),
+                    validate=False,
+                )
+                # Per-shard stores must not skew version bookkeeping:
+                # resume parity requires the global version everywhere.
+                shard_rfs.structure_version = base.structure_version
+            shard_cache: Optional["SubqueryResultCache"] = None
+            if cache is not None and cache.enabled:
+                from repro.cache import SubqueryResultCache
+
+                shard_cache = SubqueryResultCache(cache.capacity_bytes)
+            shard_objs.append(Shard(index, shard_rfs, shard_cache))
+        router = ShardedRFS(
+            base,
+            shard_objs,
+            assignment=assignment,
+            parallel_fanout=parallel_fanout,
+        )
+        return cls(database, router, qd_config)
+
+    @property
+    def sharded_rfs(self) -> ShardedRFS:
+        assert isinstance(self.rfs, ShardedRFS)
+        return self.rfs
+
+    @property
+    def shards(self) -> List[Shard]:
+        return self.sharded_rfs.shards
+
+    @property
+    def n_shards(self) -> int:
+        return self.sharded_rfs.n_shards
+
+    def close(self) -> None:
+        """Release executor, router pool, and shard store mappings."""
+        super().close()
+        router = self.rfs
+        if isinstance(router, ShardedRFS):
+            router.close()
+            for shard in router.shards:
+                store = shard.rfs.store
+                if store is not None and store.kind == "memmap":
+                    shard.rfs.detach_store()
+                    store.close()

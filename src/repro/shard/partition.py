@@ -1,0 +1,182 @@
+"""Leaf-granular partitioning of an RFS structure across shards.
+
+A shard owns a subset of the tree's *leaves* (never a fraction of a
+leaf): the leaf is the unit of contiguous storage, scanning, and I/O
+accounting everywhere else in the system, so splitting one across
+shards would break the per-leaf block identity that the bit-parity
+contract rests on (see :mod:`repro.shard.engine`).
+
+Every shard gets a *pruned copy* of the global tree: fresh
+:class:`~repro.index.rfs.RFSNode` instances keeping the **global** node
+ids, levels, bounding boxes, and centres, but containing only the
+shard's leaves and their ancestors.  Node identity is what lets the
+router address any global search node on every shard and lets a
+per-shard :class:`~repro.store.FeatureStore` build leaf blocks that are
+byte-identical to the corresponding slices of a single-node store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config import RFSConfig
+from repro.errors import ConfigurationError
+from repro.index.diskmodel import DiskAccessCounter
+from repro.index.rfs import RFSNode, RFSStructure
+
+#: Partition strategies accepted by :func:`partition_leaves` and the
+#: ``ShardedEngine.build(partition=...)`` knob.
+PARTITION_STRATEGIES: Tuple[str, ...] = ("contiguous", "roundrobin")
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """Which leaves (by global node id) each shard owns.
+
+    ``shards[i]`` lists shard *i*'s leaf node ids in global DFS order;
+    every leaf of the source tree appears in exactly one shard and no
+    shard is empty.
+    """
+
+    shards: Tuple[Tuple[int, ...], ...]
+    strategy: str
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def dfs_leaves(root: RFSNode) -> List[RFSNode]:
+    """The tree's leaves in depth-first order (the store's row order)."""
+    leaves: List[RFSNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            leaves.append(node)
+        else:
+            stack.extend(reversed(node.children))
+    return leaves
+
+
+def partition_leaves(
+    leaves: Sequence[RFSNode],
+    n_shards: int,
+    strategy: str = "contiguous",
+) -> ShardAssignment:
+    """Assign leaves to ``n_shards`` shards deterministically.
+
+    ``"contiguous"`` cuts the DFS leaf order into runs balanced by
+    *item* count (so shards stay even when leaf sizes are uneven);
+    ``"roundrobin"`` deals leaves out cyclically, which deliberately
+    interleaves neighborhoods across shards — useful in parity tests
+    precisely because it maximizes cross-shard scatter.  Both yield
+    non-empty shards and depend only on the tree, never on timing.
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise ConfigurationError(
+            f"partition strategy must be one of {PARTITION_STRATEGIES}, "
+            f"got {strategy!r}"
+        )
+    if n_shards < 1:
+        raise ConfigurationError(
+            f"shard count must be >= 1, got {n_shards}"
+        )
+    if n_shards > len(leaves):
+        raise ConfigurationError(
+            f"cannot spread {len(leaves)} leaves over {n_shards} shards"
+            " (shards would be empty); lower --shards or grow the tree"
+        )
+    buckets: List[List[int]] = [[] for _ in range(n_shards)]
+    if strategy == "roundrobin":
+        for i, leaf in enumerate(leaves):
+            buckets[i % n_shards].append(leaf.node_id)
+    else:
+        total = sum(leaf.size for leaf in leaves)
+        shard, cum = 0, 0
+        for i, leaf in enumerate(leaves):
+            buckets[shard].append(leaf.node_id)
+            cum += leaf.size
+            leaves_left = len(leaves) - i - 1
+            shards_left = n_shards - shard - 1
+            if shards_left and (
+                leaves_left == shards_left
+                or cum >= total * (shard + 1) / n_shards
+            ):
+                shard += 1
+    return ShardAssignment(
+        shards=tuple(tuple(bucket) for bucket in buckets),
+        strategy=strategy,
+    )
+
+
+def build_shard_structure(
+    base: RFSStructure,
+    leaf_ids: Sequence[int],
+    *,
+    config: Optional[RFSConfig] = None,
+    io: Optional[DiskAccessCounter] = None,
+) -> RFSStructure:
+    """A pruned copy of ``base`` containing only ``leaf_ids``.
+
+    The copy keeps global node ids, levels, boxes, and centres; leaf
+    ``item_ids`` arrays are shared with the base tree unchanged (same
+    rows in the same order — the property that makes a per-shard
+    feature store's leaf blocks byte-identical to a global store's).
+    Internal nodes re-derive ``item_ids`` as the sorted union of their
+    surviving leaves.  Representatives are dropped: feedback rounds run
+    on the *global* tree; shard trees only serve localized scans.
+
+    ``io`` defaults to the base structure's counter, so all shards and
+    the router charge one shared simulated disk.
+    """
+    wanted: Set[int] = set(int(i) for i in leaf_ids)
+    if not wanted:
+        raise ConfigurationError("a shard needs at least one leaf")
+    nodes: Dict[int, RFSNode] = {}
+
+    def clone(node: RFSNode) -> Optional[RFSNode]:
+        if node.is_leaf:
+            if node.node_id not in wanted:
+                return None
+            copy = RFSNode(
+                node.node_id, node.level, node.item_ids, node.mbr,
+                node.center,
+            )
+            nodes[copy.node_id] = copy
+            return copy
+        kept = [c for c in (clone(child) for child in node.children) if c]
+        if not kept:
+            return None
+        item_ids = np.sort(
+            np.concatenate([child.item_ids for child in kept])
+        )
+        copy = RFSNode(
+            node.node_id, node.level, item_ids, node.mbr, node.center
+        )
+        for child in kept:
+            child.parent = copy
+        copy.children = kept
+        nodes[copy.node_id] = copy
+        return copy
+
+    root = clone(base.root)
+    if root is None:  # pragma: no cover - wanted is non-empty
+        raise ConfigurationError("no requested leaf exists in the tree")
+    missing = {i for i in wanted if i not in nodes or not nodes[i].is_leaf}
+    if missing:
+        raise ConfigurationError(
+            f"leaf ids {sorted(missing)} are not leaves of the tree"
+        )
+    structure = RFSStructure(
+        base.features,
+        root,
+        nodes,
+        config or base.config,
+        io if io is not None else base.io,
+    )
+    structure.structure_version = base.structure_version
+    return structure

@@ -227,7 +227,12 @@ class FeatureStore:
                 f"leaf layout covers {n} rows but the root claims "
                 f"{rfs.root.size} images"
             )
-        row_of_id = np.empty(n, dtype=np.int64)
+        # Sized by the largest id, not the row count: a shard store
+        # (repro.shard) holds a sparse subset of the global id space.
+        # For a full-database store ids are a permutation of 0..n-1, so
+        # this is the same dense table as before; foreign ids map to -1.
+        table_size = int(id_of_row.max()) + 1 if n else 0
+        row_of_id = np.full(table_size, -1, dtype=np.int64)
         row_of_id[id_of_row] = np.arange(n, dtype=np.int64)
         spans: Dict[int, Tuple[int, int]] = {}
         for node in rfs.iter_nodes():
