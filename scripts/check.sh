@@ -160,3 +160,21 @@ if grep -qE '[1-9][0-9]* skipped' "$SHARD_LOG"; then
     echo "== sharded parity tests were skipped; failing ==" >&2
     exit 1
 fi
+
+# The mutation-parity tests guard the generational delta contract
+# (rankings over main + delta bit-identical to a from-scratch rebuild
+# of the same item set, across executors, store tiers, shard counts,
+# and pre/post-compaction cache states); like the gates above, they
+# must actually run, not be skipped away.
+echo "== mutation parity gate =="
+MUTATION_LOG=/tmp/qd-check-mutation-parity.log
+PYTHONPATH=src python -m pytest tests/test_generations.py -k Parity \
+    -q -rs | tee "$MUTATION_LOG"
+if ! grep -qE '[1-9][0-9]* passed' "$MUTATION_LOG"; then
+    echo "== no mutation parity test ran; failing ==" >&2
+    exit 1
+fi
+if grep -qE '[1-9][0-9]* skipped' "$MUTATION_LOG"; then
+    echo "== mutation parity tests were skipped; failing ==" >&2
+    exit 1
+fi

@@ -34,8 +34,18 @@ serving paths (process-pool caveat: workers run against a forked
 snapshot of the cache, so their insertions stay in the child — hits
 still work for entries warm at fork time).
 
+The generational mutation engine adds a *surgical* third path next to
+version stamping and LRU pressure: :meth:`SubqueryResultCache.
+invalidate_nodes` drops exactly the entries whose **search node** is on
+the root path of a mutated leaf (a reverse index keyed on
+``search_node_id`` makes that O(affected entries)).  Delta-segment
+mutations do not bump the structure version — cached entries hold
+tombstone-filtered *main-store* rankings and the live delta rows are
+merged after the cache consult — so inserts invalidate nothing at all,
+and removals cost only the handful of entries that could change.
+
 Metrics: ``qd_cache_requests_total{outcome=...}`` /
-``qd_cache_evictions_total{reason=...}``
+``qd_cache_evictions_total{reason="version"|"capacity"|"mutation"}``
 counters and the ``qd_cache_bytes`` gauge mirror the ``stats`` dict.
 """
 
@@ -144,10 +154,11 @@ class SubqueryResultCache:
     ----------
     stats:
         ``hits`` / ``misses`` / ``evictions`` / ``stale_evictions`` /
-        ``inserts`` counters plus the live ``bytes`` and ``entries``
-        occupancy.  ``stale_evictions`` (entries dropped because their
-        structure version no longer matched) are also included in
-        ``evictions``.
+        ``mutation_evictions`` / ``inserts`` counters plus the live
+        ``bytes`` and ``entries`` occupancy.  ``stale_evictions``
+        (entries dropped because their structure version no longer
+        matched) and ``mutation_evictions`` (entries dropped by
+        per-node invalidation) are also included in ``evictions``.
     """
 
     def __init__(self, capacity_bytes: int) -> None:
@@ -157,16 +168,31 @@ class SubqueryResultCache:
             )
         self.capacity_bytes = int(capacity_bytes)
         self._entries: "OrderedDict[str, CachedSubquery]" = OrderedDict()
+        # Reverse index search_node_id -> cache keys, so per-node
+        # invalidation after a mutation touches only affected entries.
+        self._by_node: Dict[int, set] = {}
         self._lock = threading.Lock()
         self.stats: Dict[str, int] = {
             "hits": 0,
             "misses": 0,
             "evictions": 0,
             "stale_evictions": 0,
+            "mutation_evictions": 0,
             "inserts": 0,
             "bytes": 0,
             "entries": 0,
         }
+
+    # -- reverse-index maintenance (callers hold self._lock) -----------
+    def _index_add(self, key: str, entry: CachedSubquery) -> None:
+        self._by_node.setdefault(entry.search_node_id, set()).add(key)
+
+    def _index_drop(self, key: str, entry: CachedSubquery) -> None:
+        keys = self._by_node.get(entry.search_node_id)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_node[entry.search_node_id]
 
     # ------------------------------------------------------------------
     def get(self, key: str, version: int) -> Optional[CachedSubquery]:
@@ -181,6 +207,7 @@ class SubqueryResultCache:
             entry = self._entries.get(key)
             if entry is not None and entry.version != version:
                 del self._entries[key]
+                self._index_drop(key, entry)
                 self.stats["bytes"] -= entry.nbytes
                 self.stats["entries"] -= 1
                 self.stats["evictions"] += 1
@@ -189,7 +216,7 @@ class SubqueryResultCache:
                 metrics.counter(
                     "qd_cache_evictions_total",
                     "cache entries dropped",
-                    labels={"reason": "stale"},
+                    labels={"reason": "version"},
                 ).inc()
             if entry is None:
                 self.stats["misses"] += 1
@@ -234,15 +261,18 @@ class SubqueryResultCache:
         with self._lock:
             held = self._entries.pop(key, None)
             if held is not None:
+                self._index_drop(key, held)
                 self.stats["bytes"] -= held.nbytes
                 self.stats["entries"] -= 1
             self._entries[key] = entry
+            self._index_add(key, entry)
             self.stats["bytes"] += entry.nbytes
             self.stats["entries"] += 1
             self.stats["inserts"] += 1
             evicted = 0
             while self.stats["bytes"] > self.capacity_bytes:
-                _, victim = self._entries.popitem(last=False)
+                victim_key, victim = self._entries.popitem(last=False)
+                self._index_drop(victim_key, victim)
                 self.stats["bytes"] -= victim.nbytes
                 self.stats["entries"] -= 1
                 self.stats["evictions"] += 1
@@ -251,7 +281,7 @@ class SubqueryResultCache:
                 metrics.counter(
                     "qd_cache_evictions_total",
                     "cache entries dropped",
-                    labels={"reason": "lru"},
+                    labels={"reason": "capacity"},
                 ).inc(evicted)
             self._set_bytes_gauge(metrics)
 
@@ -260,11 +290,46 @@ class SubqueryResultCache:
             "qd_cache_bytes", "bytes held by the subquery result cache"
         ).set(float(self.stats["bytes"]))
 
+    def invalidate_nodes(self, node_ids) -> int:
+        """Drop every entry whose search node is in ``node_ids``.
+
+        The per-node invalidation path behind generational mutations: a
+        removal changes one leaf's visible rows, so exactly the cached
+        subqueries whose search node lies on that leaf's root path can
+        change — and only those are evicted (reason ``"mutation"``).
+        Returns the number of entries dropped.
+        """
+        dropped = 0
+        metrics = get_metrics()
+        with self._lock:
+            for node_id in node_ids:
+                keys = self._by_node.pop(int(node_id), None)
+                if not keys:
+                    continue
+                for key in keys:
+                    entry = self._entries.pop(key, None)
+                    if entry is None:
+                        continue
+                    self.stats["bytes"] -= entry.nbytes
+                    self.stats["entries"] -= 1
+                    self.stats["evictions"] += 1
+                    self.stats["mutation_evictions"] += 1
+                    dropped += 1
+            if dropped:
+                metrics.counter(
+                    "qd_cache_evictions_total",
+                    "cache entries dropped",
+                    labels={"reason": "mutation"},
+                ).inc(dropped)
+                self._set_bytes_gauge(metrics)
+        return dropped
+
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Drop every entry (occupancy stats reset, counters kept)."""
         with self._lock:
             self._entries.clear()
+            self._by_node.clear()
             self.stats["bytes"] = 0
             self.stats["entries"] = 0
 
@@ -291,6 +356,9 @@ class SubqueryResultCache:
         with self._lock:
             state = self.__dict__.copy()
             state["_entries"] = OrderedDict(self._entries)
+            state["_by_node"] = {
+                node: set(keys) for node, keys in self._by_node.items()
+            }
             state["stats"] = dict(self.stats)
         del state["_lock"]
         return state

@@ -9,6 +9,7 @@ Provides the common workflows without writing Python::
     repro-cbir query       --db db.npz --query bird --store memmap \
                            --store-path store_dir
     repro-cbir info        --db db.npz
+    repro-cbir index verify --db db.npz --rfs rfs.npz
     repro-cbir experiment  table1 --db db.npz
 
 ``python -m repro.cli`` works identically.
@@ -124,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="describe a database file")
     p_info.add_argument("--db", required=True)
 
+    p_index = sub.add_parser(
+        "index", help="operate on saved RFS structures"
+    )
+    index_sub = p_index.add_subparsers(
+        dest="index_command", required=True
+    )
+    p_verify = index_sub.add_parser(
+        "verify",
+        help=(
+            "audit tree / store / delta invariants of a saved "
+            "structure (exit 1 when any check fails)"
+        ),
+    )
+    p_verify.add_argument("--db", required=True)
+    p_verify.add_argument(
+        "--rfs", required=True, help="saved RFS .npz path"
+    )
+    _add_store_flags(p_verify)
+
     p_storecmd = sub.add_parser(
         "store", help="inspect saved feature-store directories"
     )
@@ -230,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_flags(p_serve)
     _add_cache_flags(p_serve)
     _add_session_flags(p_serve, required=True)
+    _add_mutation_flags(p_serve)
     _add_obs_flags(p_serve)
 
     p_bench = sub.add_parser(
@@ -305,6 +326,7 @@ def _build_serving_engine(
             )
         _attach_store_from_args(engine.rfs, args)
         _attach_cache_from_args(engine.rfs, args)
+        _enable_mutations_from_args(engine, args)
         return engine
     from repro.config import CacheConfig
     from repro.shard import ShardedEngine
@@ -325,7 +347,7 @@ def _build_serving_engine(
         cache = CacheConfig(
             enabled=True, capacity_mb=getattr(args, "cache_mb", 64.0)
         )
-    return ShardedEngine.build(
+    engine = ShardedEngine.build(
         database,
         qd_config=qd_config,
         shards=shards,
@@ -335,6 +357,8 @@ def _build_serving_engine(
         store_tier=getattr(args, "store_tier", "f32") or "f32",
         cache=cache,
     )
+    _enable_mutations_from_args(engine, args)
+    return engine
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -464,6 +488,55 @@ def _session_store_from_args(args: argparse.Namespace):
     from repro.sessionstore import make_session_store
 
     return make_session_store(kind, getattr(args, "session_path", "") or "")
+
+
+def _add_mutation_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared mutation flags (serve)."""
+    parser.add_argument(
+        "--mutations",
+        action="store_true",
+        help=(
+            "accept insert/remove ops: writes land in a delta segment "
+            "scanned alongside the main store (rankings bit-identical "
+            "to a from-scratch rebuild) with generational compaction "
+            "swapping in a fresh tree behind an epoch guard"
+        ),
+    )
+    parser.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "delta rows + tombstones that trigger compaction into a "
+            "new generation (default: 256)"
+        ),
+    )
+    parser.add_argument(
+        "--compact-background",
+        action="store_true",
+        help=(
+            "run compaction on a background thread instead of inline "
+            "on the mutating request (scans never block either way)"
+        ),
+    )
+
+
+def _enable_mutations_from_args(
+    engine: QueryDecompositionEngine, args: argparse.Namespace
+) -> None:
+    """Turn on the mutation path when ``--mutations`` asks for it."""
+    if not getattr(args, "mutations", False):
+        return
+    from repro.config import MutationConfig
+
+    engine.enable_mutations(
+        MutationConfig(
+            compact_threshold=getattr(args, "compact_threshold", 256),
+            background=getattr(args, "compact_background", False),
+        ),
+        seed=getattr(args, "seed", 0) or 0,
+    )
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -699,6 +772,27 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    """``index verify``: audit invariants of a saved structure."""
+    from repro.index.incremental import validate_structure
+
+    database = ImageDatabase.load(args.db)
+    rfs = load_rfs(args.rfs, database.features)
+    _attach_store_from_args(rfs, args)
+    problems = validate_structure(rfs)
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) in {args.rfs}")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    n_nodes = sum(1 for _ in rfs.iter_nodes())
+    print(
+        f"OK: {n_nodes} nodes, {rfs.features.shape[0]} rows, "
+        "all invariants hold"
+    )
+    return 0
+
+
 def _cmd_interactive(args: argparse.Namespace) -> int:
     from repro.core.console import run_console_session
 
@@ -929,6 +1023,7 @@ _COMMANDS = {
     "build-store": _cmd_build_store,
     "query": _cmd_query,
     "info": _cmd_info,
+    "index": _cmd_index,
     "store": _cmd_store,
     "interactive": _cmd_interactive,
     "experiment": _cmd_experiment,

@@ -488,6 +488,68 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class MutationConfig:
+    """Parameters of the generational mutation engine
+    (:mod:`repro.index.generations`).
+
+    Attributes
+    ----------
+    auto_compact:
+        Whether the generation controller compacts automatically once
+        the delta segment's live-row + tombstone count reaches
+        ``compact_threshold``.  Off means compaction only happens when
+        :meth:`~repro.index.generations.GenerationController.compact`
+        is called explicitly.
+    compact_threshold:
+        Delta-segment size (live inserts + tombstones) that triggers an
+        automatic compaction.  Small thresholds keep the brute-force
+        delta merge cheap; large ones amortize rebuild cost over more
+        mutations.
+    background:
+        Run automatic compactions on a background thread (reads and
+        writes keep flowing against the old generation; the swap
+        replays rows that landed mid-build).  Synchronous by default —
+        deterministic and simplest to reason about in tests.
+    max_retired:
+        How many retired generations to keep addressable for sessions
+        pinned to an older ``structure_version``.  Oldest entries are
+        dropped beyond this (their sessions then fail staleness
+        fencing, exactly like before this subsystem existed).
+    executor / workers:
+        Build-executor kind and worker count the compactor passes to
+        :class:`~repro.config.BuildConfig` for the re-bulk-load.
+    """
+
+    auto_compact: bool = True
+    compact_threshold: int = 256
+    background: bool = False
+    max_retired: int = 4
+    executor: str = "serial"
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.compact_threshold < 1:
+            raise ConfigurationError(
+                f"compact_threshold must be >= 1, got "
+                f"{self.compact_threshold}"
+            )
+        if self.max_retired < 0:
+            raise ConfigurationError(
+                f"max_retired must be >= 0, got {self.max_retired}"
+            )
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"mutation executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"mutation workers must be >= 0 (0 = auto), got "
+                f"{self.workers}"
+            )
+
+
+@dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of the synthetic Corel-like dataset.
 
@@ -532,3 +594,4 @@ class SystemConfig:
         default_factory=SessionStoreConfig
     )
     serve: ServeConfig = field(default_factory=ServeConfig)
+    mutations: MutationConfig = field(default_factory=MutationConfig)

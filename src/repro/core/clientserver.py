@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.errors import (
     ConfigurationError,
+    DatasetError,
+    NodeNotFoundError,
     QueryError,
     SessionNotFoundError,
     SessionStateError,
@@ -239,8 +241,31 @@ class SessionFrontEnd:
         assert store is not None  # checked at construction
         return store.delete(session_id)
 
+    def insert(self, vector: Iterable[float]) -> int:
+        """Insert one feature vector into the serving index.
+
+        Returns the new image's (stable) id.  Requires mutations to be
+        enabled on the engine; lands in the delta segment, so the image
+        is retrievable by the very next finalize without any rebuild.
+        """
+        self._count("insert")
+        import numpy as np
+
+        return self.engine.insert_image(
+            np.asarray(list(vector), dtype=np.float64)
+        )
+
+    def remove(self, image_id: int) -> bool:
+        """Remove one image by id (tombstone; compaction reclaims it)."""
+        self._count("remove")
+        self.engine.remove_image(int(image_id))
+        return True
+
     #: Ops :meth:`handle` dispatches, mapped to their raw methods.
-    OPS = ("open", "display", "submit", "finalize", "abandon")
+    OPS = (
+        "open", "display", "submit", "finalize", "abandon",
+        "insert", "remove",
+    )
 
     def handle(self, op: str, **kwargs: Any) -> FrontEndResult:
         """Serve one request, folding session faults into the result.
@@ -272,7 +297,9 @@ class SessionFrontEnd:
                 retriable=True,
                 error=str(exc),
             )
-        except SessionNotFoundError as exc:
+        except (SessionNotFoundError, NodeNotFoundError) as exc:
+            # NodeNotFoundError: a remove targeting an id that is not
+            # live (never existed, or already tombstoned).
             return FrontEndResult(
                 ok=False, error_kind="not_found", error=str(exc)
             )
@@ -280,7 +307,13 @@ class SessionFrontEnd:
             return FrontEndResult(
                 ok=False, error_kind="invalid_state", error=str(exc)
             )
-        except (QueryError, ConfigurationError, TypeError) as exc:
+        except (
+            QueryError,
+            ConfigurationError,
+            DatasetError,
+            TypeError,
+            ValueError,
+        ) as exc:
             # Bad arguments (wrong k, unexpected kwargs, …): the
             # request was malformed, the session itself is untouched.
             return FrontEndResult(

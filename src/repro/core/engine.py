@@ -10,7 +10,13 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.config import BuildConfig, CacheConfig, QDConfig, RFSConfig
+from repro.config import (
+    BuildConfig,
+    CacheConfig,
+    MutationConfig,
+    QDConfig,
+    RFSConfig,
+)
 from repro.errors import ConfigurationError
 from repro.core.presentation import QueryResult
 from repro.core.session import FeedbackSession
@@ -28,7 +34,10 @@ from repro.utils.rng import RandomState, derive_rng, ensure_rng
 from repro.utils.timing import TimingLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import numpy as np
+
     from repro.cache import SubqueryResultCache
+    from repro.index.generations import GenerationController
     from repro.sessionstore import SessionStore
     from repro.store import FeatureStore
 
@@ -73,6 +82,7 @@ class QueryDecompositionEngine:
         self.config = config or QDConfig()
         self._executor = executor
         self._session_store: Optional["SessionStore"] = None
+        self._mutations: Optional["GenerationController"] = None
         if store is not None:
             self.rfs.attach_store(store)
 
@@ -91,6 +101,7 @@ class QueryDecompositionEngine:
         store_rerank_margin: int = 32,
         cache: Optional[CacheConfig] = None,
         build: Optional[BuildConfig] = None,
+        mutations: Optional[MutationConfig] = None,
         progress: Optional[ProgressCallback] = None,
     ) -> "QueryDecompositionEngine":
         """Construct the RFS structure for ``database`` and wrap it.
@@ -118,6 +129,10 @@ class QueryDecompositionEngine:
         structure is bit-identical across executors.  ``progress``
         receives :class:`repro.index.BuildProgress` events so long
         builds are not silent.
+
+        ``mutations`` enables the generational insert/remove path
+        immediately (see :meth:`enable_mutations` and
+        :class:`repro.config.MutationConfig`).
         """
         rfs = RFSStructure.build(
             database.features,
@@ -148,7 +163,12 @@ class QueryDecompositionEngine:
             from repro.cache import SubqueryResultCache
 
             rfs.attach_cache(SubqueryResultCache(cache.capacity_bytes))
-        return cls(database, rfs, qd_config)
+        engine = cls(database, rfs, qd_config)
+        if mutations is not None:
+            engine.enable_mutations(
+                mutations, seed=seed if isinstance(seed, int) else 0
+            )
+        return engine
 
     @property
     def io(self) -> DiskAccessCounter:
@@ -173,6 +193,82 @@ class QueryDecompositionEngine:
         """Attach a subquery result cache to the RFS structure."""
         self.rfs.attach_cache(cache)
 
+    # ------------------------------------------------------------------
+    # Generational mutations (ROADMAP item 4)
+    # ------------------------------------------------------------------
+    @property
+    def mutations(self) -> Optional["GenerationController"]:
+        """The generation controller, once :meth:`enable_mutations` ran."""
+        return self._mutations
+
+    def enable_mutations(
+        self,
+        config: Optional[MutationConfig] = None,
+        *,
+        seed: int = 0,
+    ) -> "GenerationController":
+        """Turn on generational insert/remove over the current index.
+
+        Attaches a delta segment to the structure and wires a
+        :class:`~repro.index.generations.GenerationController` whose
+        compaction swaps repoint ``self.rfs`` — sessions already in
+        flight keep their pinned generation; new ones see the fresh
+        one.  Idempotent when called again without a config.
+        """
+        if self._mutations is not None:
+            if config is not None:
+                raise ConfigurationError(
+                    "mutations already enabled for this engine; "
+                    "re-configuring a live controller is not supported"
+                )
+            return self._mutations
+        from repro.index.generations import GenerationController
+
+        controller = GenerationController(
+            self.rfs, config=config, seed=seed
+        )
+        controller.on_swap.append(self._on_generation_swap)
+        self._mutations = controller
+        return controller
+
+    def _on_generation_swap(self, rfs: RFSStructure) -> None:
+        """Serve new sessions from the freshly compacted generation.
+
+        The process executor's fork pool keys on
+        ``(id(rfs), mutation_epoch)``, so it re-forks lazily on the
+        next subquery; nothing else holds the old structure except the
+        sessions pinned to it.
+        """
+        self.rfs = rfs
+
+    def _require_mutations(self) -> "GenerationController":
+        if self._mutations is None:
+            raise ConfigurationError(
+                "mutations are not enabled; call enable_mutations() "
+                "(or pass mutations=... to build())"
+            )
+        return self._mutations
+
+    def insert_image(self, vector: "np.ndarray") -> int:
+        """Insert a feature row into the serving index; returns its id.
+
+        Lands in the delta segment (no rebuild, no cache flush); the
+        new image participates in the very next final-round scan.
+        """
+        return self._require_mutations().insert(vector)
+
+    def remove_image(self, image_id: int) -> None:
+        """Remove an image by id (tombstone; compaction reclaims it)."""
+        self._require_mutations().remove(image_id)
+
+    def compact_index(self) -> Optional[int]:
+        """Force a compaction now; returns the new structure version.
+
+        Returns ``None`` when the delta is empty.  Normally compaction
+        triggers itself at ``MutationConfig.compact_threshold``.
+        """
+        return self._require_mutations().compact()
+
     @property
     def executor(self) -> SubqueryExecutor:
         """The engine's subquery executor (built from config on demand).
@@ -196,6 +292,9 @@ class QueryDecompositionEngine:
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        if self._mutations is not None:
+            self._mutations.close()
+            self._mutations = None
         store = self.rfs.store
         if store is not None and store.kind == "memmap":
             self.rfs.detach_store()
@@ -279,14 +378,31 @@ class QueryDecompositionEngine:
         or already-finalized ids and
         :class:`~repro.errors.StaleSessionError` when the record no
         longer matches this engine's structure version or config.
+
+        With mutations enabled, a session checkpointed against a
+        now-compacted generation resumes against that *retired*
+        generation (image ids are stable across swaps, so its marks
+        and query points stay valid) — until the generation falls out
+        of the ``max_retired`` window, at which point the usual
+        staleness fencing rejects it.
         """
         if self._session_store is None:
             raise ConfigurationError(
                 "resume_session needs an attached session store"
             )
         state = self._session_store.get(session_id)
+        rfs = self.rfs
+        if (
+            self._mutations is not None
+            and state.structure_version != rfs.structure_version
+        ):
+            pinned = self._mutations.structure_for_version(
+                state.structure_version
+            )
+            if pinned is not None:
+                rfs = pinned
         return FeedbackSession.restore(
-            self.rfs,
+            rfs,
             state,
             config=self.config,
             executor=self.executor,

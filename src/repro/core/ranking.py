@@ -222,7 +222,12 @@ def _merge_into_payloads(
             # deficit (plus what is already held and possibly claimed
             # elsewhere) — never a full subtree ranking.
             deficit = k - total
-            fetch = min(node.size, len(have) + deficit + 16)
+            # Effective size counts live delta rows and excludes
+            # tombstones, so a top-up can drain exactly what a rebuilt
+            # structure of the same items would hold under this node.
+            fetch = min(
+                rfs.effective_node_size(node), len(have) + deficit + 16
+            )
             ranked = rfs.localized_knn(
                 node, payload["centroid"], fetch, weights=dim_weights
             )

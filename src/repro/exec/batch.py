@@ -136,14 +136,24 @@ def run_final_round_batch(
                     slot.fetch,
                     weights=slot.dim_weights,
                     read_block=reader,
+                    include_delta=cache is None,
                 )
                 if cache is not None:
+                    # Cache the main-only ranking, then merge the live
+                    # delta rows for this slot's own outcome.
                     cache.put(
                         slot.key,
                         version,
                         slot.search_node.node_id,
                         slot.centroid,
                         ranked,
+                    )
+                    ranked = rfs.merge_delta_ranked(
+                        slot.search_node,
+                        ranked,
+                        slot.centroid,
+                        slot.fetch,
+                        weights=slot.dim_weights,
                     )
                 slot.outcome = SubqueryOutcome(
                     leaf_id=slot.task.leaf_id,
@@ -253,19 +263,28 @@ def _resolve_slot(
         )
         entry = cache.get(slot.key, version)
         if entry is not None:
+            # Cached entries are main-only; merge the live delta rows
+            # now, exactly as the non-batched funnel does.
+            node = rfs.get_node(entry.search_node_id)
             slot.cache_hit = True
             slot.outcome = SubqueryOutcome(
                 leaf_id=task.leaf_id,
                 search_node_id=entry.search_node_id,
                 centroid=entry.centroid,
-                ranked=list(entry.ranked),
+                ranked=rfs.merge_delta_ranked(
+                    node,
+                    entry.ranked,
+                    entry.centroid,
+                    min(rfs.effective_node_size(node), requested),
+                    weights=slot.dim_weights,
+                ),
             )
             return
     slot.search_node = rfs.expand_search_node(
         leaf, query_points, config.boundary_threshold
     )
     slot.centroid = MultipointQuery(query_points).centroid()
-    slot.fetch = min(slot.search_node.size, requested)
+    slot.fetch = min(rfs.effective_node_size(slot.search_node), requested)
 
 
 __all__ = ["BatchQuery", "run_final_round_batch"]

@@ -133,6 +133,17 @@ def run_subquery_task(
     later identical subqueries of any session.  A cached answer was
     produced by this very function under the same structure version, so
     serving it cannot change any ranking.
+
+    With a generational delta segment attached, what is cached is the
+    **main-only** ranking (``include_delta=False``: tombstone-filtered
+    scan of the unchanged store blocks); the live delta rows are merged
+    through :meth:`RFSStructure.merge_delta_ranked` *after* the cache
+    consult, on hits and misses alike.  Inserts therefore never
+    invalidate a cache entry, and a removal evicts only the entries
+    whose search node sits on the mutated leaf's root path.  The cached
+    main part always suffices: it holds the top ``requested`` live main
+    rows (or every live main row when fewer exist), and no later merge
+    can promote a main row from beyond that prefix.
     """
     t0 = time.perf_counter()
     with get_tracer().span(
@@ -162,28 +173,47 @@ def run_subquery_task(
             )
             entry = cache.get(key, version)
             if entry is not None:
+                search_node = rfs.get_node(entry.search_node_id)
+                ranked = rfs.merge_delta_ranked(
+                    search_node,
+                    entry.ranked,
+                    entry.centroid,
+                    min(rfs.effective_node_size(search_node), requested),
+                    weights=dim_weights,
+                )
                 span.set(
                     search_node=entry.search_node_id,
-                    fetched=len(entry.ranked),
+                    fetched=len(ranked),
                     cache="hit",
                 )
                 return SubqueryOutcome(
                     leaf_id=task.leaf_id,
                     search_node_id=entry.search_node_id,
                     centroid=entry.centroid,
-                    ranked=list(entry.ranked),
+                    ranked=ranked,
                     duration_s=time.perf_counter() - t0,
                 )
         search_node = rfs.expand_search_node(
             leaf, query_points, config.boundary_threshold
         )
         centroid = MultipointQuery(query_points).centroid()
-        fetch = min(search_node.size, requested)
-        ranked = rfs.localized_knn(
-            search_node, centroid, fetch, weights=dim_weights
-        )
-        if cache is not None:
-            cache.put(key, version, search_node.node_id, centroid, ranked)
+        fetch = min(rfs.effective_node_size(search_node), requested)
+        if cache is None:
+            ranked = rfs.localized_knn(
+                search_node, centroid, fetch, weights=dim_weights
+            )
+        else:
+            main_ranked = rfs.localized_knn(
+                search_node, centroid, fetch,
+                weights=dim_weights, include_delta=False,
+            )
+            cache.put(
+                key, version, search_node.node_id, centroid, main_ranked
+            )
+            ranked = rfs.merge_delta_ranked(
+                search_node, main_ranked, centroid, fetch,
+                weights=dim_weights,
+            )
         span.set(
             search_node=search_node.node_id,
             fetched=len(ranked),
@@ -399,7 +429,7 @@ class ProcessSubqueryExecutor(SubqueryExecutor):
     def __init__(self, workers: int = 0) -> None:
         super().__init__(workers)
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_rfs_id: Optional[int] = None
+        self._pool_rfs_key: Optional[Tuple[int, int]] = None
         self._fallback: Optional[ThreadedSubqueryExecutor] = None
 
     @staticmethod
@@ -412,8 +442,12 @@ class ProcessSubqueryExecutor(SubqueryExecutor):
     def _ensure_pool(self, rfs: RFSStructure) -> ProcessPoolExecutor:
         import multiprocessing
 
-        if self._pool is not None and self._pool_rfs_id != id(rfs):
-            # A different structure: the forked snapshot is stale.
+        # Workers run against a forked snapshot, so the pool is stale
+        # the moment the structure is swapped *or* mutated: a delta
+        # insert/remove after fork would be invisible to the children.
+        # The mutation epoch in the key forces a re-fork then.
+        key = (id(rfs), rfs.mutation_epoch)
+        if self._pool is not None and self._pool_rfs_key != key:
             self._pool.shutdown(wait=True)
             self._pool = None
         if self._pool is None:
@@ -422,7 +456,7 @@ class ProcessSubqueryExecutor(SubqueryExecutor):
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context("fork"),
             )
-            self._pool_rfs_id = id(rfs)
+            self._pool_rfs_key = key
         return self._pool
 
     def run_subqueries(
@@ -480,7 +514,7 @@ class ProcessSubqueryExecutor(SubqueryExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-            self._pool_rfs_id = None
+            self._pool_rfs_key = None
         if _FORK_STATE.get("rfs") is not None:
             _FORK_STATE["rfs"] = None
         if self._fallback is not None:  # pragma: no cover - non-POSIX

@@ -16,6 +16,14 @@ Upper-level representative lists are *not* recomputed on every insert —
 they refresh lazily when a node's accumulated changes exceed a fraction
 of its size (:class:`IncrementalRFS` tracks dirtiness), which keeps
 inserts O(depth × leaf work).
+
+This in-place path detaches any attached :class:`FeatureStore` and
+flushes every cache on each mutation — correct but fatal under write
+load.  It survives as the **detach-and-rebuild baseline** that
+:mod:`repro.index.generations` (delta segment + background compaction)
+is benchmarked against, and :func:`validate_structure` is the shared
+invariant checker behind both the property tests and the
+``repro-cbir index verify`` CLI subcommand.
 """
 
 from __future__ import annotations
@@ -32,6 +40,103 @@ from repro.utils.rng import RandomState, derive_rng, ensure_rng
 #: A node refreshes its representative list once its accumulated
 #: insert/remove count exceeds this fraction of its size.
 REFRESH_FRACTION = 0.1
+
+
+def validate_structure(rfs: RFSStructure) -> List[str]:
+    """Check tree / store / delta invariants; returns found problems.
+
+    An empty list means the structure is internally consistent.  Used
+    by :meth:`IncrementalRFS.validate` (which raises on any problem)
+    and by the ``repro-cbir index verify`` subcommand so operators can
+    audit an index after mutation traffic.
+
+    Checks, in order:
+
+    * every inner node's ``item_ids`` is exactly the sorted union of
+      its children's, and child ``parent`` links point back;
+    * every non-empty node's members lie inside its MBR;
+    * every representative is a current member of its node;
+    * when a :class:`~repro.store.feature_store.FeatureStore` is
+      attached: each leaf's contiguous block carries exactly the
+      leaf's ids, in order;
+    * when a delta segment is attached: its ``base_rows`` matches the
+      feature matrix, every routed leaf exists (and is a leaf), and
+      every main-row tombstone names a member of its recorded leaf.
+    """
+    problems: List[str] = []
+    for node in rfs.iter_nodes():
+        if not node.is_leaf:
+            child_ids = np.sort(
+                np.concatenate([c.item_ids for c in node.children])
+            ) if node.children else np.empty(0, dtype=np.int64)
+            if not np.array_equal(child_ids, node.item_ids):
+                problems.append(
+                    f"node {node.node_id}: member list is not the "
+                    f"union of its children's"
+                )
+            for child in node.children:
+                if child.parent is not node:
+                    problems.append(
+                        f"node {child.node_id}: parent link does not "
+                        f"point at node {node.node_id}"
+                    )
+        if node.size:
+            members = rfs.features[node.item_ids]
+            if not (
+                np.all(members >= node.mbr.lo - 1e-9)
+                and np.all(members <= node.mbr.hi + 1e-9)
+            ):
+                problems.append(
+                    f"node {node.node_id}: member outside its MBR"
+                )
+        for rep in node.representatives:
+            if rep not in node.item_ids:
+                problems.append(
+                    f"node {node.node_id}: stale representative {rep}"
+                )
+    if rfs.store is not None:
+        for node in rfs.iter_nodes():
+            if not node.is_leaf:
+                continue
+            try:
+                _, ids, _ = rfs.store.node_block(node.node_id)
+            except (KeyError, NodeNotFoundError):
+                problems.append(
+                    f"leaf {node.node_id}: no block in attached store"
+                )
+                continue
+            if not np.array_equal(ids, node.item_ids):
+                problems.append(
+                    f"leaf {node.node_id}: store block ids diverge "
+                    f"from the tree's member list"
+                )
+    view = rfs.delta_view()
+    if view is not None:
+        if view.base_rows != rfs.features.shape[0]:
+            problems.append(
+                f"delta segment base_rows={view.base_rows} but the "
+                f"feature matrix holds {rfs.features.shape[0]} rows"
+            )
+        for leaf_id in np.unique(
+            np.concatenate([view.leaves, view.dead_main_leaves])
+        ):
+            leaf = rfs.nodes.get(int(leaf_id))
+            if leaf is None:
+                problems.append(
+                    f"delta segment routes to missing node {leaf_id}"
+                )
+            elif not leaf.is_leaf:
+                problems.append(
+                    f"delta segment routes to non-leaf {leaf_id}"
+                )
+        for item, leaf_id in zip(view.dead_main, view.dead_main_leaves):
+            leaf = rfs.nodes.get(int(leaf_id))
+            if leaf is not None and int(item) not in leaf.item_ids:
+                problems.append(
+                    f"tombstone {item} recorded under leaf {leaf_id} "
+                    f"but the leaf does not hold it"
+                )
+    return problems
 
 
 class IncrementalRFS:
@@ -259,23 +364,5 @@ class IncrementalRFS:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Check structural invariants (used by the property tests)."""
-        for node in self.rfs.iter_nodes():
-            if not node.is_leaf:
-                child_ids = np.sort(
-                    np.concatenate(
-                        [c.item_ids for c in node.children]
-                    )
-                ) if node.children else np.empty(0, dtype=np.int64)
-                assert np.array_equal(child_ids, node.item_ids), (
-                    f"node {node.node_id} member mismatch"
-                )
-                for child in node.children:
-                    assert child.parent is node
-            if node.size:
-                members = self.rfs.features[node.item_ids]
-                assert np.all(members >= node.mbr.lo - 1e-9)
-                assert np.all(members <= node.mbr.hi + 1e-9)
-            for rep in node.representatives:
-                assert rep in node.item_ids, (
-                    f"stale representative {rep} in node {node.node_id}"
-                )
+        problems = validate_structure(self.rfs)
+        assert not problems, "; ".join(problems)

@@ -52,6 +52,7 @@ from repro.clustering.kmeans import kmeans
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.cache.result_cache import SubqueryResultCache
     from repro.exec.build import BuildExecutor
+    from repro.store.delta import DeltaView
     from repro.store.feature_store import FeatureStore
 
 #: Reads one leaf's scan payload — either ``(block, ids, sqnorms)`` on
@@ -346,6 +347,17 @@ class RFSStructure:
         # per-item Python) and dropped by invalidate_caches.  Entries
         # are -1 for ids the tree does not hold.
         self._leaf_lookup: Optional[np.ndarray] = None
+        # Optional generational delta segment (repro.store.delta): when
+        # attached, localized scans filter its tombstones out of the
+        # main blocks and merge its live rows in exactly, and the id
+        # lookups resolve delta ids.  Mutations never bump
+        # structure_version — cached subqueries stay main-only and the
+        # delta is merged after the cache (see run_subquery_task).
+        self.delta = None
+        # node_id -> np.int64 array of leaf node ids under the node
+        # (companion cache to _leaf_geometry_cache, for the delta
+        # visibility tests).
+        self._leaf_ids_cache: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Feature store attachment
@@ -434,6 +446,56 @@ class RFSStructure:
         """Detach the subquery result cache (queries recompute)."""
         self.result_cache = None
 
+    def attach_delta(self, segment) -> None:
+        """Attach a generational delta segment (repro.store.delta).
+
+        Scans consult one immutable view snapshot per call, so
+        mutations interleave with reads without locks or torn results.
+        Attaching does not bump :attr:`structure_version`: cache
+        entries stay main-only (tombstone-filtered rankings of the
+        unchanged blocks) and the live delta rows are merged *after*
+        the cache consult — inserts therefore invalidate nothing, and
+        removals evict only the affected root-path entries (see
+        :meth:`repro.cache.result_cache.SubqueryResultCache.invalidate_nodes`).
+        """
+        self.delta = segment
+
+    def detach_delta(self) -> None:
+        """Detach the delta segment (scans revert to main-only)."""
+        self.delta = None
+
+    def delta_view(self) -> Optional["DeltaView"]:
+        """The current delta snapshot, or ``None`` without a segment."""
+        if self.delta is None:
+            return None
+        return self.delta.view
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic count of delta mutations (-1 without a segment).
+
+        The process executor folds this into its fork-pool staleness
+        key: forked workers hold the delta state captured at fork time,
+        so a new epoch means the pool must re-fork before the next
+        subquery (the same contract ``id(rfs)`` provides for swaps).
+        """
+        if self.delta is None:
+            return -1
+        return self.delta.view.epoch
+
+    def invalidate_cache_nodes(self, node_ids: Sequence[int]) -> int:
+        """Evict cached subqueries whose search node is in ``node_ids``.
+
+        The per-node (no global flush) invalidation hook a removal
+        uses: only entries anchored at the tombstoned row's root path
+        can hold it, so only those are dropped.  Returns the number of
+        evicted entries.  ``ShardedRFS`` additionally broadcasts to the
+        per-shard caches.
+        """
+        if self.result_cache is None:
+            return 0
+        return self.result_cache.invalidate_nodes(node_ids)
+
     def invalidate_caches(self) -> None:
         """Drop derived scan state after a structural mutation.
 
@@ -446,6 +508,7 @@ class RFSStructure:
         old tree is rejected on its next lookup.
         """
         self._leaf_geometry_cache.clear()
+        self._leaf_ids_cache.clear()
         self._leaf_lookup = None
         self.store = None
         self.structure_version += 1
@@ -456,8 +519,53 @@ class RFSStructure:
         With a memory-mapped store attached this gathers from the shared
         mapping — worker processes touch the same page-cache pages
         instead of each holding a pickled copy of the feature matrix.
+
+        Delta-segment ids (inserted after the generation was built)
+        resolve from the segment's rows, cast to the main path's dtype
+        so downstream centroid arithmetic matches what a rebuilt store
+        holding the same rows would produce.  Tombstoned ids still
+        resolve — a session may keep a removed image as a query point;
+        it just never appears in results again.
         """
         ids = np.asarray(item_ids, dtype=np.int64)
+        view = self.delta_view()
+        if (
+            view is None
+            or ids.size == 0
+            or int(ids.max()) < view.base_rows
+        ):
+            return self._vectors_main(ids)
+        in_delta = ids >= view.base_rows
+        main_ids = ids[~in_delta]
+        if main_ids.size:
+            main_vecs = self._vectors_main(main_ids)
+            out_dtype = main_vecs.dtype
+        else:
+            main_vecs = None
+            store_dtype = self._delta_kernel_dtype()
+            out_dtype = (
+                store_dtype
+                if store_dtype is not None
+                else self.features.dtype
+            )
+        out = np.empty(
+            (ids.shape[0], self.features.shape[1]), dtype=out_dtype
+        )
+        if main_vecs is not None:
+            out[~in_delta] = main_vecs
+        delta_idx = ids[in_delta] - view.base_rows
+        if delta_idx.size and int(delta_idx.max()) >= view.n_delta:
+            bad = int(ids[in_delta][delta_idx >= view.n_delta][0])
+            raise NodeNotFoundError(
+                f"item {bad} not present in the structure"
+            )
+        out[in_delta] = view.rows[delta_idx].astype(
+            out_dtype, copy=False
+        )
+        return out
+
+    def _vectors_main(self, ids: np.ndarray) -> np.ndarray:
+        """Main-generation gather (store matrix or feature matrix)."""
         if self.store is not None:
             return self.store.vectors_for(ids)
         return self.features[ids]
@@ -820,8 +928,12 @@ class RFSStructure:
         With a feature store attached this is a single binary search
         over the leaf span starts; otherwise a lazily built item -> leaf
         map (dropped by :meth:`invalidate_caches`) answers in one dict
-        probe instead of a per-level tree descent.
+        probe instead of a per-level tree descent.  Delta-segment ids
+        resolve to the leaf they were routed to at insert time.
         """
+        view = self.delta_view()
+        if view is not None and int(item_id) >= view.base_rows:
+            return self.nodes[view.leaf_of_delta(int(item_id))]
         if self.store is not None:
             try:
                 return self.nodes[self.store.leaf_node_of(int(item_id))]
@@ -848,6 +960,25 @@ class RFSStructure:
         ids = np.asarray(item_ids, dtype=np.int64)
         if ids.size == 0:
             return np.empty(0, dtype=np.int64)
+        view = self.delta_view()
+        if view is not None and int(ids.max()) >= view.base_rows:
+            out = np.empty(ids.shape, dtype=np.int64)
+            in_delta = ids >= view.base_rows
+            delta_idx = ids[in_delta] - view.base_rows
+            if int(delta_idx.max()) >= view.n_delta:
+                bad = int(ids[in_delta][delta_idx >= view.n_delta][0])
+                raise NodeNotFoundError(
+                    f"item {bad} not present in the structure"
+                )
+            out[in_delta] = view.leaves[delta_idx]
+            main_ids = ids[~in_delta]
+            if main_ids.size:
+                out[~in_delta] = self._leaves_of_main(main_ids)
+            return out
+        return self._leaves_of_main(ids)
+
+    def _leaves_of_main(self, ids: np.ndarray) -> np.ndarray:
+        """Batch leaf lookup over main-generation ids only."""
         if self.store is not None:
             try:
                 return np.asarray(
@@ -933,6 +1064,27 @@ class RFSStructure:
             )
         return node
 
+    def effective_node_size(
+        self, node: RFSNode, view: Optional["DeltaView"] = None
+    ) -> int:
+        """Live items under ``node``: main size − tombstones + inserts.
+
+        ``view`` pins the delta snapshot (pass the one a scan is using
+        so size and scan agree); without a segment this is ``node.size``
+        unchanged.
+        """
+        if view is None:
+            view = self.delta_view()
+        if view is None or not view.affects_scans:
+            return node.size
+        leaf_ids = self._leaf_ids_under(node)
+        key = node.node_id
+        return (
+            node.size
+            - int(view.dead_under(leaf_ids, key).shape[0])
+            + int(view.live_under(leaf_ids, key).shape[0])
+        )
+
     def localized_knn(
         self,
         node: RFSNode,
@@ -942,6 +1094,7 @@ class RFSStructure:
         io_category: str = "localized_knn",
         weights: Optional[np.ndarray] = None,
         read_block: Optional[BlockReader] = None,
+        include_delta: bool = True,
     ) -> List[tuple[float, int]]:
         """k nearest images to ``query_point`` inside ``node``'s subtree.
 
@@ -970,6 +1123,16 @@ class RFSStructure:
         from :meth:`memoized_block_reader` so a coalesced group of
         queries pays for each leaf once.  The reader never changes the
         distance arithmetic, so rankings are identical either way.
+
+        With a delta segment attached, one immutable view snapshot
+        drives the whole call: tombstoned rows are filtered out of the
+        main blocks *after* the unchanged kernels run (untouched rows'
+        distances are byte-identical to the no-mutation path), and the
+        live delta rows visible under ``node`` are merged in exactly by
+        the brute-force delta kernel.  ``include_delta=False`` skips
+        the merge and returns the tombstone-filtered main-only ranking
+        — the form the subquery cache stores, so inserts never
+        invalidate cached entries.
         """
         if node.size == 0:
             raise EmptyIndexError(f"node {node.node_id} covers no images")
@@ -982,29 +1145,155 @@ class RFSStructure:
                     f"{query.shape}"
                 )
 
+        view = self.delta_view()
+        if view is not None and not view.affects_scans:
+            view = None
         leaves, los, his = self._leaf_geometry(node)
+        dead_ids: Optional[np.ndarray] = None
+        main_live = node.size
+        if view is not None and view.n_dead_main:
+            dead_ids = view.dead_under(
+                self._leaf_ids_under(node), node.node_id
+            )
+            if dead_ids.size == 0:
+                dead_ids = None
+            else:
+                main_live = node.size - int(dead_ids.shape[0])
         mindists = stacked_min_distances(los, his, query, weights)
         order = np.argsort(mindists, kind="stable")
-        take = min(k, node.size)
+        take = min(k, main_live)
         with get_tracer().span(
             "localized_knn",
             node=node.node_id,
             k=int(k),
             store=self.store.kind if self.store is not None else "none",
         ) as span:
-            if self.store is not None:
+            if take <= 0:
+                best: List[tuple[float, int]] = []
+            elif self.store is not None:
                 if read_block is None:
                     read_block = self._store_block_reader(io_category)
-                return self._scan_leaves_store(
+                best = self._scan_leaves_store(
                     leaves, mindists, order, query, take,
                     weights=weights, read_block=read_block, span=span,
+                    dead_ids=dead_ids,
                 )
-            if read_block is None:
-                read_block = self._member_block_reader(io_category)
-            return self._scan_leaves(
-                leaves, mindists, order, query, take,
-                weights=weights, read_block=read_block, span=span,
+            else:
+                if read_block is None:
+                    read_block = self._member_block_reader(io_category)
+                best = self._scan_leaves(
+                    leaves, mindists, order, query, take,
+                    weights=weights, read_block=read_block, span=span,
+                    dead_ids=dead_ids,
+                )
+        if include_delta and view is not None and view.live_count:
+            best = self.merge_delta_ranked(
+                node, best, query, k, weights=weights, view=view
             )
+        return best
+
+    def merge_delta_ranked(
+        self,
+        node: RFSNode,
+        ranked: Sequence[tuple[float, int]],
+        query_point: np.ndarray,
+        k: int,
+        *,
+        weights: Optional[np.ndarray] = None,
+        view: Optional["DeltaView"] = None,
+    ) -> List[tuple[float, int]]:
+        """Merge the live delta rows under ``node`` into a main ranking.
+
+        ``ranked`` must be a tombstone-filtered main-only ranking of at
+        least ``min(k, main live size)`` items (what
+        ``include_delta=False`` returns — and what the subquery cache
+        stores).  The merge is exact: every visible delta row's
+        distance is computed by the brute-force delta kernel (same
+        dtype and arithmetic a rebuilt store would use for those rows),
+        the pools are combined, sorted by ``(distance, id)``, and cut
+        to ``k`` — bit-identical to a from-scratch rebuild containing
+        the same items ranking the same candidates.
+        """
+        if view is None:
+            view = self.delta_view()
+        merged = list(ranked)
+        if view is not None and view.live_count:
+            sel = view.live_under(
+                self._leaf_ids_under(node), node.node_id
+            )
+            if sel.size:
+                query = np.asarray(query_point, dtype=np.float64)
+                dists = self._delta_distances(view, sel, query, weights)
+                ids = view.base_rows + sel
+                merged.extend(
+                    (float(d), int(i)) for d, i in zip(dists, ids)
+                )
+                merged.sort(key=lambda pair: (pair[0], pair[1]))
+        del merged[k:]
+        return merged
+
+    def _delta_distances(
+        self,
+        view: "DeltaView",
+        sel: np.ndarray,
+        query: np.ndarray,
+        weights: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Brute-force delta kernel over the selected live rows.
+
+        Mirrors the main scan's arithmetic for the active
+        configuration: with a store attached the rows are cast to the
+        store dtype and run through the same fused kernels
+        (quantized tiers re-rank through the exact store dtype, so that
+        is the tier-independent final arithmetic); without a store the
+        float64 gather-then-reduce of ``_scan_leaves`` runs.  No
+        simulated disk I/O is charged — delta rows are RAM-resident by
+        design.
+        """
+        store_dtype = self._delta_kernel_dtype()
+        if store_dtype is not None:
+            from repro.store.kernels import (
+                point_distances,
+                weighted_point_distances,
+            )
+
+            block, sqnorms = view.typed_rows(store_dtype)
+            rows = block[sel]
+            if weights is None:
+                dists = point_distances(
+                    rows, query, block_sqnorms=sqnorms[sel]
+                )
+            else:
+                dists = weighted_point_distances(rows, query, weights)
+        else:
+            diff = view.rows[sel] - query
+            if weights is None:
+                dists = np.sqrt(np.sum(diff * diff, axis=1))
+            else:
+                dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
+            get_metrics().counter(
+                "qd_distance_computations",
+                "feature-vector distance evals",
+            ).inc(int(sel.shape[0]))
+        get_metrics().counter(
+            "qd_delta_scan_rows_total",
+            "delta-segment rows scanned by the brute-force kernel",
+        ).inc(int(sel.shape[0]))
+        return dists
+
+    def _delta_kernel_dtype(self) -> Optional[np.dtype]:
+        """Store dtype the delta kernel must cast rows to.
+
+        ``None`` selects the float64 gather-then-reduce path (no store
+        attached).  ``ShardedRFS`` overrides this to report the shard
+        stores' dtype — the router's own ``store`` is ``None``, but a
+        rebuilt deployment would serve those rows from shard store
+        blocks, so the delta arithmetic must match that dtype for the
+        generational-vs-rebuild parity to hold bit for bit.
+        """
+        if self.store is not None:
+            return self.store.dtype
+        return None
 
     # ------------------------------------------------------------------
     # Leaf block readers
@@ -1121,8 +1410,20 @@ class RFSStructure:
         weights: Optional[np.ndarray],
         read_block: BlockReader,
         span,
+        dead_ids: Optional[np.ndarray] = None,
     ) -> List[tuple[float, int]]:
-        """In-memory leaf scan (the original gather-then-loop path)."""
+        """In-memory leaf scan (the original gather-then-loop path).
+
+        ``dead_ids`` (delta-segment tombstones under the search node)
+        are dropped *after* the per-block distance computation, so the
+        surviving rows' distances are byte-identical to a scan with no
+        tombstones at all.
+        """
+        dead = (
+            frozenset(int(i) for i in dead_ids)
+            if dead_ids is not None
+            else None
+        )
         best: List[tuple[float, int]] = []  # kept sorted ascending
         kth = np.inf
         leaves_read = 0
@@ -1140,8 +1441,14 @@ class RFSStructure:
                 dists = np.sqrt(np.sum(diff * diff, axis=1))
             else:
                 dists = np.sqrt(np.sum(weights * diff * diff, axis=1))
-            for dist, image_id in zip(dists, leaf.item_ids):
-                best.append((float(dist), int(image_id)))
+            if dead is None:
+                for dist, image_id in zip(dists, leaf.item_ids):
+                    best.append((float(dist), int(image_id)))
+            else:
+                for dist, image_id in zip(dists, leaf.item_ids):
+                    if int(image_id) in dead:
+                        continue
+                    best.append((float(dist), int(image_id)))
             best.sort(key=lambda pair: (pair[0], pair[1]))
             del best[take:]
             if len(best) >= take:
@@ -1167,6 +1474,7 @@ class RFSStructure:
         weights: Optional[np.ndarray],
         read_block: BlockReader,
         span,
+        dead_ids: Optional[np.ndarray] = None,
     ) -> List[tuple[float, int]]:
         """Store-backed leaf scan over contiguous blocks.
 
@@ -1176,6 +1484,11 @@ class RFSStructure:
         over the accumulated candidates instead of a per-member Python
         loop.  Ties are broken by ascending id, matching the in-memory
         path's ``(score, id)`` ordering.
+
+        ``dead_ids`` (delta tombstones under the search node) are
+        masked out after each block's kernel call — the kernel inputs
+        are the untouched full blocks, so surviving rows' distances are
+        byte-identical to the no-mutation scan.
         """
         from repro.store.kernels import (
             point_distances,
@@ -1187,6 +1500,7 @@ class RFSStructure:
             return self._scan_leaves_quantized(
                 leaves, mindists, order, query, take,
                 weights=weights, read_block=read_block, span=span,
+                dead_ids=dead_ids,
             )
 
         dist_parts: List[np.ndarray] = []
@@ -1209,6 +1523,11 @@ class RFSStructure:
                 )
             else:
                 dists = weighted_point_distances(block, query, weights)
+            if dead_ids is not None:
+                alive = ~np.isin(ids, dead_ids)
+                if not alive.all():
+                    dists = dists[alive]
+                    ids = ids[alive]
             dist_parts.append(dists)
             id_parts.append(ids)
             count += dists.shape[0]
@@ -1239,8 +1558,16 @@ class RFSStructure:
         weights: Optional[np.ndarray],
         read_block: BlockReader,
         span,
+        dead_ids: Optional[np.ndarray] = None,
     ) -> List[tuple[float, int]]:
         """Compressed-tier leaf scan with exact float32 re-rank.
+
+        Delta tombstones (``dead_ids``) get their *approximate*
+        distances forced to ``+inf`` in place — keeping the candidate
+        mask aligned with the block rows and conservatively disabling
+        early pruning until ``take`` live rows are pooled — and are
+        filtered out of the phase-2 exact selection, so they can never
+        appear in the returned ranking.
 
         Phase 1 scans the store's quantized codes (f16/int8), paying
         only the compressed bytes through the disk model.  With ε the
@@ -1308,6 +1635,13 @@ class RFSStructure:
                 dists = approx_weighted_point_distances(
                     codes, query, params, weights
                 )
+            if dead_ids is not None:
+                dm = np.isin(ids, dead_ids)
+                if dm.any():
+                    # ``dists`` is freshly computed (owned), so in-place
+                    # is safe; +inf keeps row/mask alignment and only
+                    # loosens pruning (kth_hat can never undershoot).
+                    dists[dm] = np.inf
             dist_parts.append(dists)
             id_parts.append(ids)
             leaf_parts.append(leaf)
@@ -1349,8 +1683,15 @@ class RFSStructure:
                 )
             else:
                 exact = weighted_point_distances(block, query, weights)
-            exact_parts.append(exact[mask])
-            cand_parts.append(ids_part[mask])
+            m_exact = exact[mask]
+            m_ids = ids_part[mask]
+            if dead_ids is not None:
+                alive = ~np.isin(m_ids, dead_ids)
+                if not alive.all():
+                    m_exact = m_exact[alive]
+                    m_ids = m_ids[alive]
+            exact_parts.append(m_exact)
+            cand_parts.append(m_ids)
         exact_dists = np.concatenate(exact_parts)
         cand_ids = np.concatenate(cand_parts)
         span.set(
@@ -1374,6 +1715,21 @@ class RFSStructure:
         his = np.stack([leaf.mbr.hi for leaf in leaves])
         self._leaf_geometry_cache[node.node_id] = (leaves, los, his)
         return leaves, los, his
+
+    def _leaf_ids_under(self, node: RFSNode) -> np.ndarray:
+        """Node ids of the leaves under ``node`` (cached per node).
+
+        The delta segment's per-node visibility rule keys on routed
+        leaf ids, so every effective-size / tombstone / merge lookup
+        funnels through this array.
+        """
+        cached = self._leaf_ids_cache.get(node.node_id)
+        if cached is not None:
+            return cached
+        leaves, _, _ = self._leaf_geometry(node)
+        ids = np.array([leaf.node_id for leaf in leaves], dtype=np.int64)
+        self._leaf_ids_cache[node.node_id] = ids
+        return ids
 
     def _leaves_under(self, node: RFSNode) -> Iterator[RFSNode]:
         if node.is_leaf:

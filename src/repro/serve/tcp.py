@@ -8,13 +8,20 @@ admission queue, so connection count never defeats admission control.
 
 Request object::
 
-    {"op": "open" | "display" | "submit" | "finalize" | "abandon",
-     "session_id": "...",        # all ops but open
+    {"op": "open" | "display" | "submit" | "finalize" | "abandon"
+           | "insert" | "remove",
+     "session_id": "...",        # session ops (not insert/remove/open)
      "seed": 7,                  # open (optional)
      "screens": 2,               # display (optional)
      "relevant_ids": [3, 17],    # submit
      "k": 50,                    # finalize
+     "vector": [0.1, ...],       # insert (one feature row)
+     "image_id": 42,             # remove
      "deadline_s": 5.0}          # any op (optional)
+
+The mutation ops (``insert``/``remove``) flow through the same bounded
+admission queue as queries — sustained mixed read/write traffic shares
+one overload policy (shedding, deadlines, drain).
 
 Response object mirrors :class:`~repro.serve.server.ServerResponse`:
 ``{"status": ..., "retriable": ..., "error": ..., "value": ...}`` with
@@ -40,6 +47,8 @@ _OP_ARGS: Dict[str, Tuple[str, ...]] = {
     "submit": ("session_id", "relevant_ids"),
     "finalize": ("session_id", "k"),
     "abandon": ("session_id",),
+    "insert": ("vector",),
+    "remove": ("image_id",),
 }
 
 
@@ -134,6 +143,13 @@ class QDTCPServer(socketserver.ThreadingTCPServer):
                 op=op,
                 status="invalid_request",
                 error=f"{op} needs a session_id",
+            )
+        required = {"insert": "vector", "remove": "image_id"}.get(op)
+        if required is not None and required not in kwargs:
+            return ServerResponse(
+                op=op,
+                status="invalid_request",
+                error=f"{op} needs a {required}",
             )
         return self.core.request(
             op, deadline_s=payload.get("deadline_s"), **kwargs

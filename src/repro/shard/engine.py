@@ -50,6 +50,7 @@ import numpy as np
 from repro.config import (
     BuildConfig,
     CacheConfig,
+    MutationConfig,
     QDConfig,
     RFSConfig,
 )
@@ -249,16 +250,18 @@ class ShardedRFS(RFSStructure):
             "via ShardedEngine.build(store=...)"
         )
 
-    def vectors_for(self, ids: np.ndarray) -> np.ndarray:
-        """Gather rows, from shard stores when attached.
+    def _vectors_main(self, ids: np.ndarray) -> np.ndarray:
+        """Gather main-generation rows, from shard stores when attached.
 
         Routes each id to its owning shard's store so the gathered
         values (and dtype) are bit-identical to a single-node store's
-        ``vectors_for`` — the centroids derived from marked images must
-        not depend on the deployment shape.
+        gather — the centroids derived from marked images must not
+        depend on the deployment shape.  Delta-segment ids never reach
+        this hook: the inherited :meth:`vectors_for` resolves them from
+        the router's segment first.
         """
         if not self._stores_attached:
-            return super().vectors_for(ids)
+            return super()._vectors_main(ids)
         ids = np.asarray(ids, dtype=np.int64)
         owners = self._shard_of_items(ids)
         first = self.shards[0].rfs.store
@@ -272,6 +275,32 @@ class ShardedRFS(RFSStructure):
             assert store is not None
             out[mask] = store.vectors_for(ids[mask])
         return out
+
+    def _delta_kernel_dtype(self) -> Optional[np.dtype]:
+        """Shard store dtype for the delta kernel (router store is None).
+
+        A rebuilt deployment would serve delta rows from shard store
+        blocks, so the brute-force delta kernel must cast them to the
+        same dtype for the generational-vs-rebuild parity to hold.
+        """
+        if self._stores_attached:
+            store = self.shards[0].rfs.store
+            assert store is not None
+            return store.dtype
+        return None
+
+    def invalidate_cache_nodes(self, node_ids: Sequence[int]) -> int:
+        """Per-node eviction, broadcast to every shard cache.
+
+        Shard caches key their entries on the *global* node id (shard
+        trees keep global ids), so the same root path addresses the
+        affected entries in every shard — still no global flush.
+        """
+        dropped = super().invalidate_cache_nodes(node_ids)
+        for shard in self.shards:
+            if shard.cache is not None:
+                dropped += shard.cache.invalidate_nodes(node_ids)
+        return dropped
 
     def store_fingerprint(self) -> str:
         """Fingerprint of the (uniform) shard stores (``""`` when none).
@@ -296,6 +325,7 @@ class ShardedRFS(RFSStructure):
         io_category: str = "localized_knn",
         weights: Optional[np.ndarray] = None,
         read_block: Optional[BlockReader] = None,
+        include_delta: bool = True,
     ) -> List[tuple[float, int]]:
         """Scatter the scan to covering shards, gather by (dist, id).
 
@@ -303,6 +333,14 @@ class ShardedRFS(RFSStructure):
         accepted for interface compatibility but unused: shards own
         their blocks and charge the shared disk model themselves, and
         the shard-level cache already deduplicates repeated scans.
+
+        With a delta segment attached, shards hold tombstone-only
+        adapters — each filters dead rows out of its own blocks but
+        never sees the live delta rows, which the router merges exactly
+        once over the gathered candidates (a covering shard merging
+        them too would duplicate every insert).  As in the single-node
+        scan, ``include_delta=False`` returns the tombstone-filtered
+        main-only ranking for the subquery cache.
         """
         del read_block
         if node.size == 0:
@@ -315,10 +353,21 @@ class ShardedRFS(RFSStructure):
                     f"weights shape {weights.shape} != query "
                     f"{query.shape}"
                 )
-        take = min(k, node.size)
-        participants = [
-            shard for shard in self.shards if shard.covers(node.node_id)
-        ]
+        view = self.delta_view()
+        if view is not None and not view.affects_scans:
+            view = None
+        main_live = node.size
+        if view is not None and view.n_dead_main:
+            dead = view.dead_under(
+                self._leaf_ids_under(node), node.node_id
+            )
+            main_live = node.size - int(dead.shape[0])
+        take = min(k, main_live)
+        participants = (
+            [shard for shard in self.shards if shard.covers(node.node_id)]
+            if take > 0
+            else []
+        )
         tracer = get_tracer()
         with tracer.span(
             "sharded_knn",
@@ -353,10 +402,15 @@ class ShardedRFS(RFSStructure):
             merged.sort(key=lambda pair: (pair[0], pair[1]))
             del merged[take:]
             span.set(candidates=sum(len(r) for r in partials))
-        get_metrics().counter(
-            "qd_shard_scans_total",
-            "per-shard localized scans dispatched by the router",
-        ).inc(len(participants))
+            if include_delta and view is not None and view.live_count:
+                merged = self.merge_delta_ranked(
+                    node, merged, query, k, weights=weights, view=view
+                )
+        if participants:
+            get_metrics().counter(
+                "qd_shard_scans_total",
+                "per-shard localized scans dispatched by the router",
+            ).inc(len(participants))
         return merged
 
 
@@ -387,6 +441,7 @@ class ShardedEngine(QueryDecompositionEngine):
         store_rerank_margin: int = 32,
         cache: Optional[CacheConfig] = None,
         build: Optional[BuildConfig] = None,
+        mutations: Optional[MutationConfig] = None,
         progress: Optional["ProgressCallback"] = None,
     ) -> "ShardedEngine":
         """Build the global tree, partition it, and wrap the router.
@@ -443,7 +498,12 @@ class ShardedEngine(QueryDecompositionEngine):
             assignment=assignment,
             parallel_fanout=parallel_fanout,
         )
-        return cls(database, router, qd_config)
+        engine = cls(database, router, qd_config)
+        if mutations is not None:
+            engine.enable_mutations(
+                mutations, seed=seed if isinstance(seed, int) else 0
+            )
+        return engine
 
     @property
     def sharded_rfs(self) -> ShardedRFS:

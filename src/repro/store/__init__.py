@@ -23,7 +23,11 @@ Pieces:
 * :mod:`repro.store.quantize` — optional compressed scan tiers (f16 /
   int8 scalar quantization with measured error bounds): block scans
   read 2–4x fewer bytes and an exact float32 re-rank keeps final
-  rankings bit-identical to the uncompressed path.
+  rankings bit-identical to the uncompressed path;
+* :mod:`repro.store.delta` — the mutation path's write side: an
+  append-only delta segment (new feature rows + tombstones) whose
+  immutable :class:`~repro.store.delta.DeltaView` snapshots final-round
+  scans traverse alongside the main blocks, lock-free.
 
 Attach a store with :meth:`repro.index.rfs.RFSStructure.attach_store`;
 `localized_knn`, the final-round subqueries, and mark grouping all pick
@@ -31,6 +35,11 @@ it up transparently, and rankings are bit-identical between the
 ``inmem`` and ``memmap`` backings (same bytes, same kernel).
 """
 
+from repro.store.delta import (
+    DeltaSegment,
+    DeltaView,
+    TombstoneSegment,
+)
 from repro.store.feature_store import (
     STORE_DTYPES,
     STORE_FORMAT_VERSION,
@@ -54,6 +63,9 @@ from repro.store.quantize import (
 )
 
 __all__ = [
+    "DeltaSegment",
+    "DeltaView",
+    "TombstoneSegment",
     "FeatureStore",
     "STORE_DTYPES",
     "STORE_FORMAT_VERSION",

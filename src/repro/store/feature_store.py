@@ -458,13 +458,19 @@ class FeatureStore:
         :meth:`repro.index.rfs.RFSStructure.leaf_of_item` with one
         ``searchsorted`` over the leaf span starts.
         """
-        if not 0 <= image_id < self.n_rows:
+        if not 0 <= image_id < self.row_of_id.shape[0]:
+            raise NodeNotFoundError(
+                f"item {image_id} not present in the store"
+            )
+        row = int(self.row_of_id[image_id])
+        if row < 0:
+            # The id table can be sparse: a store built over a
+            # compacted generation keeps tombstoned ids as holes.
             raise NodeNotFoundError(
                 f"item {image_id} not present in the store"
             )
         if self._leaf_starts is None:
             self._build_leaf_index()
-        row = int(self.row_of_id[image_id])
         idx = int(
             np.searchsorted(self._leaf_starts, row, side="right") - 1
         )
@@ -479,16 +485,22 @@ class FeatureStore:
         Python at any database size.
         """
         ids = np.asarray(image_ids, dtype=np.int64)
+        table = self.row_of_id.shape[0]
         if ids.size and (
-            int(ids.min()) < 0 or int(ids.max()) >= self.n_rows
+            int(ids.min()) < 0 or int(ids.max()) >= table
         ):
-            bad = ids[(ids < 0) | (ids >= self.n_rows)][0]
+            bad = ids[(ids < 0) | (ids >= table)][0]
+            raise NodeNotFoundError(
+                f"item {int(bad)} not present in the store"
+            )
+        rows = self.row_of_id[ids]
+        if ids.size and int(rows.min()) < 0:
+            bad = ids[rows < 0][0]  # tombstoned hole in a sparse table
             raise NodeNotFoundError(
                 f"item {int(bad)} not present in the store"
             )
         if self._leaf_starts is None:
             self._build_leaf_index()
-        rows = self.row_of_id[ids]
         idx = np.searchsorted(self._leaf_starts, rows, side="right") - 1
         return self._leaf_node_ids[idx]
 

@@ -123,12 +123,21 @@ def point_distances(
     *,
     block_sqnorms: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """(n,) Euclidean distances from block rows to one query point."""
+    """(n,) Euclidean distances from block rows to one query point.
+
+    The row·query products use ``einsum`` rather than BLAS gemv: gemv
+    picks different reduction orders for different row counts, so the
+    same row scanned in a 9-row delta selection and in a 30-row rebuilt
+    leaf block could differ in the last bits.  ``einsum`` reduces each
+    row identically regardless of block shape, which the generational
+    mutation path's bit-parity guarantee (delta scan ≡ from-scratch
+    rebuild) depends on.
+    """
     t0 = time.perf_counter()
     q = np.asarray(query, dtype=block.dtype)
     if block_sqnorms is None:
         block_sqnorms = np.einsum("ij,ij->i", block, block)
-    dists = block @ q
+    dists = np.einsum("ij,j->i", block, q)
     dists *= -2.0
     dists += block_sqnorms
     dists += q @ q
@@ -145,14 +154,16 @@ def weighted_point_distances(
 
     The norm expansion does not factor through a diagonal metric with
     cacheable row norms, so this kernel uses the direct form — still a
-    single vectorized pass, no per-row Python loop.
+    single vectorized pass, no per-row Python loop.  As in
+    :func:`point_distances`, the final reduction is ``einsum`` so each
+    row's result is independent of the block shape it was scanned in.
     """
     t0 = time.perf_counter()
     q = np.asarray(query, dtype=block.dtype)
     w = np.asarray(weights, dtype=block.dtype)
     diff = block - q
     diff *= diff
-    dists = diff @ w
+    dists = np.einsum("ij,j->i", diff, w)
     np.maximum(dists, 0.0, out=dists)
     np.sqrt(dists, out=dists)
     _observe(t0, block.shape[0], "weighted_point")

@@ -1,0 +1,612 @@
+"""Generational delta-segment mutations: parity, compaction, engine.
+
+The load-bearing guarantee under test: an index serving from
+``main store + delta segment`` ranks **bit-identically** to a
+from-scratch rebuild containing the same live items — across store
+tiers, executors, shard counts, and pre/post-compaction cache states.
+``scripts/check.sh`` runs the ``Parity`` classes as a no-skip gate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import MutationConfig, QDConfig, RFSConfig
+from repro.core.engine import QueryDecompositionEngine
+from repro.datasets.build import build_synthetic_database
+from repro.errors import (
+    ConfigurationError,
+    NodeNotFoundError,
+    StaleSessionError,
+)
+from repro.index.generations import (
+    EpochGuard,
+    GenerationController,
+    generation_seed,
+    route_leaf,
+)
+from repro.index.incremental import validate_structure
+from repro.index.rfs import RFSStructure
+from repro.store import FeatureStore
+
+CFG = RFSConfig(
+    node_max_entries=40, node_min_entries=20, leaf_subclusters=3
+)
+
+
+def _base(n=220, d=16, seed=5, *, tier=None):
+    feats = np.random.default_rng(seed).normal(size=(n, d))
+    rfs = RFSStructure.build(feats, CFG, seed=seed)
+    if tier is not None:
+        rfs.attach_store(
+            FeatureStore.build(rfs, tier=tier), validate=False
+        )
+    return rfs
+
+
+def _mutate(controller, rng, *, inserts=9, removes=6):
+    """A deterministic mixed workload; returns (new_ids, removed_ids)."""
+    rfs = controller.current
+    new_ids = [
+        controller.insert(rng.normal(size=rfs.features.shape[1]))
+        for _ in range(inserts)
+    ]
+    candidates = [int(i) for i in rfs.root.item_ids[:: max(1, removes)]]
+    removed = candidates[:removes]
+    for item in removed:
+        controller.remove(item)
+    return new_ids, removed
+
+
+def _rebuild_of(rfs, *, seed=991, tier=None):
+    """From-scratch structure over ``rfs``'s live items.
+
+    Returns ``(built, live)`` where ``live[pos]`` maps the rebuild's
+    row positions back to the generational deployment's global ids.
+    """
+    view = rfs.delta_view()
+    if view is None or (view.n_delta == 0 and view.n_dead_main == 0):
+        live_main = np.asarray(rfs.root.item_ids, dtype=np.int64)
+        live_delta = np.empty(0, dtype=np.int64)
+        full = rfs.features
+    else:
+        live_main = np.setdiff1d(
+            rfs.root.item_ids, view.dead_main, assume_unique=True
+        )
+        live_delta = view.base_rows + view.live_indices
+        full = (
+            np.vstack([rfs.features, view.rows])
+            if view.n_delta
+            else rfs.features
+        )
+    live = np.concatenate([live_main, live_delta]).astype(np.int64)
+    built = RFSStructure.build(full[live], CFG, seed=seed)
+    if tier is not None:
+        built.attach_store(
+            FeatureStore.build(built, tier=tier), validate=False
+        )
+    return built, live
+
+
+def _scan(rfs, query, k, *, weights=None):
+    """Root-subtree scan: every live item competes."""
+    return rfs.localized_knn(rfs.root, query, k, weights=weights)
+
+
+def _assert_scan_parity(gen_rfs, rebuilt, live, queries, k, *,
+                        weights=None):
+    """Generational scan == rebuilt scan, bit for bit, id for id."""
+    for query in queries:
+        got = _scan(gen_rfs, query, k, weights=weights)
+        want = [
+            (dist, int(live[pos]))
+            for dist, pos in _scan(rebuilt, query, k, weights=weights)
+        ]
+        assert got == want
+
+
+def _queries(rfs, n=6, seed=17):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, rfs.features.shape[1]))
+
+
+class TestEpochGuard:
+    def test_write_bumps_epoch(self):
+        guard = EpochGuard()
+        with guard.write():
+            assert guard.epoch == 0
+        assert guard.epoch == 1
+
+    def test_readers_share_and_block_writers(self):
+        guard = EpochGuard()
+        order = []
+        with guard.read():
+            with guard.read():  # shared: no deadlock
+                writer = threading.Thread(
+                    target=lambda: (guard.write().__enter__(),
+                                    order.append("wrote"))
+                )
+                writer.start()
+                writer.join(timeout=0.2)
+                assert order == []  # writer waits for the lease
+        writer.join(timeout=2.0)
+        assert order == ["wrote"]
+
+
+class TestDeltaMutations:
+    def test_insert_gets_stable_id_and_is_findable(self):
+        rfs = _base()
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        vec = rfs.features[3] + 1e-4
+        new_id = controller.insert(vec)
+        assert new_id == rfs.features.shape[0]
+        got = _scan(rfs, vec, 1)
+        assert got[0][1] == new_id
+
+    def test_removed_id_disappears_from_scans(self):
+        rfs = _base()
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        victim = int(rfs.root.item_ids[0])
+        controller.remove(victim)
+        ids = {item for _, item in _scan(rfs, rfs.features[victim], 50)}
+        assert victim not in ids
+
+    def test_remove_unknown_raises(self):
+        controller = GenerationController(
+            _base(), config=MutationConfig(auto_compact=False)
+        )
+        with pytest.raises(NodeNotFoundError):
+            controller.remove(10_000)
+
+    def test_remove_twice_raises(self):
+        controller = GenerationController(
+            _base(), config=MutationConfig(auto_compact=False)
+        )
+        controller.remove(0)
+        with pytest.raises(NodeNotFoundError):
+            controller.remove(0)
+
+    def test_delta_size_counts_rows_and_tombstones(self):
+        controller = GenerationController(
+            _base(), config=MutationConfig(auto_compact=False)
+        )
+        _mutate(controller, np.random.default_rng(0),
+                inserts=4, removes=3)
+        assert controller.delta_size == 7
+        assert controller.n_items == 220 + 4 - 3
+
+    def test_route_leaf_matches_leaf_membership(self):
+        rfs = _base()
+        for item in (0, 57, 113):
+            leaf = route_leaf(rfs, rfs.features[item])
+            assert leaf.is_leaf
+
+    def test_validate_structure_clean_under_delta(self):
+        rfs = _base(tier="f32")
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        _mutate(controller, np.random.default_rng(1))
+        assert validate_structure(rfs) == []
+
+
+class TestMutationParity:
+    """The gate: delta-bearing scans == from-scratch rebuild scans."""
+
+    @pytest.mark.parametrize("tier", [None, "f32", "f16", "int8"])
+    def test_scan_parity_across_store_tiers(self, tier):
+        rfs = _base(tier=tier)
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        _mutate(controller, np.random.default_rng(2))
+        rebuilt, live = _rebuild_of(rfs, tier=tier)
+        _assert_scan_parity(rfs, rebuilt, live, _queries(rfs), k=25)
+
+    def test_weighted_scan_parity(self):
+        rfs = _base(tier="f32")
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        _mutate(controller, np.random.default_rng(3))
+        weights = np.linspace(0.5, 2.0, rfs.features.shape[1])
+        rebuilt, live = _rebuild_of(rfs, tier="f32")
+        _assert_scan_parity(
+            rfs, rebuilt, live, _queries(rfs), k=25, weights=weights
+        )
+
+    def test_post_compaction_equals_rebuild_at_generation_seed(self):
+        rfs = _base(tier="f32")
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False), seed=41
+        )
+        _mutate(controller, np.random.default_rng(4))
+        live_before = np.sort(
+            np.concatenate([
+                np.setdiff1d(rfs.root.item_ids,
+                             rfs.delta_view().dead_main),
+                rfs.delta_view().base_rows
+                + rfs.delta_view().live_indices,
+            ])
+        )
+        version = controller.compact()
+        current = controller.current
+        assert version == current.structure_version
+        # Same tree as an independent bulk load at the derived seed.
+        rebuilt, live = _rebuild_of(
+            current, seed=generation_seed(41, 1), tier="f32"
+        )
+        assert np.array_equal(np.sort(live), live_before)
+        assert np.array_equal(
+            np.sort(current.root.item_ids), live_before
+        )
+        _assert_scan_parity(current, rebuilt, live,
+                            _queries(current), k=25)
+        assert validate_structure(current) == []
+
+    def test_parity_holds_across_repeated_compactions(self):
+        rfs = _base(tier="f32")
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False), seed=8
+        )
+        rng = np.random.default_rng(5)
+        for round_no in range(3):
+            _mutate(controller, rng, inserts=5, removes=3)
+            controller.compact()
+            current = controller.current
+            assert current.build_meta["generation"] == round_no + 1
+            rebuilt, live = _rebuild_of(
+                current,
+                seed=generation_seed(8, round_no + 1),
+                tier="f32",
+            )
+            _assert_scan_parity(current, rebuilt, live,
+                                _queries(current, n=3), k=20)
+
+    def test_mutated_then_scanned_ids_stay_stable_across_swap(self):
+        rfs = _base()
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        vec = rfs.features[11] + 5e-4
+        new_id = controller.insert(vec)
+        controller.remove(int(rfs.root.item_ids[1]))
+        controller.compact()
+        got = _scan(controller.current, vec, 1)
+        assert got[0][1] == new_id  # same global id, now a main row
+
+
+class TestExecutorParity:
+    """Final rounds over a delta-bearing index across executors."""
+
+    @pytest.fixture(scope="class")
+    def mutated_db_engine(self):
+        database = build_synthetic_database(600, n_categories=20, seed=6)
+        engine = QueryDecompositionEngine.build(
+            database, CFG, QDConfig(), seed=31,
+            mutations=MutationConfig(auto_compact=False),
+        )
+        rng = np.random.default_rng(7)
+        for _ in range(8):
+            engine.insert_image(rng.normal(size=database.dims))
+        for item in (3, 77, 200):
+            engine.remove_image(item)
+        yield database, engine
+        engine.close()
+
+    @staticmethod
+    def _flat(result):
+        return [
+            (g.leaf_node_id, g.search_node_id,
+             [(it.item_id, it.score) for it in g.items])
+            for g in result.groups
+        ]
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_final_round_matches_serial(self, mutated_db_engine,
+                                        executor):
+        database, serial_engine = mutated_db_engine
+        other = QueryDecompositionEngine(
+            database, serial_engine.rfs,
+            QDConfig(executor=executor, workers=2),
+        )
+        mark = lambda shown: list(shown[:4])  # noqa: E731
+        want = serial_engine.run_scripted(mark, k=30, rounds=2, seed=13)
+        try:
+            got = other.run_scripted(mark, k=30, rounds=2, seed=13)
+        finally:
+            other.close()
+        assert self._flat(got) == self._flat(want)
+
+
+class TestCacheParity:
+    """Cache pre/post-compaction: correct results, surgical evictions.
+
+    Parity here means the cache *hit* path (stored main-only ranking +
+    post-consult delta merge) returns exactly what the *miss* path
+    (fresh block scans) returns on the same structure — before a
+    mutation, after it, and across a generation swap.
+    """
+
+    BATCH = [((1, 2, 3), 20), ((40, 41, 90), 20), ((150, 151), 20)]
+
+    def _cached_engine(self):
+        from repro.cache import SubqueryResultCache
+
+        database = build_synthetic_database(440, n_categories=16,
+                                            seed=19)
+        engine = QueryDecompositionEngine.build(
+            database, CFG, QDConfig(), seed=21,
+            mutations=MutationConfig(auto_compact=False),
+        )
+        engine.rfs.attach_store(
+            FeatureStore.build(engine.rfs), validate=False
+        )
+        engine.rfs.attach_cache(SubqueryResultCache(4 << 20))
+        return engine
+
+    @staticmethod
+    def _flat(results):
+        return [
+            [(it.item_id, it.score) for g in r.groups for it in g.items]
+            for r in results
+        ]
+
+    def _hit_vs_miss(self, engine):
+        """Cached answers == answers with the cache detached."""
+        rfs = engine.rfs
+        hit = self._flat(engine.run_batch(self.BATCH))
+        cache = rfs.result_cache
+        rfs.detach_cache()
+        try:
+            miss = self._flat(engine.run_batch(self.BATCH))
+        finally:
+            rfs.attach_cache(cache)
+        assert hit == miss
+
+    def test_insert_invalidates_nothing_and_hits_stay_exact(self):
+        with self._cached_engine() as engine:
+            engine.run_batch(self.BATCH)  # warm
+            cache = engine.rfs.result_cache
+            before = cache.snapshot()
+            assert before["entries"] > 0
+            engine.insert_image(
+                np.random.default_rng(8).normal(
+                    size=engine.database.dims
+                )
+            )
+            after = cache.snapshot()
+            assert after["mutation_evictions"] == (
+                before["mutation_evictions"]
+            )
+            assert after["entries"] == before["entries"]
+            self._hit_vs_miss(engine)
+
+    def test_remove_evicts_per_node_not_globally(self):
+        with self._cached_engine() as engine:
+            engine.run_batch(self.BATCH)
+            cache = engine.rfs.result_cache
+            entries_before = cache.snapshot()["entries"]
+            assert entries_before > 0
+            engine.remove_image(300)
+            snap = cache.snapshot()
+            assert snap["mutation_evictions"] >= 0
+            assert snap["entries"] <= entries_before
+            self._hit_vs_miss(engine)
+
+    def test_cache_survives_compaction_and_stays_correct(self):
+        with self._cached_engine() as engine:
+            engine.run_batch(self.BATCH)
+            cache = engine.rfs.result_cache
+            rng = np.random.default_rng(9)
+            for _ in range(5):
+                engine.insert_image(rng.normal(
+                    size=engine.database.dims))
+            engine.remove_image(10)
+            engine.compact_index()
+            assert engine.rfs.result_cache is cache  # carried over
+            engine.run_batch(self.BATCH)  # stale entries die lazily
+            assert cache.snapshot()["stale_evictions"] >= 0
+            self._hit_vs_miss(engine)
+
+
+class TestShardedParity:
+    """Router scans with delta == single-node rebuild, pre/post swap."""
+
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_sharded_scan_parity(self, shards):
+        from repro.shard import ShardedEngine
+
+        database = build_synthetic_database(500, n_categories=20,
+                                            seed=10)
+        engine = ShardedEngine.build(
+            database, qd_config=QDConfig(), shards=shards,
+            seed=23, store="inmem",
+            mutations=MutationConfig(auto_compact=False),
+        )
+        try:
+            rng = np.random.default_rng(11)
+            for _ in range(7):
+                engine.insert_image(rng.normal(size=database.dims))
+            for item in (2, 150, 333):
+                engine.remove_image(item)
+            router = engine.rfs
+            rebuilt, live = _rebuild_of(router, tier="f32")
+            _assert_scan_parity(router, rebuilt, live,
+                                _queries(router), k=25)
+            assert engine.compact_index() is not None
+            router = engine.rfs
+            assert len(router.shards) >= 1
+            rebuilt, live = _rebuild_of(router, tier="f32")
+            _assert_scan_parity(router, rebuilt, live,
+                                _queries(router), k=25)
+        finally:
+            engine.close()
+
+
+class TestCompaction:
+    def test_threshold_triggers_auto_compaction(self):
+        rfs = _base()
+        controller = GenerationController(
+            rfs, config=MutationConfig(compact_threshold=5)
+        )
+        rng = np.random.default_rng(12)
+        for _ in range(5):
+            controller.insert(rng.normal(size=16))
+        assert controller.generation == 1
+        assert controller.delta_size == 0
+
+    def test_background_compaction_completes(self):
+        rfs = _base()
+        controller = GenerationController(
+            rfs,
+            config=MutationConfig(compact_threshold=4,
+                                  background=True),
+        )
+        rng = np.random.default_rng(13)
+        for _ in range(4):
+            controller.insert(rng.normal(size=16))
+        controller.close()  # joins the compactor
+        assert controller.generation >= 1
+
+    def test_empty_delta_compaction_is_a_noop(self):
+        controller = GenerationController(
+            _base(), config=MutationConfig(auto_compact=False)
+        )
+        assert controller.compact() is None
+        assert controller.generation == 0
+
+    def test_retired_map_serves_old_versions_and_is_bounded(self):
+        rfs = _base()
+        v0 = rfs.structure_version
+        controller = GenerationController(
+            rfs,
+            config=MutationConfig(auto_compact=False, max_retired=2),
+        )
+        rng = np.random.default_rng(14)
+        versions = [v0]
+        for _ in range(3):
+            controller.insert(rng.normal(size=16))
+            versions.append(controller.compact())
+        assert len(controller.retired) == 2
+        assert controller.structure_for_version(versions[-1]) is (
+            controller.current
+        )
+        assert controller.structure_for_version(versions[0]) is None
+        assert (
+            controller.structure_for_version(versions[-2]) is not None
+        )
+
+    def test_compacting_everything_away_raises(self):
+        rfs = _base(n=60)
+        controller = GenerationController(
+            rfs, config=MutationConfig(auto_compact=False)
+        )
+        for item in list(rfs.root.item_ids):
+            controller.remove(int(item))
+        with pytest.raises(ConfigurationError):
+            controller.compact()
+
+    def test_generation_seed_is_pure_and_distinct(self):
+        assert generation_seed(7, 1) == generation_seed(7, 1)
+        assert generation_seed(7, 1) != generation_seed(7, 2)
+        assert generation_seed(8, 1) != generation_seed(7, 1)
+
+
+class TestEngineMutations:
+    def test_requires_enable(self):
+        database = build_synthetic_database(400, n_categories=16,
+                                            seed=15)
+        engine = QueryDecompositionEngine.build(database, CFG, seed=1)
+        with pytest.raises(ConfigurationError):
+            engine.insert_image(np.zeros(database.dims))
+
+    def test_enable_idempotent_but_not_reconfigurable(self):
+        database = build_synthetic_database(400, n_categories=16,
+                                            seed=15)
+        engine = QueryDecompositionEngine.build(database, CFG, seed=1)
+        controller = engine.enable_mutations(
+            MutationConfig(auto_compact=False)
+        )
+        assert engine.enable_mutations() is controller
+        with pytest.raises(ConfigurationError):
+            engine.enable_mutations(MutationConfig())
+
+    def test_swap_repoints_engine_and_sessions_resume_pinned(self):
+        from repro.sessionstore import make_session_store
+
+        database = build_synthetic_database(500, n_categories=20,
+                                            seed=16)
+        engine = QueryDecompositionEngine.build(
+            database, CFG, QDConfig(), seed=3,
+            mutations=MutationConfig(auto_compact=False, max_retired=2),
+        )
+        engine.attach_session_store(make_session_store("memory"))
+        with engine:
+            session = engine.open_session(seed=5)
+            shown = session.display()
+            session.submit(shown[:3])
+            old_rfs = engine.rfs
+            engine.insert_image(np.zeros(database.dims))
+            engine.compact_index()
+            assert engine.rfs is not old_rfs
+            resumed = engine.resume_session(session.session_id)
+            assert resumed.rfs is old_rfs  # pinned generation
+            result = resumed.finalize(k=20)
+            assert result.groups
+
+    def test_resume_beyond_retired_window_is_fenced(self):
+        from repro.sessionstore import make_session_store
+
+        database = build_synthetic_database(500, n_categories=20,
+                                            seed=16)
+        engine = QueryDecompositionEngine.build(
+            database, CFG, QDConfig(), seed=3,
+            mutations=MutationConfig(auto_compact=False, max_retired=1),
+        )
+        engine.attach_session_store(make_session_store("memory"))
+        with engine:
+            session = engine.open_session(seed=5)
+            shown = session.display()
+            session.submit(shown[:3])
+            for _ in range(2):  # two swaps push v0 out of the window
+                engine.insert_image(np.zeros(database.dims))
+                engine.compact_index()
+            with pytest.raises(StaleSessionError):
+                engine.resume_session(session.session_id)
+
+
+class TestServeMutations:
+    def test_insert_and_remove_flow_through_front_end(self):
+        from repro.core.clientserver import SessionFrontEnd
+        from repro.sessionstore import make_session_store
+
+        database = build_synthetic_database(400, n_categories=16,
+                                            seed=18)
+        engine = QueryDecompositionEngine.build(
+            database, CFG, QDConfig(), seed=9,
+            mutations=MutationConfig(auto_compact=False),
+        )
+        engine.attach_session_store(make_session_store("memory"))
+        with engine:
+            front = SessionFrontEnd(engine)
+            new_id = front.handle(
+                "insert", vector=[0.0] * database.dims
+            )
+            assert new_id.ok
+            assert new_id.value == database.size
+            removed = front.handle("remove", image_id=new_id.value)
+            assert removed.ok and removed.value is True
+            missing = front.handle("remove", image_id=new_id.value)
+            assert not missing.ok
+            assert missing.error_kind == "not_found"
+            bad = front.handle("insert", vector=[0.0, 1.0])
+            assert not bad.ok
+            assert bad.error_kind == "invalid_request"
